@@ -1,0 +1,28 @@
+"""Shared driver for the per-query Table 1 benchmarks.
+
+Each ``test_bench_table1_q*.py`` module parametrizes one Table 1 row over
+the engine columns: the benchmark value is evaluation time; the buffer high
+watermark is attached as ``extra_info`` so the benchmark JSON carries the
+memory column as well.
+"""
+
+import pytest
+
+from repro.baselines import ENGINES, UnsupportedQueryError
+from repro.xmark import XMARK_QUERIES
+
+ENGINE_NAMES = ("gcx", "flux-like", "projection-only", "naive-dom")
+
+
+def run_table1_row(benchmark, engine_name: str, query_name: str, document: str):
+    query = XMARK_QUERIES[query_name]
+    engine = ENGINES[engine_name]()
+    try:
+        compiled = engine.compile(query.adapted)
+    except UnsupportedQueryError:
+        pytest.skip(f"{engine_name} does not support {query_name} (n/a in Table 1)")
+    result = benchmark(lambda: engine.run(compiled, document))
+    benchmark.extra_info["hwm_bytes"] = result.hwm_bytes
+    benchmark.extra_info["hwm_nodes"] = result.hwm_nodes
+    benchmark.extra_info["output_bytes"] = len(result.output)
+    return result

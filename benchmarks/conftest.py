@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suites.
+
+Documents are generated once per session.  Sizes are scaled down ~100x from
+the paper's 10-200 MB (pure Python vs compiled C++); the *shape* of every
+series is what EXPERIMENTS.md compares against Table 1.
+"""
+
+import pytest
+
+from repro.xmark import generate_xmark
+
+#: The benchmark document ladder (bytes are approximate).
+SIZES = {
+    "small": 0.001,  # ~40 KB
+    "medium": 0.002,  # ~80 KB
+    "large": 0.004,  # ~160 KB
+}
+
+
+@pytest.fixture(scope="session")
+def xmark_documents():
+    return {name: generate_xmark(scale, seed=42) for name, scale in SIZES.items()}
+
+
+@pytest.fixture(scope="session")
+def xmark_small(xmark_documents):
+    return xmark_documents["small"]

@@ -1,0 +1,57 @@
+"""Ablation benches for the Section 6 optimizations.
+
+The paper asserts that early updates purge sooner, aggregate roles shrink
+role-set overhead, and redundant-role elimination benefits both memory and
+runtime.  Each ablation benchmarks GCX with exactly one optimization
+disabled, attaching the buffer watermark for comparison.
+"""
+
+import pytest
+
+from repro.engine import EngineOptions, GCXEngine
+from repro.xmark import XMARK_QUERIES
+
+CONFIGS = {
+    "full": EngineOptions(),
+    "no-early-updates": EngineOptions(early_updates=False),
+    "no-aggregate-roles": EngineOptions(aggregate_roles=False),
+    "no-redundancy-elim": EngineOptions(eliminate_redundant_roles=False),
+    "paper-base-scheme": EngineOptions(
+        early_updates=False,
+        aggregate_roles=False,
+        eliminate_redundant_roles=False,
+    ),
+}
+
+_RESULTS: dict[tuple[str, str], tuple[int, int]] = {}
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+@pytest.mark.parametrize("query_name", ("Q1", "Q13", "Q20"))
+def test_ablation(benchmark, config_name, query_name, xmark_small):
+    engine = GCXEngine(CONFIGS[config_name])
+    compiled = engine.compile(XMARK_QUERIES[query_name].adapted)
+    result = benchmark(lambda: engine.run(compiled, xmark_small))
+    _RESULTS[(config_name, query_name)] = (
+        result.stats.hwm_bytes,
+        result.stats.roles_assigned,
+    )
+    benchmark.extra_info["hwm_bytes"] = result.stats.hwm_bytes
+    benchmark.extra_info["roles_assigned"] = result.stats.roles_assigned
+
+
+def test_aggregate_roles_reduce_role_instances():
+    """Aggregate roles assign one role per subtree instead of per node."""
+    full = _RESULTS.get(("full", "Q13"))
+    ablated = _RESULTS.get(("no-aggregate-roles", "Q13"))
+    if full is None or ablated is None:
+        pytest.skip("ablation benches did not run")
+    assert full[1] < ablated[1]
+
+
+def test_redundancy_elimination_reduces_roles():
+    full = _RESULTS.get(("full", "Q20"))
+    ablated = _RESULTS.get(("no-redundancy-elim", "Q20"))
+    if full is None or ablated is None:
+        pytest.skip("ablation benches did not run")
+    assert full[1] <= ablated[1]

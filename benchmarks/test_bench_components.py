@@ -1,0 +1,54 @@
+"""Component micro-benchmarks: tokenizer, preprojector, generator, parser.
+
+Not part of the paper's tables; these track the substrate costs so
+regressions in the streaming pipeline are visible independently of whole-
+query runs.
+"""
+
+import pytest
+
+from repro.analysis import compile_query
+from repro.buffer import BufferTree
+from repro.stream import StreamPreprojector
+from repro.xmark import XMARK_QUERIES, generate_xmark
+from repro.xmlio import tokenize
+from repro.xquery import parse_query
+
+
+def test_tokenizer_throughput(benchmark, xmark_small):
+    def scan():
+        count = 0
+        for _token in tokenize(xmark_small):
+            count += 1
+        return count
+
+    tokens = benchmark(scan)
+    benchmark.extra_info["tokens"] = tokens
+    benchmark.extra_info["doc_bytes"] = len(xmark_small)
+
+
+def test_preprojector_throughput(benchmark, xmark_small):
+    compiled = compile_query(XMARK_QUERIES["Q1"].adapted)
+
+    def project():
+        buffer = BufferTree(strict=False)
+        preprojector = StreamPreprojector(
+            tokenize(xmark_small), compiled.projection_tree, buffer
+        )
+        preprojector.run_to_completion()
+        return buffer.stats.hwm_nodes
+
+    benchmark(project)
+
+
+def test_query_compilation(benchmark):
+    benchmark(lambda: compile_query(XMARK_QUERIES["Q8"].adapted))
+
+
+def test_query_parsing(benchmark):
+    benchmark(lambda: parse_query(XMARK_QUERIES["Q20"].adapted))
+
+
+def test_xmark_generation(benchmark):
+    document = benchmark(lambda: generate_xmark(0.0005, seed=1))
+    benchmark.extra_info["doc_bytes"] = len(document)

@@ -1,0 +1,47 @@
+"""Scaling benches: Table 1 read column-wise (memory vs document size).
+
+The paper's headline claim: GCX memory is *independent of the input stream
+size* for Q1, Q6, Q13 and Q20, and grows for the join Q8.  Each bench runs
+one (query, size) cell on GCX; the asserted shape checks live at the bottom
+and run on the collected watermarks.
+"""
+
+import pytest
+
+from repro.engine import GCXEngine
+from repro.xmark import XMARK_QUERIES
+
+_WATERMARKS: dict[tuple[str, str], int] = {}
+
+FLAT_QUERIES = ("Q1", "Q6", "Q13", "Q20")
+
+
+@pytest.mark.parametrize("query_name", FLAT_QUERIES + ("Q8",))
+@pytest.mark.parametrize("size", ("small", "medium", "large"))
+def test_gcx_scaling(benchmark, query_name, size, xmark_documents):
+    document = xmark_documents[size]
+    engine = GCXEngine()
+    compiled = engine.compile(XMARK_QUERIES[query_name].adapted)
+    result = benchmark(lambda: engine.run(compiled, document))
+    _WATERMARKS[(query_name, size)] = result.stats.hwm_bytes
+    benchmark.extra_info["hwm_bytes"] = result.stats.hwm_bytes
+    benchmark.extra_info["doc_bytes"] = len(document)
+
+
+@pytest.mark.parametrize("query_name", FLAT_QUERIES)
+def test_gcx_memory_flat(query_name):
+    """GCX buffers are size-independent for the non-join queries."""
+    small = _WATERMARKS.get((query_name, "small"))
+    large = _WATERMARKS.get((query_name, "large"))
+    if small is None or large is None:
+        pytest.skip("scaling benches did not run")
+    assert large <= small * 2.5, f"{query_name}: {small} -> {large}"
+
+
+def test_gcx_memory_grows_for_join():
+    """Q8's nested-loop join buffers linearly (9.8MB->86MB in the paper)."""
+    small = _WATERMARKS.get(("Q8", "small"))
+    large = _WATERMARKS.get(("Q8", "large"))
+    if small is None or large is None:
+        pytest.skip("scaling benches did not run")
+    assert large >= small * 2, f"Q8: {small} -> {large}"

@@ -1,0 +1,10 @@
+"""Table 1, XMark Q20: evaluation time and buffer high watermark."""
+
+import pytest
+
+from benchmarks._table1_common import ENGINE_NAMES, run_table1_row
+
+
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+def test_table1_q20(benchmark, engine_name, xmark_small):
+    run_table1_row(benchmark, engine_name, "Q20", xmark_small)

@@ -1,0 +1,68 @@
+"""Reproduce the paper's Table 1 (scaled down for pure Python).
+
+Generates XMark documents at four sizes, runs the five adapted benchmark
+queries on every engine, and prints the table in the paper's layout
+("time / memory high watermark") together with the qualitative shape
+checks recorded in EXPERIMENTS.md.
+
+Run:  python examples/reproduce_table1.py [--sizes 256k,512k,1m,2m] [--quick]
+"""
+
+import argparse
+import sys
+
+from repro.bench import HarnessConfig, format_table1, run_table1, shape_report
+
+
+def parse_size(token: str) -> int:
+    token = token.strip().lower()
+    factor = 1
+    if token.endswith("k"):
+        factor, token = 1_000, token[:-1]
+    elif token.endswith("m"):
+        factor, token = 1_000_000, token[:-1]
+    return int(float(token) * factor)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default="256k,512k,1m,2m")
+    parser.add_argument("--budget", type=float, default=300.0)
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny sizes, finishes in ~30s"
+    )
+    args = parser.parse_args()
+
+    sizes = "64k,128k,256k" if args.quick else args.sizes
+    config = HarnessConfig(
+        sizes_bytes=tuple(parse_size(t) for t in sizes.split(",")),
+        cell_budget_seconds=args.budget,
+    )
+
+    def progress(cell):
+        print(
+            f"  {cell.query:4s} {cell.engine:16s} {cell.doc_bytes:>9,d}B"
+            f" -> {cell.cell}",
+            file=sys.stderr,
+        )
+
+    print(
+        "Running the Table 1 grid "
+        f"({len(config.queries)} queries x {len(config.engines)} engines x "
+        f"{len(config.sizes_bytes)} sizes)...",
+        file=sys.stderr,
+    )
+    measurements = run_table1(config, progress=progress)
+    print()
+    print(
+        format_table1(
+            measurements,
+            title="Table 1 (reproduction; paper sizes 10-200MB scaled down)",
+        )
+    )
+    print(shape_report(measurements))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Streaming XQuery evaluation with combined static and dynamic buffer
+minimization — a from-scratch reproduction of the GCX system
+(Schmidt, Scherzinger, Koch: "Combined Static and Dynamic Analysis for
+Effective Buffer Minimization in Streaming XQuery Evaluation", ICDE 2007).
+
+Quickstart
+----------
+>>> from repro import GCXEngine
+>>> query = '<out>{for $b in /bib/book return $b/title}</out>'
+>>> doc = '<bib><book><title>T1</title></book><book><title>T2</title></book></bib>'
+>>> result = GCXEngine().run(query, doc)
+>>> result.output
+'<out><title>T1</title><title>T2</title></out>'
+
+The package layers (bottom-up): :mod:`repro.xmlio` (streams and trees),
+:mod:`repro.xquery` (the XQ fragment), :mod:`repro.analysis` (projection
+trees, roles, signOff insertion), :mod:`repro.stream` (preprojection),
+:mod:`repro.buffer` (active garbage collection), :mod:`repro.engine` (the
+GCX engine), :mod:`repro.baselines` (competitor strategies),
+:mod:`repro.xmark` (benchmark data and queries) and :mod:`repro.bench`
+(the Table 1 harness).
+"""
+
+from repro.analysis import CompiledQuery, CompileOptions, compile_query
+from repro.baselines import (
+    ENGINES,
+    FluxLikeEngine,
+    NaiveDomEngine,
+    ProjectionOnlyEngine,
+    UnsupportedQueryError,
+)
+from repro.bench import HarnessConfig, format_table1, run_table1, shape_report
+from repro.buffer import BufferCostModel, BufferStats
+from repro.engine import EngineOptions, GCXEngine, RunResult
+from repro.xmark import TABLE1_QUERIES, XMARK_QUERIES, generate_xmark
+from repro.xquery import parse_query, unparse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GCXEngine",
+    "EngineOptions",
+    "RunResult",
+    "compile_query",
+    "CompileOptions",
+    "CompiledQuery",
+    "parse_query",
+    "unparse",
+    "evaluate",
+    "ENGINES",
+    "FluxLikeEngine",
+    "NaiveDomEngine",
+    "ProjectionOnlyEngine",
+    "UnsupportedQueryError",
+    "BufferStats",
+    "BufferCostModel",
+    "generate_xmark",
+    "XMARK_QUERIES",
+    "TABLE1_QUERIES",
+    "HarnessConfig",
+    "run_table1",
+    "format_table1",
+    "shape_report",
+    "__version__",
+]
+
+
+def evaluate(query: str, document: str, *, engine: str = "gcx") -> str:
+    """One-shot evaluation: run ``query`` over ``document``, return output."""
+    return ENGINES[engine]().run(query, document).output

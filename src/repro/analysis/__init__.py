@@ -1,0 +1,45 @@
+"""Static analysis (Section 4): projection trees, roles, signOff insertion.
+
+The entry point is :func:`compile_query`, which runs the full pipeline and
+returns a :class:`CompiledQuery` bundling the rewritten query, the
+projection tree with role assignment, and the analysis tables.
+"""
+
+from repro.analysis.compile import CompiledQuery, CompileOptions, compile_query
+from repro.analysis.dependencies import Dependency, collect_dependencies
+from repro.analysis.early_updates import apply_early_updates
+from repro.analysis.projection_tree import (
+    ProjectionTree,
+    PTNode,
+    build_projection_tree,
+)
+from repro.analysis.redundancy import (
+    eliminate_redundant_roles,
+    is_vacuous_body,
+    pattern_contains,
+)
+from repro.analysis.roles import Role, RoleSet, UndefinedRoleRemoval
+from repro.analysis.signoff import insert_signoffs, su_q
+from repro.analysis.straight import StraightInfo, compute_straight
+
+__all__ = [
+    "compile_query",
+    "CompiledQuery",
+    "CompileOptions",
+    "Dependency",
+    "collect_dependencies",
+    "apply_early_updates",
+    "ProjectionTree",
+    "PTNode",
+    "build_projection_tree",
+    "eliminate_redundant_roles",
+    "pattern_contains",
+    "is_vacuous_body",
+    "Role",
+    "RoleSet",
+    "UndefinedRoleRemoval",
+    "insert_signoffs",
+    "su_q",
+    "StraightInfo",
+    "compute_straight",
+]

@@ -1,0 +1,36 @@
+"""The "early updates" optimization (Section 6).
+
+An output expression ``$x/sigma`` receives its signOff only at the end of
+``$x``'s scope; if ``$x`` has several matches for ``sigma``, none is purged
+before all have been output.  Rewriting ``$x/sigma`` to ``for $y in
+$x/sigma return $y`` gives every match its own one-iteration scope, so each
+output node is signed off (and garbage collected) immediately after it has
+been written to the output stream.
+
+The rewrite is applied after normalization, when every output path has a
+single step.  Text-test outputs are rewritten too (iterating text nodes).
+"""
+
+from __future__ import annotations
+
+from repro.xquery.ast import Element, Expr, ForLoop, PathOutput, Query, VarRef
+from repro.xquery.normalize import FreshVariables, map_expr, used_variables
+
+__all__ = ["apply_early_updates"]
+
+
+def apply_early_updates(query: Query, fresh: FreshVariables | None = None) -> Query:
+    """Rewrite all path outputs to one-iteration for-loops."""
+    if fresh is None:
+        fresh = FreshVariables(used_variables(query.root))
+
+    def transform(node: Expr) -> Expr:
+        if isinstance(node, PathOutput):
+            var = fresh.fresh("out")
+            return ForLoop(var, node.var, node.path, VarRef(var))
+        return node
+
+    root = map_expr(query.root, transform)
+    if not isinstance(root, Element):
+        raise TypeError("early updates must preserve the root constructor")
+    return Query(root)

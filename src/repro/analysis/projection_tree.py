@@ -1,0 +1,291 @@
+"""Projection trees (Sections 2 and 4).
+
+A projection tree summarizes the set of projection paths of a query.  Inner
+nodes are location steps; leaves may be ``dos::node()`` steps that preserve
+whole subtrees; steps may carry a ``[1]`` (first witness) predicate.  Each
+displayed node ``n_i`` defines a role ``r_i`` (``rpi`` in the paper).
+
+Construction (Section 4) proceeds from the variable tree: every variable
+becomes a node labeled with its for-loop step and carrying the loop's
+*binding* role; every dependency ``<path, r>`` of the variable becomes a
+chain of step nodes below it, with the *dependency* role on the last step of
+the chain.  The paper draws a chain as a single node labeled with the whole
+path (e.g. ``n7 : /title/dos::node()``), so chain nodes share one display id.
+
+Node numbering follows the paper's figures: depth-first over the variable
+tree, numbering each variable node, then its dependency chains, then its
+child variables.  The root is ``n1`` and carries no role ($root is never
+purged during evaluation; the document node is released when the stream
+ends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dependencies import Dependency
+from repro.analysis.roles import Role
+from repro.xquery.ast import ROOT_VAR, Query
+from repro.xquery.paths import Axis, Path, Step, dos_node, format_path
+
+_DOS_STEP = dos_node()
+from repro.xquery.semantics import QueryVariables
+
+__all__ = ["PTNode", "ProjectionTree", "build_projection_tree"]
+
+
+@dataclass(eq=False)
+class PTNode:
+    """One step node of the projection tree."""
+
+    display_id: int
+    step: Step | None  # None only for the root "/"
+    role: Role | None = None
+    var: str | None = None  # set for variable (binding) nodes and the root
+    parent: "PTNode | None" = None
+    children: list["PTNode"] = field(default_factory=list)
+
+    def add_child(self, child: "PTNode") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    @property
+    def is_root(self) -> bool:
+        return self.step is None
+
+    def path_from_root(self) -> Path:
+        """The absolute pattern of this node (used by containment checks)."""
+        steps: list[Step] = []
+        node: PTNode | None = self
+        while node is not None and node.step is not None:
+            steps.append(node.step)
+            node = node.parent
+        return tuple(reversed(steps))
+
+    def iter_subtree(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def __repr__(self) -> str:
+        label = "/" if self.step is None else str(self.step)
+        role = f" role={self.role.name}" if self.role else ""
+        return f"PTNode(n{self.display_id}: {label}{role})"
+
+
+class ProjectionTree:
+    """The projection tree of a query plus the role registry."""
+
+    def __init__(self, root: PTNode) -> None:
+        self.root = root
+        self.var_nodes: dict[str, PTNode] = {}
+        self.dep_entries: dict[str, list[tuple[Dependency, Role]]] = {}
+        # All signOff paths per variable, in emission order: prefix roles of
+        # multi-step chains first, then the dependency's own role.
+        self.signoff_entries: dict[str, list[tuple[Path, Role]]] = {}
+        self.roles: list[Role] = []
+        self.role_nodes: dict[Role, PTNode] = {}
+
+    # -- queries used by signOff insertion and the engines ---------------
+
+    def binding_role(self, var: str) -> Role | None:
+        node = self.var_nodes.get(var)
+        return node.role if node is not None else None
+
+    def dependency_roles(self, var: str) -> list[tuple[Dependency, Role]]:
+        return self.dep_entries.get(var, [])
+
+    def all_nodes(self):
+        yield from self.root.iter_subtree()
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.all_nodes())
+
+    # -- display ----------------------------------------------------------
+
+    def format(self, *, merge_roleless: bool = False) -> str:
+        """Render the tree the way the paper's figures do.
+
+        With ``merge_roleless`` true, variable nodes whose binding role was
+        eliminated are folded into their children's labels (Figure 12).
+        """
+        lines: list[str] = []
+
+        def label_of(node: PTNode, prefix: list[Step]) -> str:
+            steps = prefix + _chain_steps(node)
+            if all(step.axis is Axis.DOS for step in steps):
+                return format_path(steps, leading_slash=False)
+            return _render_steps(steps)
+
+        def walk(node: PTNode, depth: int, prefix: list[Step]) -> None:
+            if node.is_root:
+                lines.append("n1: /")
+                for child in node.children:
+                    walk(child, 1, [])
+                return
+            chain_end = _chain_end(node)
+            merged = (
+                merge_roleless
+                and node.var is not None
+                and node.role is None
+                and chain_end is node
+            )
+            if merged:
+                for child in node.children:
+                    walk(child, depth, prefix + [node.step])  # type: ignore[list-item]
+                return
+            lines.append(
+                "  " * depth + f"n{node.display_id}: {label_of(node, prefix)}"
+            )
+            for child in chain_end.children:
+                walk(child, depth + 1, [])
+
+        walk(self.root, 0, [])
+        return "\n".join(lines)
+
+
+def _chain_steps(node: PTNode) -> list[Step]:
+    """The steps of the display chain starting at ``node``."""
+    steps = [node.step]
+    current = node
+    while (
+        len(current.children) == 1
+        and current.children[0].display_id == current.display_id
+    ):
+        current = current.children[0]
+        steps.append(current.step)
+    return [step for step in steps if step is not None]
+
+
+def _chain_end(node: PTNode) -> PTNode:
+    current = node
+    while (
+        len(current.children) == 1
+        and current.children[0].display_id == current.display_id
+    ):
+        current = current.children[0]
+    return current
+
+
+def _render_steps(steps: list[Step]) -> str:
+    parts: list[str] = []
+    for step in steps:
+        if step.axis is Axis.DESCENDANT:
+            parts.append("//" + _test_str(step))
+        elif step.axis is Axis.DOS:
+            parts.append("/dos::" + str(step.test) + ("[1]" if step.first else ""))
+        else:
+            parts.append("/" + _test_str(step))
+    return "".join(parts)
+
+
+def _test_str(step: Step) -> str:
+    return str(step.test) + ("[1]" if step.first else "")
+
+
+def build_projection_tree(
+    query: Query,
+    variables: QueryVariables,
+    dependencies: dict[str, list[Dependency]],
+) -> ProjectionTree:
+    """Derive the projection tree and role assignment from the query."""
+    root = PTNode(display_id=1, step=None, var=ROOT_VAR)
+    tree = ProjectionTree(root)
+    tree.var_nodes[ROOT_VAR] = root
+    counter = 1  # display ids; the root consumed n1
+    role_counter = 1  # role ids follow display ids, prefix roles come after
+
+    def next_id() -> int:
+        nonlocal counter, role_counter
+        counter += 1
+        role_counter = max(role_counter, counter)
+        return counter
+
+    def next_prefix_role_id() -> int:
+        nonlocal role_counter
+        role_counter += 1
+        return role_counter
+
+    prefix_chains: list[tuple[str, PTNode, Path]] = []
+
+    def add_dependency_chain(anchor: PTNode, dep: Dependency) -> Role:
+        display_id = next_id()
+        role = Role(id=display_id, kind="dep", var=dep.var)
+        current = anchor
+        chain: list[PTNode] = []
+        for index, step in enumerate(dep.path):
+            node = PTNode(display_id=display_id, step=step)
+            if index == len(dep.path) - 1:
+                node.role = role
+            current.add_child(node)
+            current = node
+            chain.append(node)
+        tree.roles.append(role)
+        tree.role_nodes[role] = current
+        # Intermediate chain steps that no role would preserve: everything
+        # except the last step and — for dos-tailed paths — the step the
+        # dos::node() leaf self-covers.  They receive *prefix roles* so the
+        # evaluator can navigate the buffered path and the batch signOff can
+        # release them (the paper's fragment only has single-step condition
+        # paths; multi-step conditions are our documented extension).
+        covered_from = len(dep.path) - (2 if dep.path[-1] == _DOS_STEP else 1)
+        for index in range(covered_from):
+            prefix_chains.append((dep.var, chain[index], dep.path[: index + 1]))
+        return role
+
+    def visit(var: str) -> None:
+        anchor = tree.var_nodes[var]
+        for dep in dependencies.get(var, []):
+            role = add_dependency_chain(anchor, dep)
+            tree.dep_entries.setdefault(var, []).append((dep, role))
+        for child_var in variables.children(var):
+            info = variables.info(child_var)
+            display_id = next_id()
+            role = Role(id=display_id, kind="binding", var=child_var)
+            if len(info.path) != 1:
+                raise ValueError(
+                    f"for-loop of {child_var} must be single-step before analysis"
+                )
+            node = PTNode(
+                display_id=display_id, step=info.path[0], role=role, var=child_var
+            )
+            anchor_node = tree.var_nodes[info.parent or ROOT_VAR]
+            anchor_node.add_child(node)
+            tree.var_nodes[child_var] = node
+            tree.roles.append(role)
+            tree.role_nodes[role] = node
+            visit(child_var)
+
+    visit(ROOT_VAR)
+
+    # Assign prefix roles (ids continue after the displayed nodes) and build
+    # the per-variable signOff emission lists: for every dependency, prefix
+    # paths first, then the dependency's own path.
+    prefix_roles: dict[int, Role] = {}
+    for var, node, _path in prefix_chains:
+        role = Role(id=next_prefix_role_id(), kind="prefix", var=var)
+        node.role = role
+        tree.roles.append(role)
+        tree.role_nodes[role] = node
+        prefix_roles[id(node)] = role
+
+    for var in variables:
+        entries: list[tuple[Path, Role]] = []
+        for dep, role in tree.dep_entries.get(var, []):
+            for candidate_var, node, path in prefix_chains:
+                if candidate_var == var and _is_chain_of(node, tree.role_nodes[role]):
+                    entries.append((path, prefix_roles[id(node)]))
+            entries.append((dep.path, role))
+        if entries:
+            tree.signoff_entries[var] = entries
+    return tree
+
+
+def _is_chain_of(prefix_node: PTNode, chain_end: PTNode) -> bool:
+    """Is ``prefix_node`` an ancestor (same display chain) of ``chain_end``?"""
+    node: PTNode | None = chain_end
+    while node is not None and node.display_id == chain_end.display_id:
+        if node is prefix_node:
+            return True
+        node = node.parent
+    return False

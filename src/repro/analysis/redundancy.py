@@ -1,0 +1,305 @@
+"""Elimination of redundant roles (Section 6, Figure 12).
+
+The paper observes that for the introduction's query the binding roles r3
+(of ``$x``) and r6 (of ``$b``) can be dropped: query evaluation and active
+garbage collection still work, and both memory and runtime benefit.  It says
+redundant roles "can be detected by inspecting projection trees" without
+giving an algorithm; we implement two conservative criteria that together
+reproduce Figure 12 and are safe by construction:
+
+Criterion A (self-coverage)
+    The variable has a bare ``dos::node()`` dependency (it is output as a
+    whole, like ``$x`` in the introduction).  That dependency's role is
+    assigned to exactly the nodes the binding role would mark — with the
+    same multiplicity, at the same arrival — and is removed in the same
+    signOff batch.  The binding role is therefore subsumed.
+
+Criterion B (vacuous body + sibling/parent coverage)
+    The binding role of ``$z`` may be dropped when
+
+    1. the loop body of ``$z`` emits nothing whenever the projected subtree
+       below a binding is empty (*vacuous*), so skipping bindings the buffer
+       no longer holds cannot change the result;
+    2. the loop step uses the child axis (bindings sit at a fixed tag path,
+       so they can never arrive inside an already signed-off region); and
+    3. some dependency of a sibling variable (same parent variable) or of
+       the parent itself matches every node the binding role would mark
+       (*arrival coverage*), so the node is still buffered when it arrives.
+
+    In Figure 12 the ``dos::node()`` dependency of ``$x`` (pattern
+    ``/bib/*/dos::node()``) covers the bindings of ``$b`` (pattern
+    ``/bib/book``), and ``$b``'s body only outputs titles drawn from the
+    binding's subtree: both conditions hold and r6 is eliminated.
+
+Eliminated roles are cleared from the projection tree (the node remains for
+matching continuation and promotion prevention, but matches no longer force
+preservation) and their signOff statements are dropped from the query.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.projection_tree import ProjectionTree, PTNode
+from repro.analysis.roles import Role
+from repro.xquery.ast import (
+    And,
+    CloseTag,
+    Comparison,
+    Condition,
+    Element,
+    Empty,
+    Exists,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    Not,
+    OpenTag,
+    Or,
+    PathOperand,
+    PathOutput,
+    Query,
+    ROOT_VAR,
+    Sequence,
+    SignOff,
+    TextLiteral,
+    TrueCond,
+    VarRef,
+    sequence_of,
+)
+from repro.xquery.normalize import map_expr
+from repro.xquery.paths import Axis, Path, Step, dos_node
+from repro.xquery.semantics import QueryVariables
+
+__all__ = ["eliminate_redundant_roles", "pattern_contains", "is_vacuous_body"]
+
+
+# ---------------------------------------------------------------------------
+# Pattern containment
+# ---------------------------------------------------------------------------
+
+
+def pattern_contains(container: Path, contained: Path) -> bool:
+    """Is every document path matched by ``contained`` matched by ``container``?
+
+    Sound subset construction: a state is the set of positions in
+    ``container`` still to be matched; steps of ``contained`` drive the
+    simulation.  The check must be *universal* over the document paths the
+    contained pattern generates: a descendant step of ``contained`` inserts
+    arbitrarily many intermediate nodes with arbitrary labels, so only
+    container positions sitting at descendant/dos steps (which absorb any
+    gap uniformly) survive it.  Trailing ``dos::node()`` steps of
+    ``container`` may self-bind, so a final state is accepting when all
+    remaining container steps are ``dos::node()``.  The result errs on the
+    side of ``False`` (safe for redundancy elimination).
+    """
+    positions = {0}
+
+    def advance(positions: set[int], step: Step) -> set[int]:
+        """One document level whose node satisfies ``step.test``."""
+        result: set[int] = set()
+        for i in positions:
+            if i >= len(container):
+                continue
+            candidate = container[i]
+            if candidate.axis in (Axis.DESCENDANT, Axis.DOS):
+                result.add(i)  # the container step may bind deeper
+            if candidate.test.contains(step.test) and not candidate.first:
+                result.add(i + 1)
+        return result
+
+    for step in contained:
+        if step.first:
+            # A [1]-predicate restricts the contained pattern; treating it
+            # as unrestricted is conservative for the container check.
+            step = step.without_first()
+        if step.axis in (Axis.DESCENDANT, Axis.DOS):
+            # Arbitrary gap: keep only positions that absorb it uniformly.
+            positions = {
+                i
+                for i in positions
+                if i < len(container)
+                and container[i].axis in (Axis.DESCENDANT, Axis.DOS)
+            }
+        positions = advance(positions, step)
+        if not positions:
+            return False
+
+    def accepting(i: int) -> bool:
+        return all(container[j] == dos_node() for j in range(i, len(container)))
+
+    return any(accepting(i) for i in positions)
+
+
+# ---------------------------------------------------------------------------
+# Vacuous bodies
+# ---------------------------------------------------------------------------
+
+
+def is_vacuous_body(body: Expr, var: str) -> bool:
+    """Does ``body`` emit nothing when ``var``'s projected subtree is empty?
+
+    SignOff statements never produce output and are ignored.  ``derived``
+    tracks variables bound (transitively) from ``var``: loops over derived
+    sources run zero times on an empty subtree.
+    """
+
+    def vacuous(expr: Expr, derived: frozenset[str]) -> bool:
+        if isinstance(expr, (Empty, SignOff)):
+            return True
+        if isinstance(expr, Sequence):
+            return all(vacuous(item, derived) for item in expr.items)
+        if isinstance(expr, ForLoop):
+            if expr.source in derived:
+                return True
+            return vacuous(expr.body, derived)
+        if isinstance(expr, IfThenElse):
+            if vacuous(expr.then_branch, derived) and vacuous(
+                expr.else_branch, derived
+            ):
+                return True
+            return (
+                vacuous(expr.else_branch, derived)
+                and _condition_safe(expr.cond, derived, positive=True)
+            )
+        if isinstance(expr, PathOutput):
+            # Emits only nodes drawn from the (empty) subtree.
+            return expr.var in derived
+        # VarRef emits the binding node itself (criterion A territory);
+        # Element, OpenTag, CloseTag, TextLiteral emit output unconditionally.
+        return False
+
+    return vacuous(body, frozenset({var}) | _derived_vars(body, var))
+
+
+def _derived_vars(body: Expr, var: str) -> frozenset[str]:
+    derived = {var}
+    changed = True
+    while changed:
+        changed = False
+
+        def collect(node: Expr) -> Expr:
+            nonlocal changed
+            if isinstance(node, ForLoop) and node.source in derived:
+                if node.var not in derived:
+                    derived.add(node.var)
+                    changed = True
+            return node
+
+        map_expr(body, collect)
+    return frozenset(derived)
+
+
+def _condition_safe(cond: Condition, derived: frozenset[str], positive: bool) -> bool:
+    """Is ``cond`` guaranteed false when the subtree is empty?
+
+    Atoms over derived variables are false on an empty subtree under
+    positive polarity; anything else (literals' truth is unknown, unrelated
+    variables, ``true()``) is unsafe.
+    """
+    if isinstance(cond, Exists):
+        return positive and cond.var in derived
+    if isinstance(cond, Comparison):
+        vars_in = [
+            op.var
+            for op in (cond.left, cond.right)
+            if isinstance(op, PathOperand)
+        ]
+        return positive and bool(vars_in) and all(v in derived for v in vars_in)
+    if isinstance(cond, And):
+        if positive:
+            return _condition_safe(cond.left, derived, True) or _condition_safe(
+                cond.right, derived, True
+            )
+        return _condition_safe(cond.left, derived, False) and _condition_safe(
+            cond.right, derived, False
+        )
+    if isinstance(cond, Or):
+        if positive:
+            return _condition_safe(cond.left, derived, True) and _condition_safe(
+                cond.right, derived, True
+            )
+        return _condition_safe(cond.left, derived, False) or _condition_safe(
+            cond.right, derived, False
+        )
+    if isinstance(cond, Not):
+        return _condition_safe(cond.operand, derived, not positive)
+    return False  # TrueCond
+
+
+# ---------------------------------------------------------------------------
+# The elimination pass
+# ---------------------------------------------------------------------------
+
+
+def eliminate_redundant_roles(
+    query: Query,
+    variables: QueryVariables,
+    tree: ProjectionTree,
+) -> tuple[Query, list[Role]]:
+    """Drop redundant binding roles from the tree and the rewritten query.
+
+    Returns the cleaned query and the list of eliminated roles.
+    """
+    eliminated: list[Role] = []
+    for var in variables:
+        if var == ROOT_VAR:
+            continue
+        node = tree.var_nodes.get(var)
+        if node is None or node.role is None:
+            continue
+        if _criterion_a(var, tree) or _criterion_b(var, variables, tree):
+            eliminated.append(node.role)
+            node.role = None
+
+    if not eliminated:
+        return query, []
+    dropped = set(eliminated)
+
+    def transform(expr: Expr) -> Expr:
+        if isinstance(expr, Sequence):
+            kept = [item for item in expr.items if not _drops(item, dropped)]
+            return sequence_of(kept)
+        if _drops(expr, dropped):
+            return Empty()
+        return expr
+
+    root = map_expr(query.root, transform)
+    assert isinstance(root, Element)
+    return Query(root), eliminated
+
+
+def _drops(expr: Expr, dropped: set[Role]) -> bool:
+    return isinstance(expr, SignOff) and expr.role in dropped
+
+
+def _criterion_a(var: str, tree: ProjectionTree) -> bool:
+    """A bare ``dos::node()`` dependency subsumes the binding role."""
+    bare = (dos_node(),)
+    return any(dep.path == bare for dep, _role in tree.dependency_roles(var))
+
+
+def _criterion_b(var: str, variables: QueryVariables, tree: ProjectionTree) -> bool:
+    info = variables.info(var)
+    loop = info.loop
+    if loop is None or len(loop.path) != 1 or loop.path[0].axis is not Axis.CHILD:
+        return False
+    if not is_vacuous_body(loop.body, var):
+        return False
+    parent = info.parent
+    if parent is None:
+        return False
+    var_pattern = tree.var_nodes[var].path_from_root()
+    # Coverage by a dependency of the parent variable or of a sibling.
+    candidates = [parent] + [
+        sibling for sibling in variables.children(parent) if sibling != var
+    ]
+    for candidate in candidates:
+        anchor = tree.var_nodes.get(candidate)
+        if anchor is None:
+            continue
+        for dep, role in tree.dependency_roles(candidate):
+            if role is None:
+                continue
+            pattern = anchor.path_from_root() + dep.path
+            if pattern_contains(pattern, var_pattern):
+                return True
+    return False

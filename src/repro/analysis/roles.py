@@ -1,0 +1,105 @@
+"""Roles and role-sets (Section 2).
+
+A *role* is a metaphor for the future relevance of a buffered node: each
+projection tree node ``n_i`` defines a role ``r_i``; nodes matched during
+stream projection are annotated with the corresponding roles, and signOff
+statements remove them again.  A *role-set* is a multiset over roles —
+multiplicities matter because a node can be matched by the same projection
+tree node several times (descendant axes, Figure 4) and is then signed off
+equally often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Role", "RoleSet", "UndefinedRoleRemoval"]
+
+
+class UndefinedRoleRemoval(RuntimeError):
+    """Removing a role with multiplicity zero is undefined (Section 2).
+
+    Raised in strict mode; a correct static rewriting never triggers it
+    (safety requirement (1) of Section 3).
+    """
+
+
+@dataclass(eq=False)
+class Role:
+    """A role ``r_i`` defined by projection tree node ``n_i``.
+
+    Roles compare by identity; ``rQ`` is injective, so every projection tree
+    node owns a distinct role object.  ``aggregate`` marks roles that are
+    placed on subtree roots instead of every subtree node (Section 6).
+    """
+
+    id: int
+    kind: str  # "binding" for for-loop variables, "dep" for dependencies
+    var: str  # the variable this role belongs to
+    aggregate: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"r{self.id}"
+
+    def __repr__(self) -> str:
+        return f"Role({self.name}, {self.kind} of {self.var})"
+
+
+class RoleSet:
+    """A multiset of roles attached to one buffered node.
+
+    The representation is a plain dict role -> multiplicity; empty entries
+    are removed eagerly so ``bool(role_set)`` is the emptiness test the
+    garbage collector needs.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[Role, int] = {}
+
+    def add(self, role: Role, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError("role multiplicities are positive")
+        self._counts[role] = self._counts.get(role, 0) + count
+
+    def remove(self, role: Role, count: int = 1) -> None:
+        """``rem_rho``: decrement multiplicity; undefined below zero."""
+        current = self._counts.get(role, 0)
+        if current < count:
+            raise UndefinedRoleRemoval(
+                f"removing {role.name} x{count} from a node holding x{current}"
+            )
+        if current == count:
+            del self._counts[role]
+        else:
+            self._counts[role] = current - count
+
+    def count(self, role: Role) -> int:
+        return self._counts.get(role, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __contains__(self, role: Role) -> bool:
+        return role in self._counts
+
+    def __iter__(self):
+        return iter(self._counts.items())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def as_names(self) -> list[str]:
+        """Role names with multiplicity, sorted by id — e.g. ['r3', 'r5', 'r5']."""
+        names: list[str] = []
+        for role, count in sorted(self._counts.items(), key=lambda item: item[0].id):
+            names.extend([role.name] * count)
+        return names
+
+    def __repr__(self) -> str:
+        return "{" + ",".join(self.as_names()) + "}"

@@ -1,0 +1,79 @@
+"""Straight variables and first straight ancestors (Definitions 3 and 4).
+
+A variable is *straight* when its defining for-loop is nested, lexically,
+only inside for-loops of its own parVar-ancestors.  SignOff statements for a
+variable's roles are emitted at the scope end of its first straight ancestor
+``fsa($z)``: for straight variables that is their own loop (per-binding
+removal); for non-straight variables — e.g. the inner absolute loop of
+Figure 9, or the join sides of XMark Q8 — removal is deferred, because their
+bindings are revisited across iterations of unrelated loops.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.xquery.ast import ROOT_VAR
+from repro.xquery.semantics import QueryVariables
+
+__all__ = ["StraightInfo", "compute_straight"]
+
+
+class StraightInfo:
+    """Straightness and ``fsa`` for every variable of a query."""
+
+    def __init__(self, variables: QueryVariables) -> None:
+        self._variables = variables
+        self._straight: dict[str, bool] = {}
+        self._fsa: dict[str, str] = {}
+        for name in variables:
+            self._straight[name] = self._compute_straight(name)
+        for name in variables:
+            self._fsa[name] = self._compute_fsa(name)
+
+    def is_straight(self, name: str) -> bool:
+        return self._straight[name]
+
+    def fsa(self, name: str) -> str:
+        """``fsaQ($x)``: the first straight ancestor variable."""
+        return self._fsa[name]
+
+    def variables_with_fsa(self, name: str) -> list[str]:
+        """All variables whose signOffs belong to ``name``'s scope end."""
+        return [v for v in self._variables if self._fsa[v] == name]
+
+    # ------------------------------------------------------------------
+
+    def _compute_straight(self, name: str) -> bool:
+        if name == ROOT_VAR:
+            return True
+        if name in self._straight:
+            return self._straight[name]
+        info = self._variables.info(name)
+        parent = info.parent
+        assert parent is not None
+        # Condition (1): the parent variable is straight.
+        if not self._compute_straight(parent):
+            self._straight[name] = False
+            return False
+        # Condition (2): every lexically enclosing loop variable is an
+        # ancestor variable of this one.
+        for enclosing in info.enclosing_loops:
+            if not self._variables.is_ancestor(enclosing, name):
+                self._straight[name] = False
+                return False
+        self._straight[name] = True
+        return True
+
+    def _compute_fsa(self, name: str) -> str:
+        node = name
+        while not self._straight[node]:
+            parent = self._variables.parent(node)
+            assert parent is not None, "$root is straight, recursion terminates"
+            node = parent
+        return node
+
+
+def compute_straight(variables: QueryVariables) -> StraightInfo:
+    """Convenience constructor mirroring the other analysis entry points."""
+    return StraightInfo(variables)

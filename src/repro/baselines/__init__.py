@@ -1,0 +1,43 @@
+"""Baseline engines implementing the competitors' buffering strategies.
+
+Each engine exposes the same interface as
+:class:`repro.engine.gcx.GCXEngine` (``compile`` / ``run`` returning a
+:class:`repro.engine.gcx.RunResult`), so the benchmark harness treats them
+uniformly.  ``ENGINES`` maps registry names to zero-argument factories.
+"""
+
+from typing import Callable
+
+from repro.baselines.fluxlike import FluxLikeEngine, UnsupportedQueryError
+from repro.baselines.naive import NaiveDomEngine, evaluate_on_tree
+from repro.baselines.projection_only import ProjectionOnlyEngine
+from repro.engine.gcx import GCXEngine
+
+ENGINES: dict[str, Callable[[], object]] = {
+    "gcx": GCXEngine,
+    "flux-like": FluxLikeEngine,
+    "projection-only": ProjectionOnlyEngine,
+    "naive-dom": NaiveDomEngine,
+}
+
+#: How Table 1's columns map onto our engines (see DESIGN.md substitutions).
+PAPER_SYSTEM_MAP = {
+    "GCX": "gcx",
+    "FluXQuery": "flux-like",
+    "Galax": "naive-dom",
+    "MonetDB": "naive-dom",
+    "Saxon": "naive-dom",
+    "QizX": "naive-dom",
+    "Galax+projection": "projection-only",
+}
+
+__all__ = [
+    "ENGINES",
+    "PAPER_SYSTEM_MAP",
+    "GCXEngine",
+    "FluxLikeEngine",
+    "ProjectionOnlyEngine",
+    "NaiveDomEngine",
+    "UnsupportedQueryError",
+    "evaluate_on_tree",
+]

@@ -1,0 +1,23 @@
+"""Benchmark harness: Table 1 regeneration, measurement, reporting."""
+
+from repro.bench.ablation import ABLATION_CONFIGS, AblationCell, format_ablations, run_ablations
+from repro.bench.harness import DEFAULT_ENGINES, HarnessConfig, generate_documents, run_table1
+from repro.bench.measure import Measurement, format_bytes, format_seconds, measure
+from repro.bench.report import format_table1, shape_report
+
+__all__ = [
+    "HarnessConfig",
+    "DEFAULT_ENGINES",
+    "generate_documents",
+    "run_table1",
+    "Measurement",
+    "measure",
+    "format_bytes",
+    "format_seconds",
+    "format_table1",
+    "shape_report",
+    "ABLATION_CONFIGS",
+    "AblationCell",
+    "run_ablations",
+    "format_ablations",
+]

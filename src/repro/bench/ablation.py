@@ -1,0 +1,111 @@
+"""Ablation study harness for the Section 6 optimizations.
+
+``run_ablations`` evaluates a set of queries under every optimization
+configuration and reports, per (configuration, query): evaluation time,
+buffer high watermark, role traffic, and GC activity.  Used by the
+benchmark suite, the CLI (``gcx ablations``) and ``examples/ablations.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.engine import EngineOptions, GCXEngine
+
+__all__ = ["ABLATION_CONFIGS", "AblationCell", "run_ablations", "format_ablations"]
+
+#: The studied configurations: full GCX, one optimization off at a time,
+#: and the paper's base scheme (Sections 2-5 without any Section 6 feature).
+ABLATION_CONFIGS: dict[str, EngineOptions] = {
+    "full": EngineOptions(),
+    "no-early-updates": EngineOptions(early_updates=False),
+    "no-aggregate-roles": EngineOptions(aggregate_roles=False),
+    "no-redundancy-elim": EngineOptions(eliminate_redundant_roles=False),
+    "base-scheme": EngineOptions(
+        early_updates=False,
+        aggregate_roles=False,
+        eliminate_redundant_roles=False,
+    ),
+}
+
+
+@dataclass
+class AblationCell:
+    config: str
+    query: str
+    seconds: float
+    hwm_bytes: int
+    hwm_nodes: int
+    roles_assigned: int
+    gc_invocations: int
+    output_equal_to_full: bool
+
+
+def run_ablations(
+    queries: dict[str, str],
+    document: str,
+    *,
+    configs: dict[str, EngineOptions] | None = None,
+) -> list[AblationCell]:
+    """Run every configuration over every query on one document."""
+    configs = configs or ABLATION_CONFIGS
+    cells: list[AblationCell] = []
+    reference: dict[str, str] = {}
+    for config_name, options in configs.items():
+        engine = GCXEngine(options)
+        for query_name, query_text in queries.items():
+            compiled = engine.compile(query_text)
+            started = time.perf_counter()
+            result = engine.run(compiled, document)
+            elapsed = time.perf_counter() - started
+            if config_name == "full":
+                reference[query_name] = result.output
+            cells.append(
+                AblationCell(
+                    config=config_name,
+                    query=query_name,
+                    seconds=elapsed,
+                    hwm_bytes=result.stats.hwm_bytes,
+                    hwm_nodes=result.stats.hwm_nodes,
+                    roles_assigned=result.stats.roles_assigned,
+                    gc_invocations=result.stats.gc_invocations,
+                    output_equal_to_full=result.output
+                    == reference.get(query_name, result.output),
+                )
+            )
+    return cells
+
+
+def format_ablations(cells: list[AblationCell]) -> str:
+    """Render ablation results as an aligned text table."""
+    header = ("config", "query", "time", "hwm bytes", "hwm nodes", "roles", "gc")
+    rows = [
+        (
+            cell.config,
+            cell.query,
+            f"{cell.seconds:.3f}s",
+            f"{cell.hwm_bytes:,}",
+            str(cell.hwm_nodes),
+            str(cell.roles_assigned),
+            str(cell.gc_invocations),
+        )
+        for cell in cells
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) for i in range(len(header))
+    ]
+
+    def render(row) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines = [render(header), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    mismatches = [cell for cell in cells if not cell.output_equal_to_full]
+    lines.append("")
+    lines.append(
+        "all configurations produce identical outputs"
+        if not mismatches
+        else f"WARNING: {len(mismatches)} configurations diverge!"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Rendering benchmark results the way the paper's Table 1 does.
+
+Rows are grouped by query, one line per document size; columns are engines;
+cells read ``time / memory`` with ``n/a`` and ``timeout`` where applicable.
+``shape_report`` additionally summarizes the qualitative claims (flat vs
+growing memory, ordering between engines) that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from repro.bench.measure import Measurement, format_bytes
+
+__all__ = ["format_table1", "shape_report"]
+
+
+def format_table1(measurements: list[Measurement], *, title: str = "Table 1") -> str:
+    """Render the measurement grid as an aligned text table."""
+    engines = _ordered_unique(m.engine for m in measurements)
+    queries = _ordered_unique(m.query for m in measurements)
+    sizes = sorted({m.doc_bytes for m in measurements})
+    by_key = {(m.query, m.engine, m.doc_bytes): m for m in measurements}
+
+    header = ["Query", "Size"] + list(engines)
+    rows: list[list[str]] = []
+    for query in queries:
+        for index, size in enumerate(sizes):
+            row = [query if index == 0 else "", format_bytes(size)]
+            for engine in engines:
+                cell = by_key.get((query, engine, size))
+                if cell is None:
+                    # n/a engines stop after the first size.
+                    first = by_key.get((query, engine, sizes[0]))
+                    row.append("n/a" if first and not first.supported else "-")
+                else:
+                    row.append(cell.cell)
+            rows.append(row)
+        rows.append([])  # blank separator between query groups
+
+    widths = [
+        max(
+            [len(header[i])]
+            + [len(row[i]) for row in rows if row and i < len(row)]
+        )
+        for i in range(len(header))
+    ]
+
+    def render(row: list[str]) -> str:
+        if not row:
+            return ""
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    lines = [title, "=" * len(title), render(header), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def shape_report(measurements: list[Measurement]) -> str:
+    """Check the paper's qualitative claims against the measurements."""
+    lines: list[str] = ["Shape checks (paper claims vs. measured):"]
+    queries = _ordered_unique(m.query for m in measurements)
+    for query in queries:
+        gcx = _series(measurements, query, "gcx")
+        naive = _series(measurements, query, "naive-dom")
+        if not gcx:
+            continue
+        flat = _is_flat(gcx)
+        expectation = "grows (join buffers)" if query == "Q8" else "flat"
+        observed = "flat" if flat else "grows"
+        marker = _check(flat != (query == "Q8"))
+        lines.append(
+            f"  {query}: GCX memory {observed} across sizes "
+            f"(expected {expectation}) {marker}"
+        )
+        if naive:
+            comparable = [
+                (g, n)
+                for g, n in zip(gcx, naive)
+                if not g.timed_out and not n.timed_out
+            ]
+            if comparable:
+                factor = min(
+                    n.hwm_bytes / max(g.hwm_bytes, 1) for g, n in comparable
+                )
+                lines.append(
+                    f"       GCX uses >= {factor:.0f}x less memory than naive-dom "
+                    f"{_check(factor >= 10)}"
+                )
+    return "\n".join(lines)
+
+
+def _series(
+    measurements: list[Measurement], query: str, engine: str
+) -> list[Measurement]:
+    cells = [
+        m
+        for m in measurements
+        if m.query == query and m.engine == engine and m.supported
+    ]
+    return sorted(cells, key=lambda m: m.doc_bytes)
+
+
+def _is_flat(series: list[Measurement], tolerance: float = 3.0) -> bool:
+    """Memory counts as flat when the largest doc uses < tolerance x the
+    smallest doc's buffer, while the documents differ by a larger factor."""
+    valid = [m for m in series if not m.timed_out]
+    if len(valid) < 2:
+        return True
+    growth = valid[-1].hwm_bytes / max(valid[0].hwm_bytes, 1)
+    size_growth = valid[-1].doc_bytes / max(valid[0].doc_bytes, 1)
+    return growth < min(tolerance, max(size_growth / 2, 1.5))
+
+
+def _check(ok: bool) -> str:
+    return "[ok]" if ok else "[MISMATCH]"
+
+
+def _ordered_unique(items) -> list[str]:
+    seen: list[str] = []
+    for item in items:
+        if item not in seen:
+            seen.append(item)
+    return seen

@@ -1,0 +1,16 @@
+"""The buffer manager: projected buffer, roles, active garbage collection."""
+
+from repro.buffer.buffer import BufferTree, CancelEntry
+from repro.buffer.node import BufferNode, DOC, ELEMENT, TEXT
+from repro.buffer.stats import BufferCostModel, BufferStats
+
+__all__ = [
+    "BufferTree",
+    "CancelEntry",
+    "BufferNode",
+    "DOC",
+    "ELEMENT",
+    "TEXT",
+    "BufferCostModel",
+    "BufferStats",
+]

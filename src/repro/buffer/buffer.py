@@ -1,0 +1,251 @@
+"""The buffer manager: projected document buffer with active garbage
+collection (Section 5, Figure 10).
+
+The buffer holds the incrementally projected document.  Role updates arrive
+from two sides:
+
+* the stream preprojector *assigns* roles when it copies matched tokens into
+  the buffer, and
+* the query evaluator *removes* roles when it executes signOff statements,
+  upon which the localized garbage collection of Figure 10 runs.
+
+Two refinements beyond the paper's pseudo-code (see DESIGN.md):
+
+* *Pending cancellations.*  A signOff executed while its region (the
+  binding's subtree) is not fully read registers a cancellation; the
+  preprojector consults it so later-arriving nodes do not keep roles nobody
+  will ever remove.
+* *Close-time recheck.*  Purging a marked-deleted node when its closing tag
+  arrives re-checks irrelevance, because role-carrying descendants may have
+  arrived after the mark; conversely positive role updates un-mark nodes on
+  the ancestor path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.roles import Role, UndefinedRoleRemoval
+from repro.buffer.node import BufferNode, DOC, ELEMENT, TEXT
+from repro.buffer.stats import BufferCostModel, BufferStats
+from repro.xquery.paths import Path
+
+__all__ = ["BufferTree", "CancelEntry"]
+
+
+@dataclass
+class CancelEntry:
+    """A pending cancellation: arrivals in the region matching ``path``
+    (relative to the region root) lose ``count`` instances of ``role``."""
+
+    path: Path
+    role: Role
+    aggregate: bool
+
+
+class BufferTree:
+    """The single buffer of the GCX architecture (Figure 11)."""
+
+    def __init__(
+        self,
+        cost_model: BufferCostModel | None = None,
+        *,
+        strict: bool = True,
+    ) -> None:
+        self.stats = BufferStats(model=cost_model or BufferCostModel())
+        self.strict = strict
+        self._seq = 0
+        self.document = BufferNode(DOC, seq=self._next_seq())
+        # Symbol table: tag names <-> integers (Section 6).
+        self._tag_ids: dict[str, int] = {}
+        self._tag_names: list[str] = []
+        # Pending cancellations keyed by region root node.
+        self.cancellations: dict[BufferNode, list[CancelEntry]] = {}
+
+    # ------------------------------------------------------------------
+    # symbol table
+    # ------------------------------------------------------------------
+
+    def tag_id(self, tag: str) -> int:
+        tid = self._tag_ids.get(tag)
+        if tid is None:
+            tid = len(self._tag_names)
+            self._tag_ids[tag] = tid
+            self._tag_names.append(tag)
+        return tid
+
+    def tag_name(self, tag_id: int) -> str:
+        return self._tag_names[tag_id]
+
+    # ------------------------------------------------------------------
+    # construction (called by the preprojector)
+    # ------------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def new_element(self, parent: BufferNode, tag: str) -> BufferNode:
+        node = BufferNode(ELEMENT, seq=self._next_seq(), tag_id=self.tag_id(tag))
+        parent.append_child(node)
+        self.stats.on_create(self.stats.model.element_cost())
+        return node
+
+    def new_text(self, parent: BufferNode, content: str) -> BufferNode:
+        node = BufferNode(TEXT, seq=self._next_seq(), text=content)
+        parent.append_child(node)
+        self.stats.on_create(self.stats.model.text_cost(content))
+        return node
+
+    def assign_roles(
+        self,
+        node: BufferNode,
+        normal: list[tuple[Role, int]],
+        aggregate: list[tuple[Role, int]] = (),
+    ) -> None:
+        """Annotate a freshly buffered node with its roles."""
+        total = 0
+        for role, count in normal:
+            node.roles.add(role, count)
+            total += count
+        for role, count in aggregate:
+            node.aggregate_roles.add(role, count)
+            total += count
+        if total:
+            self._bump_subtree_roles(node, total)
+            self.stats.on_roles(total)
+
+    # ------------------------------------------------------------------
+    # role removal + garbage collection (Figure 10)
+    # ------------------------------------------------------------------
+
+    def remove_role(
+        self, node: BufferNode, role: Role, count: int = 1, *, aggregate: bool = False
+    ) -> None:
+        """``rem_rho`` followed by the localized garbage collection."""
+        role_set = node.aggregate_roles if aggregate else node.roles
+        try:
+            role_set.remove(role, count)
+        except UndefinedRoleRemoval:
+            if self.strict:
+                raise
+            return
+        self._bump_subtree_roles(node, -count)
+        self.stats.on_roles(-count)
+        self.collect_from(node)
+
+    def collect_from(self, node: BufferNode) -> None:
+        """Bottom-up local search for irrelevant nodes (Figure 10)."""
+        self.stats.gc_invocations += 1
+        while node is not self.document and node.is_irrelevant:
+            if self._covered_by_aggregate(node):
+                return
+            parent = node.parent
+            if parent is None:  # already detached by an earlier purge
+                return
+            if node.finished:
+                self._purge(node)
+            else:
+                node.marked_deleted = True
+            node = parent
+
+    def _covered_by_aggregate(self, node: BufferNode) -> bool:
+        """Is some strict ancestor holding aggregate roles over this node?"""
+        ancestor = node.parent
+        while ancestor is not None:
+            if ancestor.aggregate_roles:
+                return True
+            ancestor = ancestor.parent
+        return False
+
+    def _purge(self, node: BufferNode) -> None:
+        """Physically delete ``node`` and its (role-free) subtree."""
+        node.unlink()
+        for member in node.iter_subtree():
+            if member.kind == TEXT:
+                cost = self.stats.model.text_cost(member.text)
+            else:
+                cost = self.stats.model.element_cost()
+            self.stats.on_purge(cost)
+            self.cancellations.pop(member, None)
+
+    # ------------------------------------------------------------------
+    # stream progress (called by the preprojector)
+    # ------------------------------------------------------------------
+
+    def finish(self, node: BufferNode) -> None:
+        """The node's closing tag was read from the input.
+
+        Besides purging nodes marked deleted, this also collects roleless
+        *structural* nodes (preserved only by the promotion guard): once
+        finished and irrelevant they can never become relevant again, and no
+        future role removal would ever reach them.
+        """
+        node.finished = True
+        self.cancellations.pop(node, None)
+        if node.is_irrelevant and not self._covered_by_aggregate(node):
+            parent = node.parent
+            self._purge(node)
+            if parent is not None:
+                self.collect_from(parent)
+        else:
+            node.marked_deleted = False
+
+    def finish_document(self) -> None:
+        """End of input: the document node itself is finished."""
+        self.document.finished = True
+
+    # ------------------------------------------------------------------
+    # cancellations
+    # ------------------------------------------------------------------
+
+    def register_cancellation(
+        self, region: BufferNode, path: Path, role: Role, *, aggregate: bool
+    ) -> None:
+        self.cancellations.setdefault(region, []).append(
+            CancelEntry(path=path, role=role, aggregate=aggregate)
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _bump_subtree_roles(self, node: BufferNode, delta: int) -> None:
+        current: BufferNode | None = node
+        while current is not None:
+            current.subtree_roles += delta
+            if delta > 0 and current.marked_deleted:
+                # New relevance resurrects nodes awaiting close-time purge.
+                current.marked_deleted = False
+            current = current.parent
+
+    # ------------------------------------------------------------------
+    # inspection helpers (tests, trace output)
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return self.document.first_child is None
+
+    def live_node_count(self) -> int:
+        return sum(1 for _ in self.document.descendants())
+
+    def format_contents(self) -> list[str]:
+        """Render buffer contents like Figure 2: ``tag{r2,r5}`` per node."""
+        lines: list[str] = []
+
+        def walk(node: BufferNode, depth: int) -> None:
+            for child in node.children():
+                if child.kind == TEXT:
+                    label = f'"{child.text}"'
+                else:
+                    label = self.tag_name(child.tag_id)
+                roles = child.roles.as_names() + [
+                    name + "*" for name in child.aggregate_roles.as_names()
+                ]
+                suffix = "{" + ",".join(roles) + "}" if roles else "{}"
+                marker = " (deleted)" if child.marked_deleted else ""
+                lines.append("  " * depth + label + suffix + marker)
+                walk(child, depth + 1)
+
+        walk(self.document, 0)
+        return lines

@@ -1,0 +1,115 @@
+"""Buffer statistics and the memory cost model.
+
+The paper measures the high watermark of non-swapped memory with ``top``.
+A Python reproduction cannot compare allocator footprints meaningfully, so
+we measure the quantity the paper's argument is actually about — the buffer
+high watermark — under an explicit cost model that mirrors the C++ GCX
+buffer representation: a fixed per-node overhead (pointers + integer tag),
+one byte per character of buffered text, and a small cost per live role
+instance.  ``tracemalloc`` peaks can be recorded on top for reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BufferCostModel", "BufferStats"]
+
+
+@dataclass(frozen=True)
+class BufferCostModel:
+    """Bytes charged per buffered object (models the C++ representation)."""
+
+    node_overhead: int = 48  # 5 pointers + tag id + flags, rounded
+    text_byte: int = 1
+    role_instance: int = 8
+    # Multiplier for engines that keep per-use copies of buffered data
+    # (models FluXQuery's per-variable buffers, Section 1's "data buffered
+    # twice" discussion).  1 for GCX.
+    duplication_factor: float = 1.0
+
+    def element_cost(self) -> int:
+        return self.node_overhead
+
+    def text_cost(self, content: str) -> int:
+        return self.node_overhead + self.text_byte * len(content)
+
+
+@dataclass
+class BufferStats:
+    """Counters maintained by the buffer manager.
+
+    ``hwm_*`` fields are the high watermarks the benchmark tables report.
+    The role counters implement the safety instrumentation: a correct run
+    satisfies ``roles_assigned == roles_removed + roles_cancelled`` and
+    ends with an empty buffer (Section 3's requirements (1) and (2)).
+    """
+
+    model: BufferCostModel = field(default_factory=BufferCostModel)
+
+    live_nodes: int = 0
+    live_bytes: int = 0
+    hwm_nodes: int = 0
+    hwm_bytes: int = 0
+
+    nodes_created: int = 0
+    nodes_purged: int = 0
+    nodes_dropped: int = 0  # tokens discarded by projection (never buffered)
+
+    roles_assigned: int = 0
+    roles_removed: int = 0
+    roles_cancelled: int = 0
+    live_role_instances: int = 0
+
+    gc_invocations: int = 0
+    signoffs_executed: int = 0
+    tokens_read: int = 0
+
+    def on_create(self, cost: int) -> None:
+        self.nodes_created += 1
+        self.live_nodes += 1
+        self.live_bytes += cost
+        self._touch()
+
+    def on_purge(self, cost: int) -> None:
+        self.nodes_purged += 1
+        self.live_nodes -= 1
+        self.live_bytes -= cost
+
+    def on_roles(self, delta: int) -> None:
+        """``delta`` role instances were added (positive) or removed."""
+        if delta > 0:
+            self.roles_assigned += delta
+        else:
+            self.roles_removed += -delta
+        self.live_role_instances += delta
+        self.live_bytes += delta * self.model.role_instance
+        if delta > 0:
+            self._touch()
+
+    def on_cancelled(self, count: int) -> None:
+        self.roles_cancelled += count
+
+    def _touch(self) -> None:
+        if self.live_nodes > self.hwm_nodes:
+            self.hwm_nodes = self.live_nodes
+        if self.live_bytes > self.hwm_bytes:
+            self.hwm_bytes = self.live_bytes
+
+    @property
+    def hwm_bytes_modelled(self) -> int:
+        """High watermark scaled by the engine's duplication factor."""
+        return int(self.hwm_bytes * self.model.duplication_factor)
+
+    def role_accounting_balanced(self) -> bool:
+        """Assignments are net of cancellations, so they must equal removals."""
+        return self.roles_assigned == self.roles_removed
+
+    def summary(self) -> str:
+        return (
+            f"hwm {self.hwm_nodes} nodes / {self.hwm_bytes} bytes; "
+            f"created {self.nodes_created}, purged {self.nodes_purged}, "
+            f"dropped {self.nodes_dropped}; roles {self.roles_assigned} assigned, "
+            f"{self.roles_removed} removed, {self.roles_cancelled} cancelled; "
+            f"gc x{self.gc_invocations}"
+        )

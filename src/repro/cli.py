@@ -1,0 +1,179 @@
+"""Command-line interface: ``gcx`` (installed via the console script).
+
+Subcommands::
+
+    gcx run QUERY.xq DOCUMENT.xml [--engine gcx]   evaluate a query
+    gcx analyze QUERY.xq                           show the static analysis
+    gcx table1 [--sizes 256k,1m] [--engines ...]   reproduce Table 1
+    gcx xmark SCALE [--seed N] [-o FILE]           generate a document
+    gcx ablations [--scale F] [--queries Q1,...]   Section 6 ablation study
+    gcx dtd                                        print the adapted XMark DTD
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import CompileOptions, compile_query
+from repro.baselines import ENGINES, UnsupportedQueryError
+from repro.bench import HarnessConfig, format_table1, run_table1, shape_report
+from repro.xmark import generate_xmark
+from repro.xquery import unparse
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gcx",
+        description="Streaming XQuery with active garbage collection "
+        "(GCX reproduction, ICDE 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="evaluate a query over a document")
+    run_p.add_argument("query", help="query file, or '-' for stdin")
+    run_p.add_argument("document", help="XML document file")
+    run_p.add_argument("--engine", default="gcx", choices=sorted(ENGINES))
+    run_p.add_argument("--stats", action="store_true", help="print buffer stats")
+
+    ana_p = sub.add_parser("analyze", help="show projection tree and rewriting")
+    ana_p.add_argument("query", help="query file, or '-' for stdin")
+    ana_p.add_argument("--no-early-updates", action="store_true")
+    ana_p.add_argument("--no-redundancy-elimination", action="store_true")
+
+    tab_p = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    tab_p.add_argument("--sizes", default="256k,512k,1m,2m")
+    tab_p.add_argument("--engines", default=",".join(sorted(ENGINES)))
+    tab_p.add_argument("--queries", default="Q1,Q6,Q8,Q13,Q20")
+    tab_p.add_argument("--budget", type=float, default=120.0)
+    tab_p.add_argument("--seed", type=int, default=42)
+
+    gen_p = sub.add_parser("xmark", help="generate an XMark document")
+    gen_p.add_argument("scale", type=float)
+    gen_p.add_argument("--seed", type=int, default=42)
+    gen_p.add_argument("-o", "--output", default="-")
+
+    abl_p = sub.add_parser("ablations", help="Section 6 optimization ablations")
+    abl_p.add_argument("--scale", type=float, default=0.002)
+    abl_p.add_argument("--queries", default="Q1,Q13,Q20")
+
+    sub.add_parser("dtd", help="print the adapted XMark DTD")
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "xmark":
+        return _cmd_xmark(args)
+    if args.command == "ablations":
+        return _cmd_ablations(args)
+    if args.command == "dtd":
+        from repro.xmark.dtd import render_dtd
+
+        print(render_dtd(), end="")
+        return 0
+    return 2
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_run(args) -> int:
+    query = _read(args.query)
+    document = _read(args.document)
+    try:
+        result = ENGINES[args.engine]().run(query, document)
+    except UnsupportedQueryError as error:
+        print(f"n/a: {error}", file=sys.stderr)
+        return 1
+    print(result.output)
+    if args.stats:
+        print(result.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    options = CompileOptions(
+        early_updates=not args.no_early_updates,
+        eliminate_redundant=not args.no_redundancy_elimination,
+    )
+    compiled = compile_query(_read(args.query), options)
+    print("== normalized query ==")
+    print(unparse(compiled.normalized, indent=2))
+    print("\n== projection tree ==")
+    print(compiled.projection_tree.format(merge_roleless=True))
+    print("\n== rewritten query (with signOff statements) ==")
+    print(unparse(compiled.rewritten, indent=2))
+    if compiled.eliminated_roles:
+        names = ", ".join(role.name for role in compiled.eliminated_roles)
+        print(f"\neliminated redundant roles: {names}")
+    straight = {
+        var: compiled.straight.fsa(var) for var in compiled.variables.names
+    }
+    print(f"\nfsa: {straight}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    sizes = tuple(_parse_size(token) for token in args.sizes.split(","))
+    config = HarnessConfig(
+        sizes_bytes=sizes,
+        engines=tuple(args.engines.split(",")),
+        queries=tuple(args.queries.split(",")),
+        seed=args.seed,
+        cell_budget_seconds=args.budget,
+    )
+    def progress(cell):
+        print(f"  {cell.query} {cell.engine} {cell.doc_bytes}B -> {cell.cell}",
+              file=sys.stderr)
+    measurements = run_table1(config, progress=progress)
+    print(format_table1(measurements))
+    print(shape_report(measurements))
+    return 0
+
+
+def _cmd_xmark(args) -> int:
+    document = generate_xmark(args.scale, seed=args.seed)
+    if args.output == "-":
+        sys.stdout.write(document)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {len(document):,} bytes to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.bench.ablation import format_ablations, run_ablations
+    from repro.xmark import XMARK_QUERIES, generate_xmark
+
+    document = generate_xmark(args.scale, seed=42)
+    queries = {
+        name: XMARK_QUERIES[name].adapted for name in args.queries.split(",")
+    }
+    print(f"document: {len(document):,} bytes\n", file=sys.stderr)
+    print(format_ablations(run_ablations(queries, document)))
+    return 0
+
+
+def _parse_size(token: str) -> int:
+    token = token.strip().lower()
+    factor = 1
+    if token.endswith("k"):
+        factor, token = 1_000, token[:-1]
+    elif token.endswith("m"):
+        factor, token = 1_000_000, token[:-1]
+    return int(float(token) * factor)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""The GCX engine: pull-based evaluator over the managed buffer."""
+
+from repro.engine.evaluator import EvaluationError, Evaluator
+from repro.engine.gcx import EngineOptions, GCXEngine, RunResult
+
+__all__ = ["Evaluator", "EvaluationError", "GCXEngine", "EngineOptions", "RunResult"]

@@ -1,0 +1,6 @@
+"""Stream preprojection: projection-tree matcher and preprojector."""
+
+from repro.stream.matcher import MatchFrame, StreamMatcher, Transition
+from repro.stream.preprojector import StreamPreprojector
+
+__all__ = ["MatchFrame", "StreamMatcher", "Transition", "StreamPreprojector"]

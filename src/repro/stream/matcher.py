@@ -1,0 +1,281 @@
+"""Projection-tree matching over the input stream (Section 2, Figure 5).
+
+The paper realizes stream preprojection with a lazily constructed DFA whose
+states map to multisets of projection tree nodes — multiplicities count the
+number of path-step assignments that match (Example 1).  This module
+implements the same machine as an incremental matcher over the stack of
+open elements, with transition memoization playing the role of the lazy DFA
+construction:
+
+* each open element carries the multiset of projection tree nodes matched
+  exactly at it (``matches``) and the accumulated multiset of ancestor-or-
+  self matches that can still extend through descendant steps
+  (``cumulative``),
+* reading an opening tag computes the child's multiset from child-axis
+  contributions of the parent's ``matches`` and descendant/dos-axis
+  contributions of the parent's ``cumulative``,
+* ``[1]`` (first witness) steps are consumed per context node, so only the
+  first match per context is preserved (Figure 1's ``price[1]``),
+* ``dos::node()`` leaves assign their role at the node their parent step
+  matched — as an *aggregate* role covering the subtree (Section 6) or,
+  with ``aggregate_roles=False``, as plain roles on every subtree node
+  (the formulation of Sections 2–5 and Figure 2).
+
+Preservation of a token follows the two conditions of Section 2: (1) some
+matched projection tree node forces preservation (it carries a role, or the
+token lies under an aggregate scope), and (2) the *promotion guard*: a node
+is preserved, even without roles, when the current state matches nodes
+``v`` (with a child-axis child labeled ``a``) and ``w`` (with a
+descendant-axis child labeled ``a``) for overlapping tests — discarding it
+would promote a descendant into a false child-axis match (Example 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.projection_tree import ProjectionTree, PTNode
+from repro.analysis.roles import Role
+from repro.xquery.paths import Axis, NodeTest, Step
+
+__all__ = ["MatchFrame", "Transition", "StreamMatcher"]
+
+
+@dataclass
+class Transition:
+    """The result of matching one token: everything the preprojector needs."""
+
+    matches: dict[PTNode, int]  # exact matches at the new node
+    cumulative: dict[PTNode, int]  # ancestor-or-self matches, desc-capable
+    normal_roles: dict[Role, int]
+    aggregate_roles: dict[Role, int]
+    structural: bool  # preservation condition (2) fired
+    consumed_first: list[tuple[int, PTNode]]  # (stack depth, [1]-node) pairs
+
+
+class MatchFrame:
+    """Matcher state for one open element of the input stream."""
+
+    __slots__ = ("matches", "cumulative", "consumed")
+
+    def __init__(
+        self,
+        matches: dict[PTNode, int],
+        cumulative: dict[PTNode, int],
+    ) -> None:
+        self.matches = matches
+        self.cumulative = cumulative
+        # [1]-steps already satisfied from this frame's context.
+        self.consumed: set[PTNode] = set()
+
+
+class StreamMatcher:
+    """Incremental matcher with transition memoization (the lazy DFA)."""
+
+    def __init__(self, tree: ProjectionTree, *, aggregate_roles: bool = True) -> None:
+        self.tree = tree
+        self.aggregate = aggregate_roles
+        self._index: dict[int, int] = {}  # id(PTNode) -> small int (cache keys)
+        for i, node in enumerate(tree.all_nodes()):
+            self._index[id(node)] = i
+        self._cache: dict[tuple, Transition] = {}
+
+    # ------------------------------------------------------------------
+
+    def initial_frame(self) -> MatchFrame:
+        """The frame of the document node: the root ``/`` matched once."""
+        root = self.tree.root
+        matches = {root: 1}
+        cumulative = {root: 1} if _desc_capable(root) else {}
+        return MatchFrame(matches, cumulative)
+
+    def match_token(
+        self,
+        stack: list[MatchFrame],
+        *,
+        tag: str | None,
+        is_text: bool,
+    ) -> Transition:
+        """Match an opening tag (``tag``) or a text token against the stack.
+
+        The caller applies ``consumed_first`` updates and pushes a new frame
+        built from ``matches``/``cumulative`` for element tokens.
+        """
+        if any(frame.consumed for frame in stack):
+            # Past [1]-consumptions make the transition depend on how
+            # matches are distributed across frames, which the cache key
+            # cannot see; compute directly (rare in practice).
+            return self._compute(stack, tag=tag, is_text=is_text)
+        key = self._cache_key(stack, tag, is_text)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        transition = self._compute(stack, tag=tag, is_text=is_text)
+        if not transition.consumed_first:
+            # Transitions that consume [1]-steps mutate frame state and are
+            # not safely shareable; everything else is.
+            self._cache[key] = transition
+        return transition
+
+    # ------------------------------------------------------------------
+
+    def _compute(
+        self, stack: list[MatchFrame], *, tag: str | None, is_text: bool
+    ) -> Transition:
+        top = stack[-1]
+        matches: dict[PTNode, int] = {}
+        consumed_first: list[tuple[int, PTNode]] = []
+
+        def test_ok(test: NodeTest) -> bool:
+            return test.matches_text() if is_text else test.matches_element(tag or "")
+
+        # Child-axis contributions from the parent's exact matches.
+        for v, count in top.matches.items():
+            for w in v.children:
+                if w.step is None or w.step.axis is not Axis.CHILD:
+                    continue
+                if not test_ok(w.step.test):
+                    continue
+                if w.step.first:
+                    if w in top.consumed:
+                        continue
+                    consumed_first.append((len(stack) - 1, w))
+                matches[w] = matches.get(w, 0) + count
+
+        # Descendant and dos contributions from ancestor-or-self matches.
+        for v, count in top.cumulative.items():
+            for w in v.children:
+                if w.step is None or w.step.axis is Axis.CHILD:
+                    continue
+                if w.step.axis is Axis.DOS and self.aggregate:
+                    # dos::node() roles live on the subtree root (aggregate
+                    # mode); descendants inherit instead of matching.
+                    continue
+                if not test_ok(w.step.test):
+                    continue
+                if w.step.first:
+                    added = self._first_witness_contributions(
+                        stack, w, consumed_first
+                    )
+                    if added:
+                        matches[w] = matches.get(w, 0) + added
+                    continue
+                matches[w] = matches.get(w, 0) + count
+
+        # Roles carried by the matched nodes themselves.
+        normal_roles: dict[Role, int] = {}
+        for w, count in matches.items():
+            if w.role is not None:
+                normal_roles[w.role] = normal_roles.get(w.role, 0) + count
+
+        # Self part of dos::node() children: the paper assigns the dos role
+        # to the node its parent step matched (Figure 2: book gets r5).
+        aggregate_roles: dict[Role, int] = {}
+        for w, count in matches.items():
+            for u in w.children:
+                if u.step is None or u.step.axis is not Axis.DOS:
+                    continue
+                if u.role is None:
+                    continue
+                if not test_ok(u.step.test):
+                    continue
+                target = aggregate_roles if self.aggregate else normal_roles
+                target[u.role] = target.get(u.role, 0) + count
+
+        structural = not is_text and self._promotion_guard(top)
+        cumulative = dict(top.cumulative)
+        for w, count in matches.items():
+            if _desc_capable(w) or (not self.aggregate and _has_dos_child(w)):
+                cumulative[w] = cumulative.get(w, 0) + count
+        return Transition(
+            matches=matches,
+            cumulative=cumulative,
+            normal_roles=normal_roles,
+            aggregate_roles=aggregate_roles,
+            structural=structural,
+            consumed_first=consumed_first,
+        )
+
+    def _first_witness_contributions(
+        self,
+        stack: list[MatchFrame],
+        w: PTNode,
+        consumed_first: list[tuple[int, PTNode]],
+    ) -> int:
+        """Per-frame contributions for a descendant-axis ``[1]`` step.
+
+        Each open element where ``w``'s parent matched is its own context;
+        the first witness is consumed per context (frame), so later matches
+        in the same subtree are not preserved again.
+        """
+        parent = w.parent
+        added = 0
+        for depth, frame in enumerate(stack):
+            if w in frame.consumed:
+                continue
+            count = frame.matches.get(parent, 0)
+            if count:
+                added += count
+                consumed_first.append((depth, w))
+        return added
+
+    def _promotion_guard(self, top: MatchFrame) -> bool:
+        """Preservation condition (2): child-axis vs descendant-axis clash."""
+        child_tests: list[NodeTest] = []
+        for v in top.matches:
+            for w in v.children:
+                if w.step is not None and w.step.axis is Axis.CHILD:
+                    child_tests.append(w.step.test)
+        if not child_tests:
+            return False
+        for v in top.cumulative:
+            for w in v.children:
+                if w.step is None or w.step.axis is Axis.CHILD:
+                    continue
+                if w.step.axis is Axis.DOS and self.aggregate:
+                    # In aggregate mode a dos::node() subtree is preserved
+                    # via coverage or not at all — either way no descendant
+                    # can outlive this node, so no promotion is possible.
+                    continue
+                for test in child_tests:
+                    if test.overlaps(w.step.test):
+                        return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def apply_consumptions(
+        self, stack: list[MatchFrame], transition: Transition
+    ) -> None:
+        for depth, node in transition.consumed_first:
+            stack[depth].consumed.add(node)
+
+    def _cache_key(
+        self, stack: list[MatchFrame], tag: str | None, is_text: bool
+    ) -> tuple:
+        top = stack[-1]
+        index = self._index
+
+        def freeze(mapping: dict[PTNode, int]) -> tuple:
+            return tuple(
+                sorted((index[id(node)], count) for node, count in mapping.items())
+            )
+
+        # The cache is only consulted when no frame has consumed [1]-steps,
+        # so the key needs just the top state and the token.
+        return (freeze(top.matches), freeze(top.cumulative), is_text, tag)
+
+
+def _desc_capable(node: PTNode) -> bool:
+    """Does the node have descendant- or dos-axis children to extend through?"""
+    return any(
+        child.step is not None and child.step.axis is not Axis.CHILD
+        for child in node.children
+    )
+
+
+def _has_dos_child(node: PTNode) -> bool:
+    return any(
+        child.step is not None and child.step.axis is Axis.DOS
+        for child in node.children
+    )

@@ -1,0 +1,257 @@
+"""The stream preprojector (Figure 11, right component).
+
+Pulls tokens from the XML tokenizer one at a time, matches them against the
+projection tree, and copies relevant tokens into the buffer together with
+their roles.  In contrast to projection as implemented in Galax, where the
+whole document is projected before evaluation starts, the buffer is filled
+incrementally as the evaluator demands input (Section 1).
+
+Besides matching, the preprojector applies *pending cancellations*: role
+instances whose signOff already executed (while the region was unfinished)
+are subtracted at arrival, so post-scope arrivals do not retain roles
+forever (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.projection_tree import ProjectionTree
+from repro.analysis.roles import Role
+from repro.buffer.buffer import BufferTree
+from repro.buffer.node import BufferNode
+from repro.stream.matcher import MatchFrame, StreamMatcher, Transition
+from repro.xmlio.tokens import EndTag, StartTag, Text, Token
+from repro.xquery.paths import Axis, Path, Step
+
+__all__ = ["StreamPreprojector"]
+
+
+@dataclass
+class _OpenElement:
+    """Bookkeeping for one open input element."""
+
+    tag: str  # "" for text pseudo entries (never stacked)
+    frame: MatchFrame
+    buffer_node: BufferNode | None  # None when the token was not preserved
+    attach: BufferNode  # nearest buffered ancestor
+
+
+class StreamPreprojector:
+    """Incremental projection of a token stream into the buffer."""
+
+    def __init__(
+        self,
+        tokens: Iterator[Token],
+        tree: ProjectionTree,
+        buffer: BufferTree,
+        *,
+        aggregate_roles: bool = True,
+    ) -> None:
+        self._tokens = tokens
+        self.buffer = buffer
+        self.matcher = StreamMatcher(tree, aggregate_roles=aggregate_roles)
+        self.exhausted = False
+        root_frame = self.matcher.initial_frame()
+        self._stack: list[_OpenElement] = [
+            _OpenElement("", root_frame, buffer.document, buffer.document)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def pull(self) -> bool:
+        """Process one input token.  Returns False when input is exhausted."""
+        if self.exhausted:
+            return False
+        token = next(self._tokens, None)
+        if token is None:
+            self.exhausted = True
+            self.buffer.finish_document()
+            return False
+        self.buffer.stats.tokens_read += 1
+        if isinstance(token, StartTag):
+            self._open(token.tag)
+        elif isinstance(token, EndTag):
+            self._close()
+        elif isinstance(token, Text):
+            self._text(token.content)
+        return True
+
+    def run_to_completion(self) -> None:
+        """Project the whole input (the Galax-style, non-incremental mode)."""
+        while self.pull():
+            pass
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack) - 1
+
+    # ------------------------------------------------------------------
+
+    def _open(self, tag: str) -> None:
+        frames = [entry.frame for entry in self._stack]
+        transition = self.matcher.match_token(frames, tag=tag, is_text=False)
+        self.matcher.apply_consumptions(frames, transition)
+        normal, aggregate, cancelled = self._apply_cancellations(
+            transition, tag=tag, is_text=False
+        )
+        parent_entry = self._stack[-1]
+        node = self._maybe_buffer(
+            transition,
+            normal,
+            aggregate,
+            parent_entry,
+            lambda attach: self.buffer.new_element(attach, tag),
+        )
+        frame = MatchFrame(transition.matches, transition.cumulative)
+        self._stack.append(
+            _OpenElement(
+                tag,
+                frame,
+                node,
+                node if node is not None else parent_entry.attach,
+            )
+        )
+
+    def _close(self) -> None:
+        entry = self._stack.pop()
+        if entry.buffer_node is not None:
+            self.buffer.finish(entry.buffer_node)
+
+    def _text(self, content: str) -> None:
+        frames = [entry.frame for entry in self._stack]
+        transition = self.matcher.match_token(frames, tag=None, is_text=True)
+        self.matcher.apply_consumptions(frames, transition)
+        normal, aggregate, cancelled = self._apply_cancellations(
+            transition, tag=None, is_text=True
+        )
+        parent_entry = self._stack[-1]
+        self._maybe_buffer(
+            transition,
+            normal,
+            aggregate,
+            parent_entry,
+            lambda attach: self.buffer.new_text(attach, content),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _maybe_buffer(
+        self,
+        transition: Transition,
+        normal: dict[Role, int],
+        aggregate: dict[Role, int],
+        parent_entry: _OpenElement,
+        factory,
+    ) -> BufferNode | None:
+        preserve = (
+            bool(normal)
+            or bool(aggregate)
+            or transition.structural
+            or self._covered_by_aggregate(parent_entry.attach)
+        )
+        if not preserve:
+            self.buffer.stats.nodes_dropped += 1
+            return None
+        node = factory(parent_entry.attach)
+        self.buffer.assign_roles(
+            node,
+            normal=list(normal.items()),
+            aggregate=list(aggregate.items()),
+        )
+        return node
+
+    def _covered_by_aggregate(self, attach: BufferNode) -> bool:
+        node: BufferNode | None = attach
+        while node is not None:
+            if node.aggregate_roles:
+                return True
+            node = node.parent
+        return False
+
+    # ------------------------------------------------------------------
+    # pending cancellations
+    # ------------------------------------------------------------------
+
+    def _apply_cancellations(
+        self, transition: Transition, *, tag: str | None, is_text: bool
+    ) -> tuple[dict[Role, int], dict[Role, int], int]:
+        """Subtract already-signed-off role instances from fresh assignments."""
+        normal = dict(transition.normal_roles)
+        aggregate = dict(transition.aggregate_roles)
+        registry = self.buffer.cancellations
+        if not registry:
+            return normal, aggregate, 0
+        cancelled_total = 0
+        for depth, entry in enumerate(self._stack):
+            region = entry.buffer_node
+            if region is None or region not in registry:
+                continue
+            # The input tag sequence from (below) the region to this token.
+            sequence: list[str | None] = [
+                self._stack[i].tag for i in range(depth + 1, len(self._stack))
+            ]
+            sequence.append(None if is_text else tag)
+            for cancel in registry[region]:
+                target = aggregate if cancel.aggregate else normal
+                available = target.get(cancel.role, 0)
+                if available <= 0:
+                    continue
+                embeddings = _count_embeddings(cancel.path, sequence, is_text)
+                if embeddings <= 0:
+                    continue
+                amount = min(available, embeddings)
+                if amount == available:
+                    del target[cancel.role]
+                else:
+                    target[cancel.role] = available - amount
+                cancelled_total += amount
+        if cancelled_total:
+            self.buffer.stats.on_cancelled(cancelled_total)
+        return normal, aggregate, cancelled_total
+
+
+def _count_embeddings(path: Path, sequence: list[str | None], is_text: bool) -> int:
+    """Count embeddings of ``path`` into the tag sequence, the last step
+    binding the last element.  ``None`` entries denote text tokens.
+
+    ``[1]`` predicates are treated as unrestricted; over-counting is clamped
+    by the caller against the actually assigned instances.
+    """
+    n_steps, n_seq = len(path), len(sequence)
+    if n_steps == 0 or n_seq == 0:
+        return 0
+
+    def test_ok(step: Step, index: int) -> bool:
+        label = sequence[index]
+        if label is None:
+            return step.test.matches_text()
+        return step.test.matches_element(label)
+
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def count(i: int, j: int) -> int:
+        """Embeddings of path[i:] into sequence[j:] (last binds last)."""
+        if i == n_steps:
+            return 1 if j == n_seq else 0
+        step = path[i]
+        total = 0
+        if step.axis is Axis.CHILD:
+            if j < n_seq and test_ok(step, j):
+                total += count(i + 1, j + 1)
+        elif step.axis is Axis.DESCENDANT:
+            for k in range(j, n_seq):
+                if test_ok(step, k):
+                    total += count(i + 1, k + 1)
+        else:  # DOS: self or any descendant
+            for k in range(j - 1, n_seq):
+                if k == j - 1:
+                    # self: binds the same node the previous step bound
+                    total += count(i + 1, j)
+                elif test_ok(step, k):
+                    total += count(i + 1, k + 1)
+        return total
+
+    return count(0, 0)

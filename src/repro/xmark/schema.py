@@ -1,0 +1,172 @@
+"""The XMark schema (auctions DTD), adapted to the paper's data model.
+
+The benchmark adaptation of Section 7 applies: *"we converted XML
+attributes into subelements"* — so ``<person id="person0">`` becomes
+``<person><id>person0</id>...``, ``profile/@income`` becomes
+``profile/income``, and ``buyer/@person`` becomes ``buyer/person``.
+
+``ELEMENT_CHILDREN`` mirrors the DTD's content models (after attribute
+conversion) and is used by the generator and by schema-conformance tests;
+``REGIONS`` lists the six continent containers.
+"""
+
+from __future__ import annotations
+
+__all__ = ["REGIONS", "ELEMENT_CHILDREN", "SCALE_BASE", "validate_order"]
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+# element -> allowed children in order (a simplified regular content model:
+# each entry is (child tag, min occurs, max occurs) with None = unbounded).
+ELEMENT_CHILDREN: dict[str, tuple[tuple[str, int, object], ...]] = {
+    "site": (
+        ("regions", 1, 1),
+        ("categories", 1, 1),
+        ("catgraph", 1, 1),
+        ("people", 1, 1),
+        ("open_auctions", 1, 1),
+        ("closed_auctions", 1, 1),
+    ),
+    "regions": tuple((region, 1, 1) for region in REGIONS),
+    **{region: (("item", 0, None),) for region in REGIONS},
+    "item": (
+        ("id", 1, 1),
+        ("location", 1, 1),
+        ("quantity", 1, 1),
+        ("name", 1, 1),
+        ("payment", 1, 1),
+        ("description", 1, 1),
+        ("shipping", 1, 1),
+        ("incategory", 1, None),
+        ("mailbox", 1, 1),
+    ),
+    "categories": (("category", 0, None),),
+    "category": (("id", 1, 1), ("name", 1, 1), ("description", 1, 1)),
+    "catgraph": (("edge", 0, None),),
+    "edge": (("from", 1, 1), ("to", 1, 1)),
+    "people": (("person", 0, None),),
+    "person": (
+        ("id", 1, 1),
+        ("name", 1, 1),
+        ("emailaddress", 1, 1),
+        ("phone", 0, 1),
+        ("address", 0, 1),
+        ("homepage", 0, 1),
+        ("creditcard", 0, 1),
+        ("profile", 0, 1),
+        ("watches", 0, 1),
+    ),
+    "address": (
+        ("street", 1, 1),
+        ("city", 1, 1),
+        ("country", 1, 1),
+        ("zipcode", 1, 1),
+    ),
+    "profile": (
+        ("income", 0, 1),  # was profile/@income
+        ("interest", 0, None),
+        ("education", 0, 1),
+        ("gender", 0, 1),
+        ("business", 1, 1),
+        ("age", 0, 1),
+    ),
+    "interest": (("category", 1, 1),),  # was interest/@category
+    "incategory": (("category", 1, 1),),  # was incategory/@category
+    "watches": (("watch", 0, None),),
+    "watch": (("open_auction", 1, 1),),  # was watch/@open_auction
+    "open_auctions": (("open_auction", 0, None),),
+    "open_auction": (
+        ("id", 1, 1),
+        ("initial", 1, 1),
+        ("bidder", 0, None),
+        ("current", 1, 1),
+        ("privacy", 0, 1),
+        ("itemref", 1, 1),
+        ("seller", 1, 1),
+        ("annotation", 1, 1),
+        ("quantity", 1, 1),
+        ("type", 1, 1),
+        ("interval", 1, 1),
+    ),
+    "bidder": (
+        ("date", 1, 1),
+        ("time", 1, 1),
+        ("personref", 1, 1),
+        ("increase", 1, 1),
+    ),
+    "personref": (("person", 1, 1),),  # was personref/@person
+    "itemref": (("item", 1, 1),),  # was itemref/@item
+    "seller": (("person", 1, 1),),  # was seller/@person
+    "buyer": (("person", 1, 1),),  # was buyer/@person
+    "interval": (("start", 1, 1), ("end", 1, 1)),
+    "closed_auctions": (("closed_auction", 0, None),),
+    "closed_auction": (
+        ("seller", 1, 1),
+        ("buyer", 1, 1),
+        ("itemref", 1, 1),
+        ("price", 1, 1),
+        ("date", 1, 1),
+        ("quantity", 1, 1),
+        ("type", 1, 1),
+        ("annotation", 1, 1),
+    ),
+    "annotation": (("author", 1, 1), ("description", 1, 1), ("happiness", 1, 1)),
+    "author": (("person", 1, 1),),  # was author/@person
+    "description": (("text", 0, 1), ("parlist", 0, 1)),
+    "parlist": (("listitem", 0, None),),
+    "listitem": (("text", 0, 1), ("parlist", 0, 1)),
+    "mailbox": (("mail", 0, None),),
+    "mail": (("from", 1, 1), ("to", 1, 1), ("date", 1, 1), ("text", 1, 1)),
+}
+
+#: Positions where a tag is a *reference leaf* (text content) rather than a
+#: structural element.  The attribute conversion creates these collisions:
+#: ``<buyer person="p0">`` becomes ``<buyer><person>p0</person></buyer>``,
+#: where ``person`` is a leaf even though person *records* have a content
+#: model.  Validators must treat (parent, child) pairs listed here as PCDATA.
+REFERENCE_POSITIONS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("seller", "person"),
+        ("buyer", "person"),
+        ("personref", "person"),
+        ("author", "person"),
+        ("interest", "category"),
+        ("incategory", "category"),
+        ("watch", "open_auction"),
+        ("itemref", "item"),
+    }
+)
+
+#: Entity counts at scale factor 1.0 (the original xmlgen proportions;
+#: f = 1.0 yields roughly a 100 MB document with the real generator).
+SCALE_BASE = {
+    "items": 21_750,
+    "persons": 25_500,
+    "open_auctions": 12_000,
+    "closed_auctions": 9_750,
+    "categories": 1_000,
+    "catgraph_edges": 1_000,
+}
+
+
+def validate_order(parent: str, children: list[str]) -> bool:
+    """Check a child tag sequence against the (simplified) content model.
+
+    Used by schema-conformance tests on generated documents.  Leaf elements
+    (no entry in ``ELEMENT_CHILDREN``) accept text only, hence ``children``
+    must be empty for them.
+    """
+    model = ELEMENT_CHILDREN.get(parent)
+    if model is None:
+        return not children
+    position = 0
+    for tag, min_occurs, max_occurs in model:
+        count = 0
+        while position < len(children) and children[position] == tag:
+            position += 1
+            count += 1
+        if count < min_occurs:
+            return False
+        if max_occurs is not None and count > max_occurs:
+            return False
+    return position == len(children)

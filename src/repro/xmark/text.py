@@ -1,0 +1,57 @@
+"""Deterministic text sources for the XMark generator.
+
+The original ``xmlgen`` fills descriptions with Shakespeare vocabulary; we
+ship a fixed word list and draw from it with a seeded RNG so documents are
+fully reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["WORDS", "FIRST_NAMES", "LAST_NAMES", "COUNTRIES", "CITIES", "sentence"]
+
+WORDS = (
+    "gold silver bronze merchant vessel harbor voyage cargo ledger contract "
+    "auction bidder gavel estate manor orchard meadow harvest granary mill "
+    "weaver loom tapestry crimson azure ochre marble granite quarry mason "
+    "guild charter seal parchment quill scribe archive census tithe toll "
+    "bridge causeway rampart bastion garrison herald banner crest shield "
+    "falcon heron sparrow thicket bramble fen moor heath glen brook ford "
+    "lantern beacon ember hearth kettle cellar vintage cask barrel amber "
+    "spice saffron pepper clove caravan bazaar stall wares trinket amulet "
+    "compass sextant chart meridian latitude monsoon trade winds ballast "
+    "keel mast rigging anchor wharf quay customs tariff invoice receipt "
+    "courier packet dispatch missive treaty envoy consul province hamlet "
+    "borough shire county parish freehold tenure deed escrow surety bond"
+).split()
+
+FIRST_NAMES = (
+    "Aline Bakul Chen Dagmar Emeka Farid Greta Hiro Ines Jorge Kavya Lars "
+    "Mei Nadia Otto Priya Quentin Rosa Samir Tala Ulrich Vera Wei Ximena "
+    "Yusuf Zofia Anders Bianca Carlos Devi Elif Franz"
+).split()
+
+LAST_NAMES = (
+    "Abara Brandt Castillo Duarte Eriksen Fontaine Grimaldi Hansen Ivanov "
+    "Johansson Kowalski Lindqvist Moreau Novak Okafor Petrov Quiroga Rossi "
+    "Sato Tanaka Ueda Varga Weber Xu Yamamoto Zhang Almeida Becker"
+).split()
+
+COUNTRIES = (
+    "Angola Brazil Canada Denmark Egypt France Germany Hungary India Japan "
+    "Kenya Laos Mexico Norway Oman Peru Qatar Romania Spain Turkey Uganda "
+    "Vietnam Yemen Zambia"
+).split()
+
+CITIES = (
+    "Avalon Brightwater Cedarholm Dunmore Eastmarch Fairhaven Graystone "
+    "Highfield Ironbridge Juniper Kingsport Lakeshore Millbrook Northgate "
+    "Oakvale Pinecrest Quarrytown Riverton Stonebridge Thornbury"
+).split()
+
+
+def sentence(rng: random.Random, min_words: int = 4, max_words: int = 14) -> str:
+    """A deterministic pseudo-sentence from the word list."""
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(WORDS) for _ in range(count))

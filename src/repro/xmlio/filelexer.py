@@ -1,0 +1,105 @@
+"""File-backed streaming tokenizer with bounded memory.
+
+:class:`XMLTokenizer` holds the whole document in a string; for a streaming
+engine that defeats the purpose when the input is a multi-gigabyte file.
+:class:`FileTokenizer` reads fixed-size chunks on demand (the ``_refill``
+hook) and periodically *compacts* the consumed prefix away, so the resident
+window stays proportional to the chunk size — the engine's end-to-end memory
+then really is the buffer high watermark plus O(chunk).
+
+``tokenize_file`` accepts a path or any text-mode file object.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterator, TextIO
+
+from repro.xmlio.lexer import XMLTokenizer
+from repro.xmlio.tokens import Token
+
+__all__ = ["FileTokenizer", "tokenize_file"]
+
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+
+class FileTokenizer(XMLTokenizer):
+    """Tokenize from a file object, keeping only a sliding window in memory."""
+
+    def __init__(
+        self,
+        stream: TextIO,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        strip_whitespace: bool = True,
+        convert_attributes: bool = True,
+    ) -> None:
+        super().__init__(
+            "",
+            strip_whitespace=strip_whitespace,
+            convert_attributes=convert_attributes,
+        )
+        self._stream = stream
+        self._chunk_size = max(chunk_size, 16)
+        self._eof = False
+
+    def _refill(self) -> bool:
+        if self._eof:
+            return False
+        chunk = self._stream.read(self._chunk_size)
+        if not chunk:
+            self._eof = True
+            return False
+        self._text += chunk
+        return True
+
+    def next_token(self):
+        # Compact between tokens only: mid-construct scans hold local
+        # positions into the window, which compaction would invalidate.
+        self._compact()
+        return super().next_token()
+
+    def _compact(self) -> None:
+        """Drop the consumed prefix once it dominates the window."""
+        if self._pos > self._chunk_size and not self._pending:
+            self._offset += self._pos
+            self._text = self._text[self._pos :]
+            self._pos = 0
+
+    @property
+    def window_size(self) -> int:
+        """Characters currently resident (for tests and diagnostics)."""
+        return len(self._text)
+
+
+def tokenize_file(
+    source: str | Path | TextIO,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    strip_whitespace: bool = True,
+    convert_attributes: bool = True,
+) -> Iterator[Token]:
+    """Tokenize an XML file (path or open text file) incrementally.
+
+    When given a path the file is opened and closed by the iterator.
+    """
+    if isinstance(source, (str, Path)):
+        def generate() -> Iterator[Token]:
+            with open(source, "r", encoding="utf-8") as handle:
+                yield from FileTokenizer(
+                    handle,
+                    chunk_size=chunk_size,
+                    strip_whitespace=strip_whitespace,
+                    convert_attributes=convert_attributes,
+                )
+
+        return generate()
+    return iter(
+        FileTokenizer(
+            source,
+            chunk_size=chunk_size,
+            strip_whitespace=strip_whitespace,
+            convert_attributes=convert_attributes,
+        )
+    )

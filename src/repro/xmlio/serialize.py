@@ -1,0 +1,94 @@
+"""Serialization of token streams.
+
+Query results in GCX are produced as token streams; this module renders them
+as document text.  Empty elements are rendered as bachelor tags (``<a/>``),
+matching the notation used throughout the paper (e.g. ``<title/>`` in
+Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.xmlio.tokens import EndTag, StartTag, Text, Token, escape_text
+
+__all__ = ["serialize_tokens", "TokenSink", "StringSink"]
+
+
+def serialize_tokens(tokens: Iterable[Token], *, indent: str | None = None) -> str:
+    """Render a token stream as text.
+
+    With ``indent`` set (e.g. ``"  "``), output is pretty-printed with one
+    element per line; text content suppresses pretty-printing inside its
+    parent to avoid changing the document's string values.
+    """
+    sink = StringSink(indent=indent)
+    for token in tokens:
+        sink.write(token)
+    return sink.getvalue()
+
+
+class TokenSink:
+    """Interface for receiving output tokens from the evaluator."""
+
+    def write(self, token: Token) -> None:
+        raise NotImplementedError
+
+    def write_all(self, tokens: Iterable[Token]) -> None:
+        for token in tokens:
+            self.write(token)
+
+
+class StringSink(TokenSink):
+    """A sink that accumulates serialized text.
+
+    A one-token lookahead collapses ``<a></a>`` into ``<a/>``.
+    """
+
+    def __init__(self, *, indent: str | None = None) -> None:
+        self._parts: list[str] = []
+        self._pending_start: str | None = None
+        self._indent = indent
+        self._depth = 0
+        self._token_count = 0
+
+    @property
+    def token_count(self) -> int:
+        return self._token_count
+
+    def write(self, token: Token) -> None:
+        self._token_count += 1
+        if isinstance(token, StartTag):
+            self._flush_pending()
+            self._pending_start = token.tag
+        elif isinstance(token, EndTag):
+            if self._pending_start == token.tag:
+                self._emit(f"<{token.tag}/>")
+                self._pending_start = None
+            else:
+                self._flush_pending()
+                self._depth = max(0, self._depth - 1)
+                self._emit(f"</{token.tag}>", closing=True)
+        elif isinstance(token, Text):
+            self._flush_pending()
+            self._emit_text(escape_text(token.content))
+
+    def _flush_pending(self) -> None:
+        if self._pending_start is not None:
+            self._emit(f"<{self._pending_start}>")
+            self._depth += 1
+            self._pending_start = None
+
+    def _emit(self, fragment: str, *, closing: bool = False) -> None:
+        if self._indent is not None:
+            prefix = "\n" + self._indent * self._depth if self._parts else ""
+            self._parts.append(prefix + fragment)
+        else:
+            self._parts.append(fragment)
+
+    def _emit_text(self, fragment: str) -> None:
+        self._parts.append(fragment)
+
+    def getvalue(self) -> str:
+        self._flush_pending()
+        return "".join(self._parts)

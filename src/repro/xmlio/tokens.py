@@ -1,0 +1,77 @@
+"""XML stream tokens.
+
+The paper (Section 2) views an XML document dually as an unranked ordered
+labeled tree and as a stream of opening tags, closing tags, and character
+sequences.  This module defines the token vocabulary shared by the lexer,
+the stream preprojector, and the serializers.
+
+XML attributes are not part of the data model; the paper converts attributes
+into subelements (Section 7), and :mod:`repro.xmlio.lexer` performs the same
+conversion when it encounters attributes in input documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "StartTag", "EndTag", "Text", "token_stream_to_string"]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """Base class of all stream tokens."""
+
+
+@dataclass(frozen=True, slots=True)
+class StartTag(Token):
+    """An opening tag ``<tag>``."""
+
+    tag: str
+
+    def __str__(self) -> str:
+        return f"<{self.tag}>"
+
+
+@dataclass(frozen=True, slots=True)
+class EndTag(Token):
+    """A closing tag ``</tag>``."""
+
+    tag: str
+
+    def __str__(self) -> str:
+        return f"</{self.tag}>"
+
+
+@dataclass(frozen=True, slots=True)
+class Text(Token):
+    """A run of character data between tags."""
+
+    content: str
+
+    def __str__(self) -> str:
+        return escape_text(self.content)
+
+
+def escape_text(content: str) -> str:
+    """Escape character data for serialization."""
+    return content.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def unescape_text(content: str) -> str:
+    """Resolve the predefined XML entities in character data."""
+    return (
+        content.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", '"')
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+    )
+
+
+def token_stream_to_string(tokens) -> str:
+    """Serialize an iterable of tokens back into document text.
+
+    Adjacent open/close pairs are *not* collapsed into bachelor tags here;
+    use :func:`repro.xmlio.serialize.serialize_tokens` for pretty output.
+    """
+    return "".join(str(token) for token in tokens)

@@ -1,0 +1,100 @@
+"""The XQ query language: AST, parser, normalization, if-pushdown.
+
+This subpackage implements Section 3 of the paper: the composition-free
+XQuery fragment XQ (Figure 6), its sequential semantics, the normalization
+rewritings that bring practical queries into the fragment, and the
+if-pushdown rules of Figure 7.
+"""
+
+from repro.xquery.ast import (
+    And,
+    CloseTag,
+    Comparison,
+    Condition,
+    Element,
+    Empty,
+    Exists,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    LetBinding,
+    LiteralOperand,
+    Not,
+    OpenTag,
+    Or,
+    PathOperand,
+    PathOutput,
+    Query,
+    ROOT_VAR,
+    Sequence,
+    SignOff,
+    TextLiteral,
+    TrueCond,
+    VarRef,
+    sequence_of,
+)
+from repro.xquery.ifpushdown import push_ifs_down, push_ifs_down_query
+from repro.xquery.normalize import NormalizationError, normalize, validate_core
+from repro.xquery.parser import XQSyntaxError, parse_expr, parse_query
+from repro.xquery.paths import Axis, NodeTest, Path, Step, child, descendant, dos_node
+from repro.xquery.semantics import (
+    QueryVariables,
+    ScopeError,
+    VariableInfo,
+    analyze_variables,
+)
+from repro.xquery.unparse import unparse, unparse_condition
+
+__all__ = [
+    # paths
+    "Axis",
+    "NodeTest",
+    "Step",
+    "Path",
+    "child",
+    "descendant",
+    "dos_node",
+    # ast
+    "Expr",
+    "Empty",
+    "Sequence",
+    "Element",
+    "OpenTag",
+    "CloseTag",
+    "TextLiteral",
+    "VarRef",
+    "PathOutput",
+    "ForLoop",
+    "LetBinding",
+    "IfThenElse",
+    "SignOff",
+    "Condition",
+    "TrueCond",
+    "Exists",
+    "Comparison",
+    "PathOperand",
+    "LiteralOperand",
+    "And",
+    "Or",
+    "Not",
+    "Query",
+    "ROOT_VAR",
+    "sequence_of",
+    # parser / printer
+    "parse_query",
+    "parse_expr",
+    "XQSyntaxError",
+    "unparse",
+    "unparse_condition",
+    # rewriting
+    "normalize",
+    "validate_core",
+    "NormalizationError",
+    "push_ifs_down",
+    "push_ifs_down_query",
+    # semantics
+    "analyze_variables",
+    "QueryVariables",
+    "VariableInfo",
+    "ScopeError",
+]

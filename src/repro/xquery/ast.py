@@ -1,0 +1,350 @@
+"""Abstract syntax of the XQ fragment (Figure 6) plus signOff statements.
+
+The core grammar is::
+
+    Q    ::= <a> q </a>
+    q    ::= () | <a> q </a> | var | var/axis::nu | (q, ..., q)
+           | (if cond then <a> else (), q, if cond then </a> else ())
+           | for var in var/axis::nu return q
+           | if cond then q else q
+    cond ::= true() | exists var/axis::nu | var/axis::nu RelOp string
+           | var/axis::nu RelOp var/axis::nu | cond and cond
+           | cond or cond | not cond
+
+Two extensions appear in this AST:
+
+* ``SignOff`` statements (Section 3), which the static analysis inserts and
+  the evaluator interprets as buffer-manager notifications, and
+* surface-level conveniences that the normalizer removes before analysis:
+  multi-step paths in for-loops and ``where`` clauses (both handled by
+  :mod:`repro.xquery.normalize`), and bare open/close tag emissions produced
+  by the NC if-pushdown rule.
+
+All node classes are immutable; rewriting builds new trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.xquery.paths import Path, Step, format_path
+
+__all__ = [
+    "Expr",
+    "Empty",
+    "Sequence",
+    "Element",
+    "OpenTag",
+    "CloseTag",
+    "VarRef",
+    "PathOutput",
+    "ForLoop",
+    "LetBinding",
+    "IfThenElse",
+    "SignOff",
+    "Condition",
+    "TrueCond",
+    "Exists",
+    "Comparison",
+    "PathOperand",
+    "LiteralOperand",
+    "And",
+    "Or",
+    "Not",
+    "Query",
+    "ROOT_VAR",
+    "TextLiteral",
+    "Operand",
+    "REL_OPS",
+    "sequence_of",
+    "children_of",
+    "walk",
+    "conditions_of",
+    "atomic_conditions",
+]
+
+ROOT_VAR = "$root"
+
+
+class Expr:
+    """Base class of query expressions."""
+
+
+class Condition:
+    """Base class of conditions."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Expr):
+    """The empty sequence ``()``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Sequence(Expr):
+    """A sequence ``(q, ..., q)``; kept flat (no nested Sequence items)."""
+
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Element(Expr):
+    """A node constructor ``<a> q </a>``."""
+
+    tag: str
+    body: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class OpenTag(Expr):
+    """A bare opening tag emission, produced by the NC pushdown rule."""
+
+    tag: str
+
+
+@dataclass(frozen=True, slots=True)
+class CloseTag(Expr):
+    """A bare closing tag emission, produced by the NC pushdown rule."""
+
+    tag: str
+
+
+@dataclass(frozen=True, slots=True)
+class TextLiteral(Expr):
+    """Literal character content inside a constructor (surface syntax)."""
+
+    content: str
+
+
+@dataclass(frozen=True, slots=True)
+class VarRef(Expr):
+    """An output expression ``$x``: the node bound to the variable."""
+
+    var: str
+
+
+@dataclass(frozen=True, slots=True)
+class PathOutput(Expr):
+    """An output expression ``$x/axis::nu`` (single step in core XQ)."""
+
+    var: str
+    path: Path
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("PathOutput requires at least one step")
+
+
+@dataclass(frozen=True, slots=True)
+class ForLoop(Expr):
+    """``for var in source/axis::nu return body``.
+
+    In core XQ the path has exactly one step and ``where`` is ``None``;
+    the surface syntax allows multi-step paths and a where clause, which
+    the normalizer lowers.
+    """
+
+    var: str
+    source: str
+    path: Path
+    body: Expr
+    where: Condition | None = None
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("for-loop requires a non-empty path")
+
+    @property
+    def step(self) -> Step:
+        if len(self.path) != 1:
+            raise ValueError("core-XQ for-loop expected a single-step path")
+        return self.path[0]
+
+
+@dataclass(frozen=True, slots=True)
+class LetBinding(Expr):
+    """``let var := source/path return body`` (surface syntax, inlined away)."""
+
+    var: str
+    source: str
+    path: Path
+    body: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class IfThenElse(Expr):
+    """``if cond then q else q``."""
+
+    cond: Condition
+    then_branch: Expr
+    else_branch: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class SignOff(Expr):
+    """``signOff($x/path, role)`` — nodes reachable via the path lose a role.
+
+    ``role`` is a role name (string) after parsing and a
+    :class:`repro.analysis.roles.Role` after static analysis; both are
+    accepted so rewritten queries round-trip through the unparser.
+    """
+
+    var: str
+    path: Path
+    role: object
+
+    def path_str(self) -> str:
+        if not self.path:
+            return self.var
+        return self.var + format_path(self.path)
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TrueCond(Condition):
+    """``true()``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Condition):
+    """``exists $x/axis::nu``."""
+
+    var: str
+    path: Path
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("exists requires a non-empty path")
+
+
+@dataclass(frozen=True, slots=True)
+class PathOperand:
+    """A comparison operand ``$x/axis::nu``."""
+
+    var: str
+    path: Path
+
+
+@dataclass(frozen=True, slots=True)
+class LiteralOperand:
+    """A string literal comparison operand."""
+
+    value: str
+
+
+Operand = PathOperand | LiteralOperand
+
+REL_OPS = ("<=", "<", "=", ">=", ">")
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison(Condition):
+    """``operand RelOp operand`` with existential (any-match) semantics."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in REL_OPS:
+            raise ValueError(f"unsupported RelOp {self.op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class And(Condition):
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Condition):
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Condition):
+    operand: Condition
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A complete XQ query ``<a> q </a>`` with free variable ``$root``."""
+
+    root: Element
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared by rewriters and analyses
+# ---------------------------------------------------------------------------
+
+
+def sequence_of(items: list[Expr]) -> Expr:
+    """Build a flat sequence, dropping ``()`` and splicing nested sequences."""
+    flat: list[Expr] = []
+    for item in items:
+        if isinstance(item, Empty):
+            continue
+        if isinstance(item, Sequence):
+            flat.extend(item.items)
+        else:
+            flat.append(item)
+    if not flat:
+        return Empty()
+    if len(flat) == 1:
+        return flat[0]
+    return Sequence(tuple(flat))
+
+
+def children_of(expr: Expr) -> Iterator[Expr]:
+    """Yield the direct subexpressions of ``expr``."""
+    if isinstance(expr, Sequence):
+        yield from expr.items
+    elif isinstance(expr, Element):
+        yield expr.body
+    elif isinstance(expr, (ForLoop, LetBinding)):
+        yield expr.body
+    elif isinstance(expr, IfThenElse):
+        yield expr.then_branch
+        yield expr.else_branch
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and all subexpressions, pre-order."""
+    yield expr
+    for child in children_of(expr):
+        yield from walk(child)
+
+
+def conditions_of(expr: Expr) -> Iterator[Condition]:
+    """Yield every condition appearing in ``expr`` (including where clauses)."""
+    for sub in walk(expr):
+        if isinstance(sub, IfThenElse):
+            yield sub.cond
+        elif isinstance(sub, ForLoop) and sub.where is not None:
+            yield sub.where
+
+
+def atomic_conditions(cond: Condition) -> Iterator[Condition]:
+    """Yield the atomic (non-boolean-combinator) conditions inside ``cond``."""
+    if isinstance(cond, (And, Or)):
+        yield from atomic_conditions(cond.left)
+        yield from atomic_conditions(cond.right)
+    elif isinstance(cond, Not):
+        yield from atomic_conditions(cond.operand)
+    else:
+        yield cond

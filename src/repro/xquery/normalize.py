@@ -1,0 +1,328 @@
+"""Normalization of surface queries into core XQ (Section 3).
+
+The paper notes that "many syntactically richer fragments of XQuery can be
+rewritten into our fragment": let-expressions are removed [10], queries are
+normalized [11, 13] by rewriting where-conditions to if-then-else expressions
+and replacing for-loops with multi-step paths by nested single-step
+for-loops.  This module implements those rewritings:
+
+1. :func:`inline_lets` — path-valued ``let`` bindings are substituted away.
+2. :func:`where_to_if` — ``for ... where c return q`` becomes
+   ``for ... return if c then q else ()``.
+3. :func:`expand_multistep` — multi-step for-loop paths and multi-step
+   output paths become nested single-step for-loops over fresh variables.
+
+Conditions keep multi-step paths: the paper's own XMark adaptation rewrites
+only for-loop paths to single steps, and the dependency analysis (Def. 2)
+generalizes to condition paths of any length.
+
+:func:`normalize` runs the full pipeline and :func:`validate_core` checks
+the result is inside core XQ (single-step for-loops, no let, no where).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.xquery.ast import (
+    And,
+    CloseTag,
+    Comparison,
+    Condition,
+    Element,
+    Empty,
+    Exists,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    LetBinding,
+    LiteralOperand,
+    Not,
+    OpenTag,
+    Or,
+    PathOperand,
+    PathOutput,
+    Query,
+    SignOff,
+    Sequence,
+    TextLiteral,
+    TrueCond,
+    VarRef,
+    sequence_of,
+)
+from repro.xquery.paths import Path
+
+__all__ = [
+    "normalize",
+    "inline_lets",
+    "where_to_if",
+    "expand_multistep",
+    "validate_core",
+    "NormalizationError",
+    "FreshVariables",
+]
+
+
+class NormalizationError(ValueError):
+    """Raised when a query cannot be brought into core XQ."""
+
+
+class FreshVariables:
+    """Generates fresh variable names that do not collide with used ones."""
+
+    def __init__(self, used: set[str]) -> None:
+        self._used = set(used)
+        self._counter = 0
+
+    def fresh(self, hint: str = "v") -> str:
+        while True:
+            self._counter += 1
+            name = f"${hint}{self._counter}"
+            if name not in self._used:
+                self._used.add(name)
+                return name
+
+
+def used_variables(expr: Expr) -> set[str]:
+    """All variable names appearing anywhere in ``expr``."""
+    names: set[str] = set()
+
+    def visit(node: Expr) -> Expr:
+        if isinstance(node, (ForLoop, LetBinding)):
+            names.add(node.var)
+            names.add(node.source)
+        elif isinstance(node, (VarRef, PathOutput, SignOff)):
+            names.add(node.var)
+        elif isinstance(node, IfThenElse):
+            _visit_condition_vars(node.cond, names)
+        if isinstance(node, ForLoop) and node.where is not None:
+            _visit_condition_vars(node.where, names)
+        return node
+
+    map_expr(expr, visit)
+    return names
+
+
+def _visit_condition_vars(cond: Condition, names: set[str]) -> None:
+    if isinstance(cond, Exists):
+        names.add(cond.var)
+    elif isinstance(cond, Comparison):
+        for operand in (cond.left, cond.right):
+            if isinstance(operand, PathOperand):
+                names.add(operand.var)
+    elif isinstance(cond, (And, Or)):
+        _visit_condition_vars(cond.left, names)
+        _visit_condition_vars(cond.right, names)
+    elif isinstance(cond, Not):
+        _visit_condition_vars(cond.operand, names)
+
+
+def map_expr(expr: Expr, transform: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild ``expr`` bottom-up, applying ``transform`` to every node."""
+    if isinstance(expr, Sequence):
+        rebuilt: Expr = sequence_of([map_expr(item, transform) for item in expr.items])
+    elif isinstance(expr, Element):
+        rebuilt = Element(expr.tag, map_expr(expr.body, transform))
+    elif isinstance(expr, ForLoop):
+        rebuilt = ForLoop(
+            expr.var,
+            expr.source,
+            expr.path,
+            map_expr(expr.body, transform),
+            expr.where,
+        )
+    elif isinstance(expr, LetBinding):
+        rebuilt = LetBinding(expr.var, expr.source, expr.path, map_expr(expr.body, transform))
+    elif isinstance(expr, IfThenElse):
+        rebuilt = IfThenElse(
+            expr.cond,
+            map_expr(expr.then_branch, transform),
+            map_expr(expr.else_branch, transform),
+        )
+    else:
+        rebuilt = expr
+    return transform(rebuilt)
+
+
+# ---------------------------------------------------------------------------
+# 1. let inlining
+# ---------------------------------------------------------------------------
+
+
+def inline_lets(expr: Expr) -> Expr:
+    """Remove ``let $y := $x/path return q`` by substituting ``$y``.
+
+    Only path-valued lets exist in the surface syntax, so substitution
+    extends paths: ``$y/more`` becomes ``$x/path/more`` and a bare ``$y``
+    output becomes the output expression ``$x/path``.
+    """
+
+    def transform(node: Expr) -> Expr:
+        if isinstance(node, LetBinding):
+            if _rebinds(node.body, node.var):
+                raise NormalizationError(
+                    f"variable {node.var} is rebound inside its let scope"
+                )
+            return _substitute(node.body, node.var, node.source, node.path)
+        return node
+
+    return map_expr(expr, transform)
+
+
+def _rebinds(expr: Expr, var: str) -> bool:
+    found = False
+
+    def check(node: Expr) -> Expr:
+        nonlocal found
+        if isinstance(node, (ForLoop, LetBinding)) and node.var == var:
+            found = True
+        return node
+
+    map_expr(expr, check)
+    return found
+
+
+def _substitute(expr: Expr, var: str, source: str, prefix: Path) -> Expr:
+    def rewrite_cond(cond: Condition) -> Condition:
+        if isinstance(cond, Exists) and cond.var == var:
+            return Exists(source, prefix + cond.path)
+        if isinstance(cond, Comparison):
+            left, right = cond.left, cond.right
+            if isinstance(left, PathOperand) and left.var == var:
+                left = PathOperand(source, prefix + left.path)
+            if isinstance(right, PathOperand) and right.var == var:
+                right = PathOperand(source, prefix + right.path)
+            return Comparison(left, cond.op, right)
+        if isinstance(cond, And):
+            return And(rewrite_cond(cond.left), rewrite_cond(cond.right))
+        if isinstance(cond, Or):
+            return Or(rewrite_cond(cond.left), rewrite_cond(cond.right))
+        if isinstance(cond, Not):
+            return Not(rewrite_cond(cond.operand))
+        return cond
+
+    def transform(node: Expr) -> Expr:
+        if isinstance(node, ForLoop):
+            new_source = source if node.source == var else node.source
+            new_path = (prefix + node.path) if node.source == var else node.path
+            new_where = rewrite_cond(node.where) if node.where is not None else None
+            if (new_source, new_path, new_where) != (node.source, node.path, node.where):
+                return ForLoop(node.var, new_source, new_path, node.body, new_where)
+            return node
+        if isinstance(node, LetBinding) and node.source == var:
+            return LetBinding(node.var, source, prefix + node.path, node.body)
+        if isinstance(node, VarRef) and node.var == var:
+            if not prefix:
+                return VarRef(source)
+            return PathOutput(source, prefix)
+        if isinstance(node, PathOutput) and node.var == var:
+            return PathOutput(source, prefix + node.path)
+        if isinstance(node, SignOff) and node.var == var:
+            return SignOff(source, prefix + node.path, node.role)
+        if isinstance(node, IfThenElse):
+            return IfThenElse(rewrite_cond(node.cond), node.then_branch, node.else_branch)
+        return node
+
+    return map_expr(expr, transform)
+
+
+# ---------------------------------------------------------------------------
+# 2. where -> if
+# ---------------------------------------------------------------------------
+
+
+def where_to_if(expr: Expr) -> Expr:
+    """Rewrite ``for ... where c return q`` to ``for ... return if c ...``."""
+
+    def transform(node: Expr) -> Expr:
+        if isinstance(node, ForLoop) and node.where is not None:
+            body = IfThenElse(node.where, node.body, Empty())
+            return ForLoop(node.var, node.source, node.path, body, None)
+        return node
+
+    return map_expr(expr, transform)
+
+
+# ---------------------------------------------------------------------------
+# 3. multi-step expansion
+# ---------------------------------------------------------------------------
+
+
+def expand_multistep(expr: Expr, fresh: FreshVariables) -> Expr:
+    """Lower multi-step for-loop paths and output paths to nested loops."""
+
+    def transform(node: Expr) -> Expr:
+        if isinstance(node, ForLoop) and len(node.path) > 1:
+            inner_source = node.source
+            body = node.body
+            *prefix_steps, last = node.path
+            loops: list[tuple[str, str, Path]] = []
+            for step in prefix_steps:
+                var = fresh.fresh()
+                loops.append((var, inner_source, (step,)))
+                inner_source = var
+            result: Expr = ForLoop(node.var, inner_source, (last,), body, None)
+            for var, source, path in reversed(loops):
+                result = ForLoop(var, source, path, result, None)
+            return result
+        if isinstance(node, PathOutput) and len(node.path) > 1:
+            inner_source = node.var
+            *prefix_steps, last = node.path
+            loops = []
+            for step in prefix_steps:
+                var = fresh.fresh()
+                loops.append((var, inner_source, (step,)))
+                inner_source = var
+            result = PathOutput(inner_source, (last,))
+            for var, source, path in reversed(loops):
+                result = ForLoop(var, source, path, result, None)
+            return result
+        return node
+
+    return map_expr(expr, transform)
+
+
+# ---------------------------------------------------------------------------
+# pipeline + validation
+# ---------------------------------------------------------------------------
+
+
+def normalize(query: Query) -> Query:
+    """Run the full normalization pipeline on a parsed query."""
+    expr: Expr = query.root
+    expr = inline_lets(expr)
+    expr = where_to_if(expr)
+    fresh = FreshVariables(used_variables(expr))
+    expr = expand_multistep(expr, fresh)
+    if not isinstance(expr, Element):
+        raise NormalizationError("normalization must preserve the root constructor")
+    result = Query(expr)
+    validate_core(result)
+    return result
+
+
+def validate_core(query: Query) -> None:
+    """Check that ``query`` lies in core XQ (plus benign extensions).
+
+    Allowed beyond Figure 6: literal text in constructors, multi-step paths
+    in conditions, and signOff statements.  Disallowed: let, where clauses,
+    multi-step for-loop or output paths.
+    """
+
+    def check(node: Expr) -> Expr:
+        if isinstance(node, LetBinding):
+            raise NormalizationError("let bindings must be inlined before analysis")
+        if isinstance(node, ForLoop):
+            if node.where is not None:
+                raise NormalizationError("where clauses must be rewritten to if")
+            if len(node.path) != 1:
+                raise NormalizationError(
+                    "for-loops must use single-step paths in core XQ"
+                )
+            if node.path[0].first:
+                raise NormalizationError("for-loops cannot carry [1] predicates")
+        if isinstance(node, PathOutput) and len(node.path) != 1:
+            raise NormalizationError("output expressions must use single-step paths")
+        return node
+
+    map_expr(query.root, check)

@@ -1,0 +1,514 @@
+"""Recursive-descent parser for the XQ fragment (Figure 6) and extensions.
+
+The accepted surface syntax is a practical superset of core XQ:
+
+* element constructors ``<a>{ ... }</a>``, ``<a/>``, with literal text and
+  multiple enclosed expressions,
+* ``for $x in $y/p1/p2/... [where cond] return q`` with multi-step paths
+  (the normalizer lowers them to nested single-step loops),
+* ``let $y := $x/path return q`` (inlined away by the normalizer),
+* absolute paths (``/bib``, ``//item``), which are rooted at ``$root``,
+* attribute steps ``@id``, which parse as child steps ``id`` because the
+  data model converts attributes to subelements (Section 7),
+* conditions with ``exists(...)``, ``not(...)``, ``and``, ``or``, RelOps,
+* ``signOff($x/path, r)`` statements, so rewritten queries round-trip.
+
+The parser is scannerless: a cursor over the text with mode-aware helpers,
+because XQuery mixes XML constructor syntax with expression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.xquery.ast import (
+    And,
+    CloseTag,
+    Comparison,
+    Condition,
+    Element,
+    Empty,
+    Exists,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    LetBinding,
+    LiteralOperand,
+    Not,
+    OpenTag,
+    Or,
+    PathOperand,
+    PathOutput,
+    Query,
+    REL_OPS,
+    SignOff,
+    Sequence,
+    TextLiteral,
+    TrueCond,
+    VarRef,
+    sequence_of,
+)
+from repro.xquery.paths import (
+    Axis,
+    NODE_TEST,
+    NodeTest,
+    Path,
+    STAR_TEST,
+    Step,
+    TEXT_TEST,
+    tag_test,
+)
+
+__all__ = ["XQSyntaxError", "parse_query", "parse_expr"]
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_KEYWORDS = {
+    "for",
+    "in",
+    "return",
+    "if",
+    "then",
+    "else",
+    "where",
+    "let",
+    "and",
+    "or",
+    "not",
+    "exists",
+    "signOff",
+}
+
+
+class XQSyntaxError(ValueError):
+    """Raised on malformed query text."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        line = text.count("\n", 0, position) + 1
+        column = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+
+
+class _Cursor:
+    """A character cursor with the low-level scanning primitives."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- basic inspection ------------------------------------------------
+
+    def error(self, message: str) -> XQSyntaxError:
+        return XQSyntaxError(message, self.pos, self.text)
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def skip_ws(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif text.startswith("(:", self.pos):
+                end = text.find(":)", self.pos + 2)
+                if end == -1:
+                    raise self.error("unterminated comment (: ... :)")
+                self.pos = end + 2
+            else:
+                break
+
+    def peek(self, literal: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(literal, self.pos)
+
+    def peek_raw(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def accept(self, literal: str) -> bool:
+        if self.peek(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.accept(literal):
+            raise self.error(f"expected {literal!r}")
+
+    # -- names, keywords, strings -----------------------------------------
+
+    def peek_name(self) -> str | None:
+        self.skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] in _NAME_START:
+            end = self.pos
+            while end < len(self.text) and self.text[end] in _NAME_CHARS:
+                end += 1
+            return self.text[self.pos : end]
+        return None
+
+    def read_name(self, what: str = "name") -> str:
+        name = self.peek_name()
+        if name is None:
+            raise self.error(f"expected {what}")
+        self.pos += len(name)
+        return name
+
+    def peek_keyword(self, keyword: str) -> bool:
+        return self.peek_name() == keyword
+
+    def accept_keyword(self, keyword: str) -> bool:
+        if self.peek_keyword(keyword):
+            self.pos += len(keyword)
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise self.error(f"expected keyword {keyword!r}")
+
+    def read_string(self) -> str:
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] not in "\"'":
+            raise self.error("expected string literal")
+        quote = self.text[self.pos]
+        end = self.text.find(quote, self.pos + 1)
+        if end == -1:
+            raise self.error("unterminated string literal")
+        value = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        return value
+
+    def read_variable(self) -> str:
+        self.skip_ws()
+        self.expect("$")
+        return "$" + self.read_name("variable name")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.cursor = _Cursor(text)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        expr = self.parse_expr()
+        if not self.cursor.at_end():
+            raise self.cursor.error("trailing input after query")
+        if isinstance(expr, Element):
+            return Query(expr)
+        raise self.cursor.error("an XQ query must be a single element constructor")
+
+    def parse_expr(self) -> Expr:
+        """Parse a (possibly comma-separated) expression."""
+        items = [self.parse_single()]
+        while self.cursor.accept(","):
+            items.append(self.parse_single())
+        if len(items) == 1:
+            return items[0]
+        return sequence_of(items)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def parse_single(self) -> Expr:
+        cur = self.cursor
+        cur.skip_ws()
+        if cur.peek("("):
+            return self.parse_parenthesized()
+        if cur.peek("<"):
+            return self.parse_constructor()
+        if cur.peek("$"):
+            return self.parse_variable_expr()
+        if cur.peek_keyword("for"):
+            return self.parse_for()
+        if cur.peek_keyword("let"):
+            return self.parse_let()
+        if cur.peek_keyword("if"):
+            return self.parse_if()
+        if cur.peek_keyword("signOff"):
+            return self.parse_signoff()
+        raise cur.error("expected an expression")
+
+    def parse_parenthesized(self) -> Expr:
+        cur = self.cursor
+        cur.expect("(")
+        if cur.accept(")"):
+            return Empty()
+        expr = self.parse_expr()
+        cur.expect(")")
+        return expr
+
+    def parse_constructor(self) -> Expr:
+        cur = self.cursor
+        cur.expect("<")
+        tag = cur.read_name("tag name")
+        cur.skip_ws()
+        if cur.accept("/>"):
+            return Element(tag, Empty())
+        cur.expect(">")
+        body = self.parse_constructor_content(tag)
+        return Element(tag, body)
+
+    def parse_constructor_content(self, tag: str) -> Expr:
+        """Parse mixed constructor content until ``</tag>``."""
+        cur = self.cursor
+        items: list[Expr] = []
+        while True:
+            # Literal character content runs to the next '{' or '<'.
+            start = cur.pos
+            while cur.pos < len(cur.text) and cur.text[cur.pos] not in "{<":
+                cur.pos += 1
+            literal = cur.text[start : cur.pos]
+            if literal.strip():
+                items.append(TextLiteral(literal.strip()))
+            if cur.pos >= len(cur.text):
+                raise cur.error(f"unterminated constructor <{tag}>")
+            if cur.peek_raw("</"):
+                cur.pos += 2
+                closing = cur.read_name("closing tag name")
+                cur.expect(">")
+                if closing != tag:
+                    raise cur.error(
+                        f"mismatched constructor: <{tag}> closed by </{closing}>"
+                    )
+                return sequence_of(items)
+            if cur.text[cur.pos] == "<":
+                items.append(self.parse_constructor())
+            else:  # '{'
+                cur.pos += 1
+                items.append(self.parse_expr())
+                cur.expect("}")
+
+    def parse_variable_expr(self) -> Expr:
+        var = self.cursor.read_variable()
+        path = self.parse_relative_path()
+        if not path:
+            return VarRef(var)
+        return PathOutput(var, path)
+
+    def parse_for(self) -> Expr:
+        cur = self.cursor
+        cur.expect_keyword("for")
+        var = cur.read_variable()
+        cur.expect_keyword("in")
+        source, path = self.parse_path_expr()
+        where: Condition | None = None
+        if cur.accept_keyword("where"):
+            where = self.parse_condition()
+        cur.expect_keyword("return")
+        body = self.parse_single()
+        return ForLoop(var, source, path, body, where)
+
+    def parse_let(self) -> Expr:
+        cur = self.cursor
+        cur.expect_keyword("let")
+        var = cur.read_variable()
+        cur.expect(":=")
+        source, path = self.parse_path_expr()
+        cur.expect_keyword("return")
+        body = self.parse_single()
+        return LetBinding(var, source, path, body)
+
+    def parse_if(self) -> Expr:
+        cur = self.cursor
+        cur.expect_keyword("if")
+        cond = self.parse_condition()
+        cur.expect_keyword("then")
+        then_branch = self.parse_single()
+        cur.expect_keyword("else")
+        else_branch = self.parse_single()
+        return IfThenElse(cond, then_branch, else_branch)
+
+    def parse_signoff(self) -> Expr:
+        cur = self.cursor
+        cur.expect_keyword("signOff")
+        cur.expect("(")
+        var = cur.read_variable()
+        path = self.parse_relative_path(allow_first=True)
+        cur.expect(",")
+        role = cur.read_name("role name")
+        cur.expect(")")
+        return SignOff(var, path, role)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    def parse_path_expr(self) -> tuple[str, Path]:
+        """Parse ``$x/path`` or an absolute ``/path`` rooted at ``$root``."""
+        cur = self.cursor
+        cur.skip_ws()
+        if cur.peek("$"):
+            var = cur.read_variable()
+            path = self.parse_relative_path()
+            if not path:
+                raise cur.error("expected a path after the variable")
+            return var, path
+        if cur.peek("/"):
+            path = self.parse_relative_path()
+            if not path:
+                raise cur.error("expected an absolute path")
+            return "$root", path
+        raise cur.error("expected a path expression")
+
+    def parse_relative_path(self, *, allow_first: bool = True) -> Path:
+        """Parse zero or more ``/step`` or ``//step`` items."""
+        cur = self.cursor
+        steps: list[Step] = []
+        while True:
+            cur.skip_ws()
+            if not cur.peek_raw("/"):
+                break
+            if cur.peek_raw("//"):
+                cur.pos += 2
+                axis = Axis.DESCENDANT
+            else:
+                cur.pos += 1
+                axis = Axis.CHILD
+            steps.append(self.parse_step(axis, allow_first=allow_first))
+        return tuple(steps)
+
+    def parse_step(self, axis: Axis, *, allow_first: bool) -> Step:
+        cur = self.cursor
+        cur.skip_ws()
+        if cur.accept("@"):
+            # Attribute steps become child steps (attributes are subelements).
+            name = cur.read_name("attribute name")
+            return self._with_predicate(Step(Axis.CHILD, tag_test(name)), allow_first)
+        if cur.accept("*"):
+            return self._with_predicate(Step(axis, STAR_TEST), allow_first)
+        name = cur.read_name("node test")
+        # Explicit axes: child::x, descendant::x, descendant-or-self::x, dos::x.
+        if cur.peek_raw("::"):
+            cur.pos += 2
+            axis = {
+                "child": Axis.CHILD,
+                "descendant": Axis.DESCENDANT,
+                "descendant-or-self": Axis.DOS,
+                "dos": Axis.DOS,
+            }.get(name)
+            if axis is None:
+                raise cur.error(f"unknown axis {name!r}")
+            return self.parse_step(axis, allow_first=allow_first)
+        test = self._finish_test(name)
+        return self._with_predicate(Step(axis, test), allow_first)
+
+    def _finish_test(self, name: str) -> NodeTest:
+        cur = self.cursor
+        if name in ("text", "node") and cur.peek_raw("()"):
+            cur.pos += 2
+            return TEXT_TEST if name == "text" else NODE_TEST
+        return tag_test(name)
+
+    def _with_predicate(self, step: Step, allow_first: bool) -> Step:
+        cur = self.cursor
+        if cur.peek_raw("["):
+            if not allow_first:
+                raise cur.error("positional predicates are not allowed here")
+            cur.pos += 1
+            cur.skip_ws()
+            if cur.accept_keyword("position"):
+                cur.expect("()")
+                cur.expect("=")
+            if not cur.accept("1"):
+                raise cur.error("only the predicate [1] is supported")
+            cur.expect("]")
+            return Step(step.axis, step.test, first=True)
+        return step
+
+    # ------------------------------------------------------------------
+    # conditions
+    # ------------------------------------------------------------------
+
+    def parse_condition(self) -> Condition:
+        left = self.parse_and_condition()
+        while self.cursor.accept_keyword("or"):
+            left = Or(left, self.parse_and_condition())
+        return left
+
+    def parse_and_condition(self) -> Condition:
+        left = self.parse_not_condition()
+        while self.cursor.accept_keyword("and"):
+            left = And(left, self.parse_not_condition())
+        return left
+
+    def parse_not_condition(self) -> Condition:
+        cur = self.cursor
+        if cur.accept_keyword("not"):
+            cur.skip_ws()
+            if cur.accept("("):
+                operand = self.parse_condition()
+                cur.expect(")")
+                return Not(operand)
+            return Not(self.parse_not_condition())
+        return self.parse_atomic_condition()
+
+    def parse_atomic_condition(self) -> Condition:
+        cur = self.cursor
+        cur.skip_ws()
+        if cur.peek_keyword("true"):
+            cur.read_name()
+            cur.expect("()")
+            return TrueCond()
+        if cur.accept_keyword("exists"):
+            cur.skip_ws()
+            parenthesized = cur.accept("(")
+            var, path = self.parse_exists_path()
+            if parenthesized:
+                cur.expect(")")
+            return Exists(var, path)
+        if cur.peek("("):
+            # A parenthesized condition.
+            cur.expect("(")
+            cond = self.parse_condition()
+            cur.expect(")")
+            return cond
+        left = self.parse_operand()
+        op = self.parse_relop()
+        right = self.parse_operand()
+        return Comparison(left, op, right)
+
+    def parse_exists_path(self) -> tuple[str, Path]:
+        cur = self.cursor
+        cur.skip_ws()
+        if cur.peek("$"):
+            var = cur.read_variable()
+            path = self.parse_relative_path()
+            if not path:
+                raise cur.error("exists requires a path, not a bare variable")
+            return var, path
+        var, path = self.parse_path_expr()
+        return var, path
+
+    def parse_operand(self):
+        cur = self.cursor
+        cur.skip_ws()
+        if cur.peek("$") or cur.peek("/"):
+            var, path = self.parse_path_expr()
+            return PathOperand(var, path)
+        return LiteralOperand(cur.read_string())
+
+    def parse_relop(self) -> str:
+        cur = self.cursor
+        cur.skip_ws()
+        for op in ("<=", ">=", "<", ">", "="):
+            if cur.accept(op):
+                return op
+        raise cur.error(f"expected a comparison operator {REL_OPS}")
+
+
+def parse_query(text: str) -> Query:
+    """Parse a complete XQ query (an element constructor)."""
+    return _Parser(text).parse_query()
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a standalone XQ expression (useful in tests)."""
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    if not parser.cursor.at_end():
+        raise parser.cursor.error("trailing input after expression")
+    return expr

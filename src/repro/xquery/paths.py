@@ -1,0 +1,170 @@
+"""XPath steps and relative paths for the XQ fragment.
+
+The paper's path language (Sections 2 and 3) consists of location steps
+``axis::x[p]`` where the axis is ``child``, ``descendant`` or
+``descendant-or-self`` (abbreviated ``dos``), the node test ``x`` is a tag
+name, ``*`` (any element), ``text()`` or the wildcard ``node()``, and the
+predicate ``p`` is either ``true`` (omitted) or ``position() = 1`` (written
+``[1]``), used for existence checks where only the first witness matters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "Axis",
+    "NodeTest",
+    "Step",
+    "Path",
+    "child",
+    "descendant",
+    "dos_node",
+    "format_path",
+    "TAG",
+    "STAR",
+    "TEXT",
+    "NODE",
+]
+
+
+class Axis(enum.Enum):
+    """The XPath axes of the fragment (forward axes only, cf. [15])."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    DOS = "descendant-or-self"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class TestKind(enum.Enum):
+    TAG = "tag"
+    STAR = "star"
+    TEXT = "text"
+    NODE = "node"
+
+
+TAG = TestKind.TAG
+STAR = TestKind.STAR
+TEXT = TestKind.TEXT
+NODE = TestKind.NODE
+
+
+@dataclass(frozen=True, slots=True)
+class NodeTest:
+    """A node test: a tag name, ``*``, ``text()`` or ``node()``."""
+
+    kind: TestKind
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.kind is TestKind.TAG) != (self.name is not None):
+            raise ValueError("tag tests carry a name; others must not")
+
+    def matches_element(self, tag: str) -> bool:
+        """Does this test accept an element labeled ``tag``?"""
+        if self.kind is TestKind.TAG:
+            return self.name == tag
+        return self.kind in (TestKind.STAR, TestKind.NODE)
+
+    def matches_text(self) -> bool:
+        """Does this test accept a text node?"""
+        return self.kind in (TestKind.TEXT, TestKind.NODE)
+
+    def overlaps(self, other: "NodeTest") -> bool:
+        """Can some node satisfy both tests?  Used by preservation checks."""
+        if self.kind is TestKind.TEXT:
+            return other.matches_text()
+        if other.kind is TestKind.TEXT:
+            return self.matches_text()
+        if self.kind is TestKind.TAG and other.kind is TestKind.TAG:
+            return self.name == other.name
+        return True
+
+    def contains(self, other: "NodeTest") -> bool:
+        """Does every node matched by ``other`` also match ``self``?"""
+        if self.kind is TestKind.NODE:
+            return True
+        if self.kind is TestKind.STAR:
+            return other.kind in (TestKind.STAR, TestKind.TAG)
+        if self.kind is TestKind.TEXT:
+            return other.kind is TestKind.TEXT
+        return other.kind is TestKind.TAG and other.name == self.name
+
+    def __str__(self) -> str:
+        if self.kind is TestKind.TAG:
+            return self.name or ""
+        if self.kind is TestKind.STAR:
+            return "*"
+        if self.kind is TestKind.TEXT:
+            return "text()"
+        return "node()"
+
+
+def tag_test(name: str) -> NodeTest:
+    return NodeTest(TestKind.TAG, name)
+
+
+STAR_TEST = NodeTest(TestKind.STAR)
+TEXT_TEST = NodeTest(TestKind.TEXT)
+NODE_TEST = NodeTest(TestKind.NODE)
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """A location step ``axis::test`` with an optional ``[1]`` predicate."""
+
+    axis: Axis
+    test: NodeTest
+    first: bool = False
+
+    def __str__(self) -> str:
+        suffix = "[1]" if self.first else ""
+        if self.axis is Axis.CHILD:
+            return f"{self.test}{suffix}"
+        if self.axis is Axis.DESCENDANT:
+            return f"descendant::{self.test}{suffix}"
+        return f"dos::{self.test}{suffix}"
+
+    def without_first(self) -> "Step":
+        return Step(self.axis, self.test) if self.first else self
+
+
+Path = tuple[Step, ...]
+
+
+def child(test: NodeTest | str, *, first: bool = False) -> Step:
+    """Construct a ``child`` axis step (string arguments become tag tests)."""
+    return Step(Axis.CHILD, _coerce(test), first)
+
+
+def descendant(test: NodeTest | str, *, first: bool = False) -> Step:
+    """Construct a ``descendant`` axis step."""
+    return Step(Axis.DESCENDANT, _coerce(test), first)
+
+
+def dos_node() -> Step:
+    """The ``dos::node()`` step that keeps whole subtrees."""
+    return Step(Axis.DOS, NODE_TEST)
+
+
+def _coerce(test: NodeTest | str) -> NodeTest:
+    if isinstance(test, NodeTest):
+        return test
+    if test == "*":
+        return STAR_TEST
+    if test == "text()":
+        return TEXT_TEST
+    if test == "node()":
+        return NODE_TEST
+    return tag_test(test)
+
+
+def format_path(steps: Iterable[Step], *, leading_slash: bool = True) -> str:
+    """Render a path the way the paper does, e.g. ``/title/dos::node()``."""
+    rendered = "/".join(str(step) for step in steps)
+    return ("/" + rendered) if leading_slash else rendered

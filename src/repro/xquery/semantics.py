@@ -1,0 +1,161 @@
+"""Variable relationships and well-formedness checks for XQ queries.
+
+Implements the notions of Section 3: the set ``VarsQ`` of variables, the
+parent-variable relation ``parVarQ`` (defined by for-loops ``for $x in
+$y/axis::nu``, *not* by lexical nesting), ancestor variables, and scoping
+checks (every used variable must be bound, the only free variable is
+``$root``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xquery.ast import (
+    And,
+    Comparison,
+    Condition,
+    Element,
+    Exists,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    LetBinding,
+    Not,
+    Or,
+    PathOperand,
+    PathOutput,
+    Query,
+    ROOT_VAR,
+    Sequence,
+    SignOff,
+    VarRef,
+)
+from repro.xquery.paths import Path
+
+__all__ = ["VariableInfo", "QueryVariables", "analyze_variables", "ScopeError"]
+
+
+class ScopeError(ValueError):
+    """Raised when a query uses an unbound or rebound variable."""
+
+
+@dataclass
+class VariableInfo:
+    """Everything known about one variable of the query."""
+
+    name: str
+    parent: str | None  # parVarQ; None for $root
+    path: Path  # the single step (or steps) of the defining for-loop
+    loop: ForLoop | None  # the defining for-loop; None for $root
+    enclosing_loops: tuple[str, ...]  # variables of lexically enclosing loops
+
+
+class QueryVariables:
+    """The variable structure of a query (VarsQ, parVarQ, ancestors)."""
+
+    def __init__(self, infos: dict[str, VariableInfo], order: list[str]) -> None:
+        self._infos = infos
+        self._order = order  # document (syntactic) order of introduction
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._infos
+
+    def __iter__(self):
+        return iter(self._order)
+
+    def info(self, name: str) -> VariableInfo:
+        return self._infos[name]
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._order)
+
+    def parent(self, name: str) -> str | None:
+        """``parVarQ``: the variable the defining for-loop iterates from."""
+        return self._infos[name].parent
+
+    def is_ancestor(self, ancestor: str, descendant: str) -> bool:
+        """``descendant <Q ancestor`` (proper ancestor via parVar chain)."""
+        node = self.parent(descendant)
+        while node is not None:
+            if node == ancestor:
+                return True
+            node = self.parent(node)
+        return False
+
+    def is_ancestor_or_self(self, ancestor: str, descendant: str) -> bool:
+        return ancestor == descendant or self.is_ancestor(ancestor, descendant)
+
+    def children(self, name: str) -> list[str]:
+        """Variables whose parent is ``name``, in syntactic order."""
+        return [v for v in self._order if self._infos[v].parent == name]
+
+    def variable_path(self, ancestor: str, descendant: str) -> Path:
+        """``varpathQ(ancestor, descendant)``: concatenated for-loop steps."""
+        if not self.is_ancestor_or_self(ancestor, descendant):
+            raise ValueError(f"{ancestor} is not an ancestor of {descendant}")
+        steps: list = []
+        node = descendant
+        while node != ancestor:
+            info = self._infos[node]
+            steps = list(info.path) + steps
+            node = info.parent  # type: ignore[assignment]
+        return tuple(steps)
+
+
+def analyze_variables(query: Query) -> QueryVariables:
+    """Collect VarsQ with parent and scope information, checking scoping."""
+    infos: dict[str, VariableInfo] = {
+        ROOT_VAR: VariableInfo(ROOT_VAR, None, (), None, ())
+    }
+    order = [ROOT_VAR]
+
+    def visit(expr: Expr, scope: tuple[str, ...]) -> None:
+        if isinstance(expr, Sequence):
+            for item in expr.items:
+                visit(item, scope)
+        elif isinstance(expr, Element):
+            visit(expr.body, scope)
+        elif isinstance(expr, ForLoop):
+            _check_use(expr.source, scope)
+            if expr.var in infos:
+                raise ScopeError(f"variable {expr.var} is bound more than once")
+            if expr.var == ROOT_VAR:
+                raise ScopeError("$root cannot be rebound")
+            infos[expr.var] = VariableInfo(
+                expr.var, expr.source, expr.path, expr, scope
+            )
+            order.append(expr.var)
+            if expr.where is not None:
+                _check_condition(expr.where, scope + (expr.var,))
+            visit(expr.body, scope + (expr.var,))
+        elif isinstance(expr, LetBinding):
+            raise ScopeError("let bindings must be normalized away before analysis")
+        elif isinstance(expr, IfThenElse):
+            _check_condition(expr.cond, scope)
+            visit(expr.then_branch, scope)
+            visit(expr.else_branch, scope)
+        elif isinstance(expr, (VarRef, PathOutput, SignOff)):
+            _check_use(expr.var, scope)
+
+    def _check_use(name: str, scope: tuple[str, ...]) -> None:
+        if name != ROOT_VAR and name not in scope:
+            raise ScopeError(f"variable {name} used outside its scope")
+
+    def _check_condition(cond: Condition, scope: tuple[str, ...]) -> None:
+        if isinstance(cond, Exists):
+            _check_use(cond.var, scope)
+        elif isinstance(cond, Comparison):
+            for operand in (cond.left, cond.right):
+                if isinstance(operand, PathOperand):
+                    _check_use(operand.var, scope)
+        elif isinstance(cond, (And, Or)):
+            _check_condition(cond.left, scope)
+            _check_condition(cond.right, scope)
+        elif isinstance(cond, Not):
+            _check_condition(cond.operand, scope)
+
+    visit(query.root, ())
+    # Rebind lexically-enclosing loop info now that all loops are known.
+    return QueryVariables(infos, order)

@@ -1,0 +1,155 @@
+"""Render XQ ASTs back to surface syntax.
+
+Used for golden tests against the paper's rewritten queries and for
+debugging output of the static analysis.  ``unparse(parse_expr(s))`` is
+guaranteed to re-parse to an equal AST (a property test enforces this).
+"""
+
+from __future__ import annotations
+
+from repro.xquery.ast import (
+    And,
+    CloseTag,
+    Comparison,
+    Condition,
+    Element,
+    Empty,
+    Exists,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    LetBinding,
+    LiteralOperand,
+    Not,
+    OpenTag,
+    Or,
+    PathOperand,
+    PathOutput,
+    Query,
+    SignOff,
+    Sequence,
+    TextLiteral,
+    TrueCond,
+    VarRef,
+)
+from repro.xquery.paths import format_path
+
+__all__ = ["unparse", "unparse_condition"]
+
+
+def unparse(node: Expr | Query, *, indent: int | None = None) -> str:
+    """Render an expression or query; ``indent`` pretty-prints."""
+    if isinstance(node, Query):
+        node = node.root
+    if indent is None:
+        return _flat(node)
+    return _pretty(node, 0, indent)
+
+
+def _path_of(var: str, path) -> str:
+    if not path:
+        return var
+    return var + format_path(path)
+
+
+def _flat(expr: Expr) -> str:
+    if isinstance(expr, Empty):
+        return "()"
+    if isinstance(expr, Sequence):
+        return "(" + ", ".join(_flat(item) for item in expr.items) + ")"
+    if isinstance(expr, Element):
+        if isinstance(expr.body, Empty):
+            return f"<{expr.tag}/>"
+        return f"<{expr.tag}>{{{_flat(expr.body)}}}</{expr.tag}>"
+    if isinstance(expr, OpenTag):
+        return f"open(<{expr.tag}>)"
+    if isinstance(expr, CloseTag):
+        return f"close(</{expr.tag}>)"
+    if isinstance(expr, TextLiteral):
+        return f'text("{expr.content}")'
+    if isinstance(expr, VarRef):
+        return expr.var
+    if isinstance(expr, PathOutput):
+        return _path_of(expr.var, expr.path)
+    if isinstance(expr, ForLoop):
+        where = f" where {unparse_condition(expr.where)}" if expr.where else ""
+        return (
+            f"for {expr.var} in {_path_of(expr.source, expr.path)}{where} "
+            f"return {_flat(expr.body)}"
+        )
+    if isinstance(expr, LetBinding):
+        return (
+            f"let {expr.var} := {_path_of(expr.source, expr.path)} "
+            f"return {_flat(expr.body)}"
+        )
+    if isinstance(expr, IfThenElse):
+        return (
+            f"if ({unparse_condition(expr.cond)}) "
+            f"then {_flat(expr.then_branch)} else {_flat(expr.else_branch)}"
+        )
+    if isinstance(expr, SignOff):
+        return f"signOff({expr.path_str()}, {_role_name(expr.role)})"
+    raise TypeError(f"cannot unparse {expr!r}")
+
+
+def _role_name(role: object) -> str:
+    name = getattr(role, "name", None)
+    return name if isinstance(name, str) else str(role)
+
+
+def unparse_condition(cond: Condition) -> str:
+    if isinstance(cond, TrueCond):
+        return "true()"
+    if isinstance(cond, Exists):
+        return f"exists({_path_of(cond.var, cond.path)})"
+    if isinstance(cond, Comparison):
+        return f"{_operand(cond.left)} {cond.op} {_operand(cond.right)}"
+    if isinstance(cond, And):
+        return f"{_cond_group(cond.left)} and {_cond_group(cond.right)}"
+    if isinstance(cond, Or):
+        return f"{_cond_group(cond.left)} or {_cond_group(cond.right)}"
+    if isinstance(cond, Not):
+        return f"not({unparse_condition(cond.operand)})"
+    raise TypeError(f"cannot unparse condition {cond!r}")
+
+
+def _cond_group(cond: Condition) -> str:
+    rendered = unparse_condition(cond)
+    if isinstance(cond, (And, Or)):
+        return f"({rendered})"
+    return rendered
+
+
+def _operand(operand) -> str:
+    if isinstance(operand, PathOperand):
+        return _path_of(operand.var, operand.path)
+    if isinstance(operand, LiteralOperand):
+        return f'"{operand.value}"'
+    raise TypeError(f"cannot unparse operand {operand!r}")
+
+
+def _pretty(expr: Expr, depth: int, indent: int) -> str:
+    pad = " " * (depth * indent)
+    if isinstance(expr, Sequence):
+        inner = ",\n".join(_pretty(item, depth + 1, indent) for item in expr.items)
+        return f"{pad}(\n{inner}\n{pad})"
+    if isinstance(expr, Element) and not isinstance(expr.body, Empty):
+        body = _pretty(expr.body, depth + 1, indent)
+        return f"{pad}<{expr.tag}>{{\n{body}\n{pad}}}</{expr.tag}>"
+    if isinstance(expr, ForLoop):
+        where = f" where {unparse_condition(expr.where)}" if expr.where else ""
+        body = _pretty(expr.body, depth + 1, indent)
+        return (
+            f"{pad}for {expr.var} in {_path_of(expr.source, expr.path)}{where} "
+            f"return\n{body}"
+        )
+    if isinstance(expr, IfThenElse):
+        then_branch = _pretty(expr.then_branch, depth + 1, indent)
+        if isinstance(expr.else_branch, Empty):
+            return f"{pad}if ({unparse_condition(expr.cond)}) then\n{then_branch}\n{pad}else ()"
+        else_branch = _pretty(expr.else_branch, depth + 1, indent)
+        return (
+            f"{pad}if ({unparse_condition(expr.cond)}) then\n{then_branch}\n"
+            f"{pad}else\n{else_branch}"
+        )
+    return pad + _flat(expr)

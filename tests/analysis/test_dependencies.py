@@ -1,0 +1,97 @@
+"""Tests for Definition 2 (variable dependencies)."""
+
+import pytest
+
+from repro.analysis import collect_dependencies
+from repro.xquery import normalize, parse_query
+from repro.xquery.paths import child, descendant, dos_node
+
+from tests.helpers import INTRO_QUERY
+
+
+def deps_of(query_text: str, **kwargs):
+    return collect_dependencies(normalize(parse_query(query_text)), **kwargs)
+
+
+class TestDefinition2:
+    def test_exists_gets_first_witness(self):
+        deps = deps_of(
+            "<r>{for $x in /r/i return if (exists $x/price) then <t/> else ()}</r>"
+        )
+        assert [d.path for d in deps["$x"]] == [(child("price", first=True),)]
+
+    def test_output_path_gets_subtree(self):
+        deps = deps_of("<r>{for $b in /bib/book return $b/title}</r>")
+        assert [d.path for d in deps["$b"]] == [(child("title"), dos_node())]
+
+    def test_bare_variable_gets_dos(self):
+        deps = deps_of("<r>{for $b in /bib/book return $b}</r>")
+        assert [d.path for d in deps["$b"]] == [(dos_node(),)]
+
+    def test_comparison_operands_get_subtree(self):
+        deps = deps_of(
+            '<r>{for $p in /ps/p return if ($p/id = "x") then <t/> else ()}</r>'
+        )
+        assert [d.path for d in deps["$p"]] == [(child("id"), dos_node())]
+
+    def test_both_comparison_sides_recorded(self):
+        deps = deps_of(
+            "<r>{for $a in /r/a return for $b in /r/b return "
+            "if ($a/k = $b/k) then <m/> else ()}</r>"
+        )
+        assert (child("k"), dos_node()) in [d.path for d in deps["$a"]]
+        assert (child("k"), dos_node()) in [d.path for d in deps["$b"]]
+
+    def test_intro_example_matches_example5(self):
+        """dep($x) = {<price[1]>, <dos::node()>}, dep($b) = {<title/dos>}."""
+        deps = collect_dependencies(normalize(parse_query(INTRO_QUERY)))
+        assert [d.path for d in deps["$x"]] == [
+            (child("price", first=True),),
+            (dos_node(),),
+        ]
+        assert [d.path for d in deps["$b"]] == [(child("title"), dos_node())]
+        assert "$bib" not in deps  # $bib has no dependencies
+
+
+class TestOrderingAndDedup:
+    def test_syntactic_order(self):
+        deps = deps_of(
+            "<r>{for $x in /r/i return (if (exists $x/a) then <t/> else (), $x/b)}</r>"
+        )
+        paths = [d.path for d in deps["$x"]]
+        assert paths == [(child("a", first=True),), (child("b"), dos_node())]
+
+    def test_duplicate_conditions_share_one_entry(self):
+        deps = deps_of(
+            "<r>{for $x in /r/i return "
+            "(if (exists $x/a) then <t/> else (), if (exists $x/a) then <u/> else ())}</r>"
+        )
+        assert len(deps["$x"]) == 1
+
+    def test_descendant_dependency(self):
+        deps = deps_of(
+            "<r>{for $x in /r/i return if (exists $x//deep) then <t/> else ()}</r>"
+        )
+        assert [d.path for d in deps["$x"]] == [(descendant("deep", first=True),)]
+
+    def test_first_witness_disabled(self):
+        deps = deps_of(
+            "<r>{for $x in /r/i return if (exists $x/price) then <t/> else ()}</r>",
+            first_witness=False,
+        )
+        assert [d.path for d in deps["$x"]] == [(child("price"),)]
+
+    def test_multistep_condition_path(self):
+        deps = deps_of(
+            '<r>{for $p in /ps/p return if ($p/profile/income >= "1") then <t/> else ()}</r>'
+        )
+        assert [d.path for d in deps["$p"]] == [
+            (child("profile"), child("income"), dos_node())
+        ]
+
+    def test_signoff_in_input_rejected(self):
+        from repro.xquery import parse_query as pq
+
+        query = pq("<r>{(for $x in /r/a return $x, signOff($root/a, r1))}</r>")
+        with pytest.raises(ValueError):
+            collect_dependencies(query)

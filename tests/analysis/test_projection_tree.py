@@ -1,0 +1,116 @@
+"""Projection tree construction tests, including the Figure 1 golden."""
+
+import pytest
+
+from repro.analysis import CompileOptions, compile_query
+from repro.xquery.paths import Axis, child, dos_node
+
+from tests.helpers import INTRO_QUERY
+
+PAPER_OPTIONS = CompileOptions(early_updates=False, eliminate_redundant=False)
+
+
+@pytest.fixture
+def intro_tree():
+    return compile_query(INTRO_QUERY, PAPER_OPTIONS).projection_tree
+
+
+class TestFigure1:
+    def test_rendered_tree_matches_figure(self, intro_tree):
+        assert intro_tree.format() == "\n".join(
+            [
+                "n1: /",
+                "  n2: /bib",
+                "    n3: /*",
+                "      n4: /price[1]",
+                "      n5: dos::node()",
+                "    n6: /book",
+                "      n7: /title/dos::node()",
+            ]
+        )
+
+    def test_roles_follow_node_numbering(self, intro_tree):
+        assert [role.name for role in intro_tree.roles] == [
+            "r2",
+            "r3",
+            "r4",
+            "r5",
+            "r6",
+            "r7",
+        ]
+
+    def test_binding_roles(self, intro_tree):
+        assert intro_tree.binding_role("$bib").name == "r2"
+        assert intro_tree.binding_role("$x").name == "r3"
+        assert intro_tree.binding_role("$b").name == "r6"
+        assert intro_tree.binding_role("$root") is None
+
+    def test_dependency_roles(self, intro_tree):
+        dep_roles = {
+            role.name: dep.path for dep, role in intro_tree.dependency_roles("$x")
+        }
+        assert dep_roles == {
+            "r4": (child("price", first=True),),
+            "r5": (dos_node(),),
+        }
+
+    def test_root_carries_no_role(self, intro_tree):
+        assert intro_tree.root.role is None
+        assert intro_tree.root.var == "$root"
+
+    def test_role_nodes_backlink(self, intro_tree):
+        for role in intro_tree.roles:
+            node = intro_tree.role_nodes[role]
+            assert node.role is role
+
+
+class TestStructure:
+    def test_chain_for_multistep_dependency(self, intro_tree):
+        """n7 is a two-step chain (title -> dos::node()) with one display id."""
+        book = intro_tree.var_nodes["$b"]
+        (title,) = book.children
+        assert title.step == child("title")
+        assert title.role is None  # covered by the dos leaf's self part
+        (dos_leaf,) = title.children
+        assert dos_leaf.step == dos_node()
+        assert dos_leaf.role.name == "r7"
+        assert title.display_id == dos_leaf.display_id == 7
+
+    def test_path_from_root(self, intro_tree):
+        x_node = intro_tree.var_nodes["$x"]
+        assert x_node.path_from_root() == (child("bib"), child("*"))
+
+    def test_node_count(self, intro_tree):
+        # 7 displayed nodes, one of which is a 2-node chain => 8 PTNodes.
+        assert intro_tree.node_count() == 8
+
+
+class TestPrefixRoles:
+    def test_uncovered_intermediate_gets_prefix_role(self):
+        """Multi-step condition paths need roles on intermediate steps."""
+        compiled = compile_query(
+            "<r>{for $t in /r/t return "
+            'if ($t/buyer/person = "p0") then <s/> else ()}</r>',
+            PAPER_OPTIONS,
+        )
+        tree = compiled.projection_tree
+        entries = tree.signoff_entries["$t"]
+        # prefix (buyer) first, then the dependency (buyer/person/dos).
+        assert [path for path, _role in entries] == [
+            (child("buyer"),),
+            (child("buyer"), child("person"), dos_node()),
+        ]
+        prefix_role = entries[0][1]
+        assert prefix_role.kind == "prefix"
+
+    def test_single_step_needs_no_prefix(self, intro_tree):
+        assert all(
+            role.kind != "prefix"
+            for _path, role in intro_tree.signoff_entries.get("$x", [])
+        )
+
+    def test_dos_tail_covers_second_to_last(self, intro_tree):
+        # title/dos::node(): title is self-covered by the dos leaf, so the
+        # only signoff entry for $b's dependency is the full path.
+        entries = intro_tree.signoff_entries["$b"]
+        assert [path for path, _role in entries] == [(child("title"), dos_node())]

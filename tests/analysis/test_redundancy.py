@@ -1,0 +1,170 @@
+"""Tests for redundant-role elimination (Section 6, Figure 12)."""
+
+import pytest
+
+from repro.analysis import CompileOptions, compile_query, pattern_contains
+from repro.analysis.redundancy import is_vacuous_body
+from repro.xquery import parse_expr
+from repro.xquery.paths import child, descendant, dos_node
+
+from tests.helpers import EXAMPLE4_QUERY, INTRO_QUERY
+
+
+class TestFigure12:
+    def test_intro_query_drops_r3_and_r6(self):
+        compiled = compile_query(
+            INTRO_QUERY, CompileOptions(early_updates=False, eliminate_redundant=True)
+        )
+        assert sorted(role.name for role in compiled.eliminated_roles) == ["r3", "r6"]
+
+    def test_merged_tree_matches_figure12(self):
+        compiled = compile_query(
+            INTRO_QUERY, CompileOptions(early_updates=False, eliminate_redundant=True)
+        )
+        assert compiled.projection_tree.format(merge_roleless=True) == "\n".join(
+            [
+                "n1: /",
+                "  n2: /bib",
+                "    n4: /*/price[1]",
+                "    n5: /*/dos::node()",
+                "    n7: /book/title/dos::node()",
+            ]
+        )
+
+    def test_signoff_statements_removed(self):
+        from repro.xquery import unparse
+
+        compiled = compile_query(
+            INTRO_QUERY, CompileOptions(early_updates=False, eliminate_redundant=True)
+        )
+        rendered = unparse(compiled.rewritten)
+        assert "signOff($x, " not in rendered
+        assert "signOff($b, " not in rendered
+        assert "signOff($x/price[1], r4)" in rendered  # others remain
+
+    def test_example4_keeps_binding_roles(self):
+        """Constructors are emitted per binding: roles r1/r2 are NOT redundant."""
+        compiled = compile_query(
+            EXAMPLE4_QUERY,
+            CompileOptions(early_updates=False, eliminate_redundant=True),
+        )
+        assert compiled.eliminated_roles == []
+
+
+class TestPatternContainment:
+    @pytest.mark.parametrize(
+        "container, contained, expected",
+        [
+            # Figure 12's justification: /bib/*/dos covers /bib/book.
+            (
+                (child("bib"), child("*"), dos_node()),
+                (child("bib"), child("book")),
+                True,
+            ),
+            ((child("a"),), (child("a"),), True),
+            ((child("a"),), (child("b"),), False),
+            ((child("*"),), (child("a"),), True),
+            ((child("a"),), (child("*"),), False),
+            ((descendant("a"),), (child("a"),), True),
+            ((child("a"),), (descendant("a"),), False),
+            ((descendant("b"),), (child("a"), child("b")), True),
+            ((descendant("b"),), (child("a"), descendant("b")), True),
+            ((child("a"), dos_node()), (child("a"), child("b"), child("c")), True),
+            ((child("a"), dos_node()), (child("a"),), True),  # dos self
+            ((child("a"), dos_node()), (child("b"),), False),
+            # [1] on the container restricts it: not a containment.
+            ((child("a", first=True),), (child("a"),), False),
+            # [1] on the contained side is fine (conservative).
+            ((child("a"),), (child("a", first=True),), True),
+            # descendant::* matches any element at any depth.
+            ((descendant("*"),), (child("a"), child("b")), True),
+            ((descendant("*"), dos_node()), (child("a"), child("b")), True),
+        ],
+    )
+    def test_cases(self, container, contained, expected):
+        assert pattern_contains(container, contained) == expected
+
+
+class TestVacuousBodies:
+    def test_output_only_loop_is_vacuous(self):
+        body = parse_expr("for $t in $b/title return $t")
+        assert is_vacuous_body(body, "$b")
+
+    def test_path_output_is_vacuous(self):
+        body = parse_expr("$b/title")
+        assert is_vacuous_body(body, "$b")
+
+    def test_constructor_is_not_vacuous(self):
+        body = parse_expr("<hit/>")
+        assert not is_vacuous_body(body, "$b")
+
+    def test_constructor_inside_derived_loop_is_vacuous(self):
+        body = parse_expr("for $t in $b/title return <t>{$t}</t>")
+        assert is_vacuous_body(body, "$b")
+
+    def test_positive_condition_is_vacuous(self):
+        body = parse_expr("if (exists $b/title) then <hit/> else ()")
+        assert is_vacuous_body(body, "$b")
+
+    def test_negated_condition_is_not_vacuous(self):
+        body = parse_expr("if (not(exists $b/title)) then <none/> else ()")
+        assert not is_vacuous_body(body, "$b")
+
+    def test_unrelated_condition_is_not_vacuous(self):
+        body = parse_expr("if (exists $other/x) then <hit/> else ()")
+        assert not is_vacuous_body(body, "$b")
+
+    def test_loop_over_unrelated_source_with_vacuous_body(self):
+        body = parse_expr("for $u in $other/x return $b/title")
+        assert is_vacuous_body(body, "$b")
+
+    def test_loop_over_unrelated_source_emitting(self):
+        body = parse_expr("for $u in $other/x return <hit/>")
+        assert not is_vacuous_body(body, "$b")
+
+    def test_or_requires_both_sides_positive(self):
+        vac = parse_expr("if (exists $b/t or exists $b/u) then <h/> else ()")
+        assert is_vacuous_body(vac, "$b")
+        not_vac = parse_expr("if (exists $b/t or true()) then <h/> else ()")
+        assert not is_vacuous_body(not_vac, "$b")
+
+    def test_and_needs_one_positive_side(self):
+        body = parse_expr("if (exists $b/t and true()) then <h/> else ()")
+        assert is_vacuous_body(body, "$b")
+
+
+class TestEliminationSafety:
+    """Elimination must never change query results."""
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "<bib/>",
+            "<bib><book/></bib>",
+            "<bib><book><title>t</title></book></bib>",
+            "<bib><book><price>1</price></book><cd><title>c</title></cd></bib>",
+            "<bib><book><title>a</title><title>b</title></book><book/></bib>",
+        ],
+    )
+    def test_intro_query_results_stable(self, doc):
+        from repro.engine import EngineOptions, GCXEngine
+
+        on = GCXEngine(EngineOptions(eliminate_redundant_roles=True)).run(
+            INTRO_QUERY, doc
+        )
+        off = GCXEngine(EngineOptions(eliminate_redundant_roles=False)).run(
+            INTRO_QUERY, doc
+        )
+        assert on.output == off.output
+
+    def test_elimination_reduces_roles(self):
+        from repro.engine import EngineOptions, GCXEngine
+
+        doc = "<bib><book><title>t</title></book><cd/></bib>"
+        on = GCXEngine(EngineOptions(eliminate_redundant_roles=True)).run(
+            INTRO_QUERY, doc
+        )
+        off = GCXEngine(EngineOptions(eliminate_redundant_roles=False)).run(
+            INTRO_QUERY, doc
+        )
+        assert on.stats.roles_assigned < off.stats.roles_assigned

@@ -1,0 +1,79 @@
+"""Tests for roles and role-set multisets."""
+
+import pytest
+
+from repro.analysis import Role, RoleSet, UndefinedRoleRemoval
+
+
+@pytest.fixture
+def roles():
+    return Role(2, "binding", "$bib"), Role(5, "dep", "$x")
+
+
+class TestRoleSet:
+    def test_empty_set_is_falsy(self):
+        assert not RoleSet()
+
+    def test_add_and_count(self, roles):
+        r2, r5 = roles
+        rs = RoleSet()
+        rs.add(r2)
+        rs.add(r5, 2)
+        assert rs.count(r2) == 1
+        assert rs.count(r5) == 2
+        assert rs.total() == 3
+        assert rs
+
+    def test_multiplicity_semantics(self, roles):
+        """A role can be assigned several times (Figure 4's multi-role)."""
+        _r2, r5 = roles
+        rs = RoleSet()
+        rs.add(r5)
+        rs.add(r5)
+        rs.remove(r5)
+        assert r5 in rs  # one instance left
+        rs.remove(r5)
+        assert r5 not in rs
+        assert not rs
+
+    def test_removal_below_zero_is_undefined(self, roles):
+        r2, _r5 = roles
+        rs = RoleSet()
+        with pytest.raises(UndefinedRoleRemoval):
+            rs.remove(r2)
+
+    def test_partial_removal_below_count_is_undefined(self, roles):
+        r2, _r5 = roles
+        rs = RoleSet()
+        rs.add(r2, 1)
+        with pytest.raises(UndefinedRoleRemoval):
+            rs.remove(r2, 2)
+
+    def test_nonpositive_add_rejected(self, roles):
+        r2, _r5 = roles
+        with pytest.raises(ValueError):
+            RoleSet().add(r2, 0)
+
+    def test_as_names_sorted_with_multiplicity(self, roles):
+        r2, r5 = roles
+        rs = RoleSet()
+        rs.add(r5, 2)
+        rs.add(r2)
+        assert rs.as_names() == ["r2", "r5", "r5"]
+
+    def test_roles_compare_by_identity(self):
+        a = Role(3, "binding", "$x")
+        b = Role(3, "binding", "$x")
+        rs = RoleSet()
+        rs.add(a)
+        assert b not in rs  # distinct objects are distinct roles
+
+    def test_iteration(self, roles):
+        r2, r5 = roles
+        rs = RoleSet()
+        rs.add(r2)
+        rs.add(r5, 3)
+        assert dict(iter(rs)) == {r2: 1, r5: 3}
+
+    def test_name_property(self):
+        assert Role(7, "dep", "$b").name == "r7"

@@ -1,0 +1,123 @@
+"""Golden tests for signOff insertion (Figures 8 and 9, the intro query)."""
+
+import pytest
+
+from repro.analysis import CompileOptions, compile_query
+from repro.xquery import parse_query, unparse
+
+from tests.helpers import EXAMPLE4_QUERY, FIGURE9_QUERY, INTRO_QUERY
+
+PAPER_OPTIONS = CompileOptions(early_updates=False, eliminate_redundant=False)
+
+
+class TestIntroQuery:
+    """The rewritten query from the introduction (page 2)."""
+
+    def test_rewritten_matches_paper(self):
+        compiled = compile_query(INTRO_QUERY, PAPER_OPTIONS)
+        expected = parse_query(
+            """
+            <r> {
+            for $bib in $root/bib return
+            ((for $x in $bib/* return
+            (if (not(exists $x/price)) then $x else (),
+            signOff($x,r3), signOff($x/price[1],r4),
+            signOff($x/dos::node(),r5))),
+            (for $b in $bib/book return
+            ($b/title,
+            signOff($b,r6),
+            signOff($b/title/dos::node(),r7))),
+            signOff($bib,r2))
+            } </r>
+            """
+        )
+        # Compare via the unparser: the compiled query holds Role objects,
+        # the expected one role-name strings; rendering normalizes both.
+        assert unparse(compiled.rewritten) == unparse(expected)
+
+    def test_signoffs_never_inside_ifs(self):
+        from repro.xquery.ast import IfThenElse, SignOff, walk
+
+        compiled = compile_query(INTRO_QUERY, PAPER_OPTIONS)
+        for node in walk(compiled.rewritten.root):
+            if isinstance(node, IfThenElse):
+                assert not any(
+                    isinstance(sub, SignOff) for sub in walk(node.then_branch)
+                )
+                assert not any(
+                    isinstance(sub, SignOff) for sub in walk(node.else_branch)
+                )
+
+
+class TestFigure9:
+    """Non-straight variables sign off at fsa scope end."""
+
+    def test_binding_role_of_inner_loop_deferred_to_root(self):
+        compiled = compile_query(FIGURE9_QUERY, PAPER_OPTIONS)
+        rendered = unparse(compiled.rewritten)
+        # $a's binding role is removed per binding...
+        assert "signOff($a, r2)" in rendered
+        # ...but $b's is removed once, at $root scope end, via the varpath.
+        assert "signOff($root/descendant::b, r3)" in rendered
+        # No per-binding signOff for $b exists.
+        assert "signOff($b" not in rendered
+
+    def test_structure_matches_paper(self):
+        """Same shape as Figure 9's right-hand query (role ids shifted by
+        one because our numbering reserves n1 for the tree root)."""
+        compiled = compile_query(FIGURE9_QUERY, PAPER_OPTIONS)
+        expected = parse_query(
+            """
+            <q>{(for $a in $root/descendant::a
+            return
+            ((<a>
+            {for $b in $root/descendant::b
+            return <b/>}
+            </a>),
+            signOff($a,r2)),
+            signOff($root/descendant::b,r3))}
+            </q>
+            """
+        )
+        assert unparse(compiled.rewritten) == unparse(expected)
+
+
+class TestExample4:
+    """Per-binding signOffs for the straight $a//b query."""
+
+    def test_rewritten_matches_example(self):
+        compiled = compile_query(EXAMPLE4_QUERY, PAPER_OPTIONS)
+        rendered = unparse(compiled.rewritten)
+        assert "signOff($b, r3)" in rendered  # paper's r2; ids shifted
+        assert "signOff($a, r2)" in rendered  # paper's r1
+
+    def test_batch_order_binding_then_dependencies(self):
+        compiled = compile_query(INTRO_QUERY, PAPER_OPTIONS)
+        rendered = unparse(compiled.rewritten)
+        assert rendered.index("signOff($x, r3)") < rendered.index(
+            "signOff($x/price[1], r4)"
+        )
+        assert rendered.index("signOff($x/price[1], r4)") < rendered.index(
+            "signOff($x/dos::node(), r5)"
+        )
+
+
+class TestEarlyUpdates:
+    def test_output_becomes_one_iteration_loop(self):
+        compiled = compile_query(INTRO_QUERY, CompileOptions(eliminate_redundant=False))
+        rendered = unparse(compiled.rewritten)
+        # $b/title turned into "for $outN in $b/title return ($outN, ...)"
+        assert "in $b/title return" in rendered
+        # The fresh variable is signed off inside its own loop (early).
+        import re
+
+        match = re.search(r"for (\$out\d+) in \$b/title return \(\1, signOff\(\1,", rendered)
+        assert match, rendered
+
+    def test_early_updates_preserve_output(self):
+        from repro.engine import EngineOptions, GCXEngine
+
+        doc = "<bib><book><title>T</title><title>U</title></book></bib>"
+        with_updates = GCXEngine(EngineOptions(early_updates=True)).run(INTRO_QUERY, doc)
+        without = GCXEngine(EngineOptions(early_updates=False)).run(INTRO_QUERY, doc)
+        assert with_updates.output == without.output

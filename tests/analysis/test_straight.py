@@ -1,0 +1,77 @@
+"""Tests for Definitions 3 and 4 (straight variables, fsa)."""
+
+import pytest
+
+from repro.analysis import compute_straight
+from repro.xquery import analyze_variables, normalize, parse_query
+
+from tests.helpers import EXAMPLE4_QUERY, FIGURE9_QUERY, INTRO_QUERY
+
+
+def straight_of(query_text: str):
+    variables = analyze_variables(normalize(parse_query(query_text)))
+    return variables, compute_straight(variables)
+
+
+class TestPaperExamples:
+    def test_root_is_straight(self):
+        _vars, straight = straight_of("<r>{$root/a}</r>")
+        assert straight.is_straight("$root")
+        assert straight.fsa("$root") == "$root"
+
+    def test_intro_query_all_straight(self):
+        _vars, straight = straight_of(INTRO_QUERY)
+        for var in ("$root", "$bib", "$x", "$b"):
+            assert straight.is_straight(var), var
+            assert straight.fsa(var) == var
+
+    def test_example6_first_query(self):
+        """Example 6: $a and $b in Example 4's query are straight."""
+        _vars, straight = straight_of(EXAMPLE4_QUERY)
+        assert straight.is_straight("$a")
+        assert straight.is_straight("$b")
+        assert straight.fsa("$a") == "$a"
+        assert straight.fsa("$b") == "$b"
+
+    def test_example6_figure9_query(self):
+        """Example 6: in Figure 9's query $b is not straight, fsa = $root."""
+        _vars, straight = straight_of(FIGURE9_QUERY)
+        assert straight.is_straight("$a")
+        assert not straight.is_straight("$b")
+        assert straight.fsa("$b") == "$root"
+
+
+class TestTransitivity:
+    def test_descendant_of_non_straight_is_non_straight(self):
+        # $c hangs off the non-straight $b, so condition (1) fails for $c.
+        _vars, straight = straight_of(
+            "<q>{for $a in //a return for $b in //b return "
+            "for $c in $b/c return <x/>}</q>"
+        )
+        assert not straight.is_straight("$b")
+        assert not straight.is_straight("$c")
+        assert straight.fsa("$c") == "$root"
+
+    def test_sibling_loops_both_straight(self):
+        _vars, straight = straight_of(
+            "<q>{(for $a in /r/a return $a, for $b in /r/b return $b)}</q>"
+        )
+        assert straight.is_straight("$a")
+        assert straight.is_straight("$b")
+
+    def test_join_inner_loop_not_straight(self):
+        """XMark Q8's pattern: the inner absolute loop defers to $root."""
+        _vars, straight = straight_of(
+            "<q>{for $p in /site/person return "
+            "for $t in /site/sale return "
+            "if ($t/buyer = $p/id) then <s/> else ()}</q>"
+        )
+        assert straight.is_straight("$p")
+        assert not straight.is_straight("$t")
+        assert straight.fsa("$t") == "$root"
+
+    def test_variables_with_fsa_grouping(self):
+        variables, straight = straight_of(FIGURE9_QUERY)
+        assert straight.variables_with_fsa("$root") == ["$root", "$b"]
+        assert straight.variables_with_fsa("$a") == ["$a"]
+        assert straight.variables_with_fsa("$b") == []

@@ -1,0 +1,107 @@
+"""Tests for the baseline engines themselves."""
+
+import pytest
+
+from repro.baselines import (
+    FluxLikeEngine,
+    NaiveDomEngine,
+    ProjectionOnlyEngine,
+    UnsupportedQueryError,
+)
+from repro.engine import GCXEngine
+
+from tests.helpers import INTRO_DOC, INTRO_QUERY
+
+
+class TestNaiveDom:
+    def test_memory_is_whole_document(self):
+        result = NaiveDomEngine().run(INTRO_QUERY, INTRO_DOC)
+        # Every node of the document is accounted, regardless of the query.
+        selective = NaiveDomEngine().run(
+            "<out>{for $z in /bib/zzz return $z}</out>", INTRO_DOC
+        )
+        assert result.stats.hwm_nodes == selective.stats.hwm_nodes
+
+    def test_matches_gcx(self):
+        naive = NaiveDomEngine().run(INTRO_QUERY, INTRO_DOC)
+        gcx = GCXEngine().run(INTRO_QUERY, INTRO_DOC)
+        assert naive.output == gcx.output
+        assert naive.stats.hwm_nodes > gcx.stats.hwm_nodes
+
+
+class TestProjectionOnly:
+    def test_buffers_projected_document(self):
+        result = ProjectionOnlyEngine().run(INTRO_QUERY, INTRO_DOC)
+        gcx = GCXEngine().run(INTRO_QUERY, INTRO_DOC)
+        naive = NaiveDomEngine().run(INTRO_QUERY, INTRO_DOC)
+        # Between GCX (dynamic purging) and naive (no projection).
+        assert gcx.stats.hwm_nodes <= result.stats.hwm_nodes <= naive.stats.hwm_nodes
+
+    def test_memory_grows_with_matches(self):
+        small = "<bib>" + "<book><title/></book>" * 5 + "</bib>"
+        large = "<bib>" + "<book><title/></book>" * 50 + "</bib>"
+        small_run = ProjectionOnlyEngine().run(INTRO_QUERY, small)
+        large_run = ProjectionOnlyEngine().run(INTRO_QUERY, large)
+        assert large_run.stats.hwm_nodes > 5 * small_run.stats.hwm_nodes
+
+    def test_gcx_stays_flat_on_single_phase_query(self):
+        """For a query whose outputs stream out immediately, GCX memory is
+        independent of the document size.  (The intro query is two-phase —
+        its titles must stay buffered for the second loop, as Figure 2
+        itself shows — so a Q13-style query is the right probe here.)"""
+        query = "<out>{for $b in /bib/book return $b/title}</out>"
+        small = "<bib>" + "<book><title>t</title></book>" * 5 + "</bib>"
+        large = "<bib>" + "<book><title>t</title></book>" * 50 + "</bib>"
+        small_run = GCXEngine().run(query, small)
+        large_run = GCXEngine().run(query, large)
+        assert large_run.stats.hwm_nodes <= small_run.stats.hwm_nodes + 2
+
+    def test_projection_only_grows_on_the_same_series(self):
+        query = "<out>{for $b in /bib/book return $b/title}</out>"
+        small = "<bib>" + "<book><title>t</title></book>" * 5 + "</bib>"
+        large = "<bib>" + "<book><title>t</title></book>" * 50 + "</bib>"
+        small_run = ProjectionOnlyEngine().run(query, small)
+        large_run = ProjectionOnlyEngine().run(query, large)
+        assert large_run.stats.hwm_nodes > 5 * small_run.stats.hwm_nodes
+
+
+class TestFluxLike:
+    def test_rejects_descendant_axis_anywhere(self):
+        engine = FluxLikeEngine()
+        with pytest.raises(UnsupportedQueryError):
+            engine.compile("<q>{for $a in //a return $a}</q>")
+        with pytest.raises(UnsupportedQueryError):
+            engine.compile(
+                "<q>{for $a in /r/a return if (exists $a//b) then <t/> else ()}</q>"
+            )
+
+    def test_accepts_child_only_queries(self):
+        engine = FluxLikeEngine()
+        result = engine.run(INTRO_QUERY, INTRO_DOC)
+        assert result.output == GCXEngine().run(INTRO_QUERY, INTRO_DOC).output
+
+    def test_cost_model_charges_more_than_gcx(self):
+        flux = FluxLikeEngine().run(INTRO_QUERY, INTRO_DOC)
+        gcx = GCXEngine().run(INTRO_QUERY, INTRO_DOC)
+        assert flux.hwm_bytes > gcx.hwm_bytes
+
+    def test_no_first_witness_trimming(self):
+        """flux-like keeps all exists-witnesses, GCX only the first."""
+        query = "<q>{for $i in /r/i return if (exists $i/w) then <t/> else ()}</q>"
+        doc = "<r><i>" + "<w/>" * 10 + "</i></r>"
+        flux = FluxLikeEngine().run(query, doc)
+        gcx = GCXEngine().run(query, doc)
+        assert flux.output == gcx.output
+        assert flux.stats.hwm_nodes > gcx.stats.hwm_nodes
+
+
+class TestEngineRegistry:
+    def test_registry_names(self):
+        from repro.baselines import ENGINES
+
+        assert set(ENGINES) == {"gcx", "flux-like", "projection-only", "naive-dom"}
+
+    def test_paper_system_map_targets_exist(self):
+        from repro.baselines import ENGINES, PAPER_SYSTEM_MAP
+
+        assert set(PAPER_SYSTEM_MAP.values()) <= set(ENGINES)

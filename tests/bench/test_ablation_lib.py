@@ -1,0 +1,56 @@
+"""Tests for the ablation-study library."""
+
+import pytest
+
+from repro.bench.ablation import (
+    ABLATION_CONFIGS,
+    format_ablations,
+    run_ablations,
+)
+
+QUERIES = {
+    "titles": "<o>{for $b in /bib/book return $b/title}</o>",
+    "guard": "<o>{for $b in /bib/book return if (exists $b/price) then <p/> else ()}</o>",
+}
+DOC = (
+    "<bib>"
+    + "".join(
+        f"<book><title>t{i}</title>{'<price>9</price>' if i % 2 else ''}</book>"
+        for i in range(20)
+    )
+    + "</bib>"
+)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return run_ablations(QUERIES, DOC)
+
+
+class TestRunAblations:
+    def test_full_grid(self, cells):
+        assert len(cells) == len(ABLATION_CONFIGS) * len(QUERIES)
+
+    def test_all_outputs_equal_to_full(self, cells):
+        assert all(cell.output_equal_to_full for cell in cells)
+
+    def test_aggregate_ablation_increases_roles(self, cells):
+        by_key = {(c.config, c.query): c for c in cells}
+        assert (
+            by_key[("no-aggregate-roles", "titles")].roles_assigned
+            > by_key[("full", "titles")].roles_assigned
+        )
+
+    def test_base_scheme_never_cheaper_than_full(self, cells):
+        by_key = {(c.config, c.query): c for c in cells}
+        for query in QUERIES:
+            assert (
+                by_key[("base-scheme", query)].roles_assigned
+                >= by_key[("full", query)].roles_assigned
+            )
+
+    def test_format_renders_table(self, cells):
+        table = format_ablations(cells)
+        assert "config" in table
+        assert "base-scheme" in table
+        assert "identical outputs" in table

@@ -1,0 +1,97 @@
+"""Report-rendering tests."""
+
+import pytest
+
+from repro.bench import Measurement, format_table1, shape_report
+from repro.bench.report import _is_flat
+
+
+def cell(engine, query, size, seconds=0.1, hwm=1000, **kwargs):
+    return Measurement(
+        engine=engine,
+        query=query,
+        doc_bytes=size,
+        seconds=seconds,
+        hwm_bytes=hwm,
+        **kwargs,
+    )
+
+
+class TestFormatTable1:
+    def test_layout(self):
+        cells = [
+            cell("gcx", "Q1", 1000),
+            cell("gcx", "Q1", 2000),
+            cell("naive-dom", "Q1", 1000, hwm=9000),
+            cell("naive-dom", "Q1", 2000, hwm=18000),
+        ]
+        table = format_table1(cells)
+        lines = table.splitlines()
+        assert lines[0] == "Table 1"
+        header = lines[2]
+        assert "gcx" in header and "naive-dom" in header
+        assert "1000B" in table or "1.0KB" in table
+
+    def test_na_column(self):
+        cells = [
+            cell("gcx", "Q6", 1000),
+            Measurement(engine="flux-like", query="Q6", doc_bytes=1000, supported=False),
+        ]
+        assert "n/a" in format_table1(cells)
+
+    def test_timeout_cell(self):
+        timed = cell("gcx", "Q8", 1000)
+        timed.timed_out = True
+        assert "timeout" in format_table1([timed])
+
+    def test_missing_cells_render_as_dash(self):
+        cells = [
+            cell("gcx", "Q1", 1000),
+            cell("gcx", "Q1", 2000),
+            cell("naive-dom", "Q1", 1000),  # no 2000-byte cell
+        ]
+        table = format_table1(cells)
+        assert "-" in table.splitlines()[-1]
+
+
+class TestShapeReport:
+    def test_flat_series_detected(self):
+        cells = [
+            cell("gcx", "Q1", 1000, hwm=400),
+            cell("gcx", "Q1", 8000, hwm=410),
+            cell("naive-dom", "Q1", 1000, hwm=9000),
+            cell("naive-dom", "Q1", 8000, hwm=72000),
+        ]
+        report = shape_report(cells)
+        assert "Q1: GCX memory flat" in report
+        assert "[ok]" in report
+        assert "[MISMATCH]" not in report
+
+    def test_growth_flagged_for_non_join(self):
+        cells = [
+            cell("gcx", "Q1", 1000, hwm=400),
+            cell("gcx", "Q1", 8000, hwm=3200),
+        ]
+        report = shape_report(cells)
+        assert "[MISMATCH]" in report
+
+    def test_join_expected_to_grow(self):
+        cells = [
+            cell("gcx", "Q8", 1000, hwm=400),
+            cell("gcx", "Q8", 8000, hwm=3200),
+        ]
+        report = shape_report(cells)
+        assert "[ok]" in report
+
+
+class TestIsFlat:
+    def test_single_point_is_flat(self):
+        assert _is_flat([cell("gcx", "Q1", 1000)])
+
+    def test_two_similar_points_flat(self):
+        assert _is_flat([cell("gcx", "Q1", 1000, hwm=100), cell("gcx", "Q1", 2000, hwm=104)])
+
+    def test_proportional_growth_not_flat(self):
+        assert not _is_flat(
+            [cell("gcx", "Q1", 1000, hwm=100), cell("gcx", "Q1", 8000, hwm=800)]
+        )

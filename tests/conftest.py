@@ -1,0 +1,31 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import CompileOptions, compile_query
+from repro.xmark import generate_xmark
+
+from tests.helpers import INTRO_DOC, INTRO_QUERY
+
+
+@pytest.fixture(scope="session")
+def intro_compiled_paper():
+    """The introduction's query compiled in the paper's base configuration
+    (no early updates, no redundant-role elimination) — matches Figures 1-2."""
+    return compile_query(
+        INTRO_QUERY, CompileOptions(early_updates=False, eliminate_redundant=False)
+    )
+
+
+@pytest.fixture(scope="session")
+def intro_doc() -> str:
+    return INTRO_DOC
+
+
+@pytest.fixture(scope="session")
+def xmark_doc_small() -> str:
+    """A ~40 KB XMark document shared across tests (generation is fast but
+    not free, so keep it session scoped)."""
+    return generate_xmark(0.001, seed=7)

@@ -1,0 +1,76 @@
+"""Architecture tests (Figure 11): the pull chain and safety checks."""
+
+import pytest
+
+from repro.engine import EngineOptions, GCXEngine
+
+from tests.helpers import INTRO_QUERY
+
+
+class TestPullChain:
+    def test_evaluator_drives_reading(self):
+        """Tokens are read on demand, not eagerly: after compilation no
+        token has been read; each blocking step pulls a bounded amount."""
+        engine = GCXEngine()
+        compiled = engine.compile(INTRO_QUERY)
+        # Compilation is purely static.
+        assert compiled.projection_tree is not None
+        result = engine.run(compiled, "<bib><book><title/></book></bib>")
+        assert result.stats.tokens_read == 6
+
+    def test_compiled_query_reusable_across_runs(self):
+        engine = GCXEngine()
+        compiled = engine.compile(INTRO_QUERY)
+        out1 = engine.run(compiled, "<bib><book><title>a</title></book></bib>").output
+        out2 = engine.run(compiled, "<bib><cd><price>1</price></cd></bib>").output
+        assert "<title>a</title>" in out1
+        assert "title" not in out2
+
+    def test_run_accepts_token_stream(self):
+        from repro.xmlio import tokenize
+
+        engine = GCXEngine()
+        result = engine.run(INTRO_QUERY, tokenize("<bib><book><title/></book></bib>"))
+        assert "<title/>" in result.output
+
+
+class TestSafetyChecks:
+    def test_strict_run_reports_clean_accounting(self):
+        result = GCXEngine().run(INTRO_QUERY, "<bib><book><title/></book></bib>")
+        stats = result.stats
+        assert stats.role_accounting_balanced()
+        assert stats.live_role_instances == 0
+        assert stats.live_nodes == 0
+
+    def test_all_option_combinations_safe(self):
+        doc = (
+            "<bib><book><title>t1</title></book>"
+            "<book><price>5</price><title>t2</title></book>"
+            "<cd><price>3</price></cd></bib>"
+        )
+        outputs = set()
+        for aggregate in (False, True):
+            for early in (False, True):
+                for eliminate in (False, True):
+                    options = EngineOptions(
+                        aggregate_roles=aggregate,
+                        early_updates=early,
+                        eliminate_redundant_roles=eliminate,
+                    )
+                    result = GCXEngine(options).run(INTRO_QUERY, doc)
+                    outputs.add(result.output)
+        assert len(outputs) == 1  # all eight configurations agree
+
+
+class TestRunResult:
+    def test_result_fields(self):
+        result = GCXEngine().run(INTRO_QUERY, "<bib/>")
+        assert result.output == "<r/>"
+        assert result.elapsed_seconds >= 0
+        assert result.hwm_nodes >= 1
+        assert result.exhausted_input
+
+    def test_stats_summary_renders(self):
+        result = GCXEngine().run(INTRO_QUERY, "<bib/>")
+        summary = result.stats.summary()
+        assert "hwm" in summary and "roles" in summary

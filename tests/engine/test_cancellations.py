@@ -1,0 +1,107 @@
+"""Pending-cancellation tests: signOffs racing ahead of the stream.
+
+A signOff may execute while its region (the binding's subtree) is not fully
+read — e.g. when an existence check is decided by an early witness and the
+rest of the subtree streams in later.  Without cancellations those late
+arrivals would keep their roles forever, violating Section 3's requirement
+that all roles be removed.  These tests construct exactly such races.
+"""
+
+import pytest
+
+from repro.engine import EngineOptions, GCXEngine
+
+PAPER_BASE = EngineOptions(
+    aggregate_roles=False, early_updates=False, eliminate_redundant_roles=False
+)
+
+
+class TestLateArrivals:
+    def test_exists_decided_early_late_subtree(self):
+        """The price arrives first; the subtree continues afterwards.  The
+        bare-$x output dependency (dos role) was already signed off for the
+        else-branch by the time the tail streams in."""
+        query = (
+            "<out>{for $x in /r/i return "
+            "if (not(exists $x/price)) then $x else ()}</out>"
+        )
+        doc = "<r><i><price>1</price><tail><deep>text</deep></tail></i></r>"
+        for options in (EngineOptions(), PAPER_BASE):
+            result = GCXEngine(options).run(query, doc)
+            assert result.output == "<out/>"
+            assert result.stats.role_accounting_balanced()
+            assert result.stats.live_nodes == 0
+
+    def test_cancelled_roles_counted(self):
+        query = (
+            "<out>{for $x in /r/i return "
+            "if (not(exists $x/price)) then $x else ()}</out>"
+        )
+        doc = "<r><i><price>1</price><a/><b/><c/></i></r>"
+        result = GCXEngine(PAPER_BASE).run(query, doc)
+        assert result.stats.roles_cancelled > 0
+
+    def test_late_arrivals_not_buffered(self):
+        """Nodes arriving with all roles cancelled are dropped entirely."""
+        query = (
+            "<out>{for $x in /r/i return "
+            "if (not(exists $x/price)) then $x else ()}</out>"
+        )
+        tail = "".join(f"<t{i}/>" for i in range(50))
+        doc = f"<r><i><price>1</price>{tail}</i></r>"
+        result = GCXEngine().run(query, doc)
+        assert result.stats.hwm_nodes <= 5
+
+    def test_mixed_roles_partial_cancellation(self):
+        """Late arrivals keep roles that are still live (the b-loop's) while
+        losing the already-signed-off ones (the a-loop's dos role)."""
+        query = (
+            "<out>{for $x in /r/i return "
+            "(if (not(exists $x/p)) then $x else (), "
+            "for $t in $x/keep return $t)}</out>"
+        )
+        doc = "<r><i><p>1</p><keep>k1</keep><keep>k2</keep></i></r>"
+        result = GCXEngine(PAPER_BASE).run(query, doc)
+        assert result.output == "<out><keep>k1</keep><keep>k2</keep></out>"
+
+    def test_first_witness_cancellation(self):
+        """signOff($x/price[1], r) with no witness yet: the witness arrives
+        later and must not retain the role."""
+        query = (
+            "<out>{for $x in /r/i return "
+            "(for $a in $x/early return $a, "
+            "if (exists $x/price) then <has/> else ())}</out>"
+        )
+        # price arrives before the subtree ends; evaluation order still
+        # guarantees the exists is evaluated within the binding's scope.
+        doc = "<r><i><early>e</early><price>1</price><late/></i></r>"
+        result = GCXEngine().run(query, doc)
+        assert "<has/>" in result.output
+
+
+class TestNestedRegions:
+    def test_nested_descendant_bindings(self):
+        """Overlapping regions (a inside a): per-region cancellations must
+        compose with multiplicity-2 role assignments."""
+        query = "<out>{for $a in //a return if (not(exists $a/stop)) then $a else ()}</out>"
+        doc = "<r><a><stop/><a><x/></a><y/></a></r>"
+        result = GCXEngine(PAPER_BASE).run(query, doc)
+        # outer a has stop -> skipped; inner a has no stop -> output.
+        assert result.output == "<out><a><x/></a></out>"
+        assert result.stats.role_accounting_balanced()
+
+    def test_sequential_bindings_unaffected(self):
+        """A cancellation in one sibling's region must not leak into the
+        next binding's fresh assignments."""
+        query = (
+            "<out>{for $x in /r/i return "
+            "if (not(exists $x/price)) then $x else ()}</out>"
+        )
+        doc = (
+            "<r>"
+            "<i><price>1</price><junk/></i>"
+            "<i><keep>yes</keep></i>"
+            "</r>"
+        )
+        result = GCXEngine().run(query, doc)
+        assert result.output == "<out><i><keep>yes</keep></i></out>"

@@ -1,0 +1,165 @@
+"""Evaluator unit tests: iteration discipline, conditions, output."""
+
+import pytest
+
+from repro.engine import EngineOptions, GCXEngine
+from repro.engine.evaluator import _compare
+
+
+def run(query, doc, **opts):
+    return GCXEngine(EngineOptions(**opts)).run(query, doc)
+
+
+class TestOutput:
+    def test_element_constructor(self):
+        assert run("<a>{()}</a>", "<x/>").output == "<a/>"
+
+    def test_literal_text(self):
+        assert run("<a>hello</a>", "<x/>").output == "<a>hello</a>"
+
+    def test_var_output_serializes_subtree(self):
+        result = run(
+            "<out>{for $b in /r/b return $b}</out>",
+            "<r><b><c>text</c><d/></b></r>",
+        )
+        assert result.output == "<out><b><c>text</c><d/></b></out>"
+
+    def test_path_output_all_matches_in_order(self):
+        result = run(
+            "<out>{for $r in /r return $r/k}</out>",
+            "<r><k>1</k><x/><k>2</k><k>3</k></r>",
+        )
+        assert result.output == "<out><k>1</k><k>2</k><k>3</k></out>"
+
+    def test_text_node_output(self):
+        result = run(
+            "<out>{for $b in /r/b return $b/text()}</out>",
+            "<r><b>alpha</b><b>beta</b></r>",
+        )
+        assert result.output == "<out>alphabeta</out>"
+
+    def test_output_escapes_special_characters(self):
+        result = run(
+            "<out>{for $b in /r/b return $b}</out>",
+            "<r><b>a &amp; b &lt; c</b></r>",
+        )
+        assert result.output == "<out><b>a &amp; b &lt; c</b></out>"
+
+
+class TestIterationDiscipline:
+    def test_iteration_survives_gc_of_previous_sibling(self):
+        """Early updates purge each binding before the next is fetched."""
+        result = run(
+            "<out>{for $r in /r return $r/k}</out>",
+            "<r>" + "".join(f"<k>{i}</k>" for i in range(50)) + "</r>",
+        )
+        assert result.output.count("<k>") == 50
+        # The buffer never holds more than a handful of nodes at once.
+        assert result.stats.hwm_nodes <= 6
+
+    def test_descendant_iteration_document_order(self):
+        result = run(
+            "<out>{for $b in //b return $b}</out>",
+            "<r><b>1</b><a><b>2</b><c><b>3</b></c></a><b>4</b></r>",
+        )
+        assert result.output == "<out><b>1</b><b>2</b><b>3</b><b>4</b></out>"
+
+    def test_nested_loops_over_same_nodes(self):
+        result = run(
+            "<out>{for $a in /r/a return for $k in $a/k return <hit/>}</out>",
+            "<r><a><k/><k/></a><a><k/></a></r>",
+        )
+        assert result.output == "<out><hit/><hit/><hit/></out>"
+
+    def test_empty_iteration(self):
+        assert run("<out>{for $z in /r/none return $z}</out>", "<r><a/></r>").output == "<out/>"
+
+
+class TestConditions:
+    def test_exists_true_and_false(self):
+        result = run(
+            "<out>{for $i in /r/i return if (exists $i/a) then <y/> else <n/>}</out>",
+            "<r><i><a/></i><i><b/></i></r>",
+        )
+        assert result.output == "<out><y/><n/></out>"
+
+    def test_exists_blocks_until_witness_or_close(self):
+        # The witness is the last child: evaluation must wait for it.
+        result = run(
+            "<out>{for $i in /r/i return if (exists $i/a) then <y/> else <n/>}</out>",
+            "<r><i><x/><x/><a/></i></r>",
+        )
+        assert result.output == "<out><y/></out>"
+
+    def test_comparison_existential_semantics(self):
+        # Any pair satisfying the comparison makes it true.
+        result = run(
+            '<out>{for $i in /r/i return if ($i/v = "2") then <y/> else <n/>}</out>',
+            "<r><i><v>1</v><v>2</v></i><i><v>3</v></i></r>",
+        )
+        assert result.output == "<out><y/><n/></out>"
+
+    def test_empty_sequence_comparison_is_false(self):
+        result = run(
+            '<out>{for $i in /r/i return if ($i/v = "1") then <y/> else <n/>}</out>',
+            "<r><i/></r>",
+        )
+        assert result.output == "<out><n/></out>"
+
+    def test_string_value_concatenates_subtree(self):
+        result = run(
+            '<out>{for $i in /r/i return if ($i/v = "ab") then <y/> else <n/>}</out>',
+            "<r><i><v>a<nest>b</nest></v></i></r>",
+        )
+        assert result.output == "<out><y/></out>"
+
+
+class TestCompareHelper:
+    @pytest.mark.parametrize(
+        "left, op, right, expected",
+        [
+            ("10", "=", "10.0", True),  # numeric equality
+            ("10", "<", "9", False),
+            ("9.5", "<", "10", True),  # numeric, not lexicographic
+            ("abc", "<", "abd", True),  # string fallback
+            ("abc", "=", "abc", True),
+            ("10", "=", "ten", False),  # mixed: string comparison
+            ("100", ">=", "100", True),
+            ("2", ">", "10", False),
+        ],
+    )
+    def test_cases(self, left, op, right, expected):
+        assert _compare(left, op, right) == expected
+
+
+class TestLaziness:
+    def test_exists_check_stops_reading_early(self):
+        """An existence check over the document head short-circuits: the
+        first witness decides, and nothing further is read for it."""
+        head = "<r><people><p><id>x</id></p></people>"
+        tail = "<junk>" + "<j/>" * 5000 + "</junk></r>"
+        result = run(
+            "<out>{if (exists $root/r/people) then <yes/> else <no/>}</out>",
+            head + tail,
+        )
+        assert result.output == "<out><yes/></out>"
+        assert result.stats.tokens_read < 200
+        assert not result.exhausted_input
+
+    def test_demand_driven_scan_keeps_memory_flat(self):
+        """A loop over /r/people must read to EOF (more people could
+        follow), but the junk tail contributes nothing to the buffer."""
+        head = "<r><people><p><id>x</id></p></people>"
+        tail = "<junk>" + "<j/>" * 5000 + "</junk></r>"
+        result = run(
+            "<out>{for $ps in /r/people return for $p in $ps/p return $p/id}</out>",
+            head + tail,
+        )
+        assert result.output == "<out><id>x</id></out>"
+        assert result.exhausted_input
+        assert result.stats.hwm_nodes < 10
+
+    def test_full_scan_reads_everything(self):
+        doc = "<r>" + "<a/>" * 100 + "</r>"
+        result = run("<out>{for $a in /r/a return <hit/>}</out>", doc)
+        assert result.exhausted_input

@@ -1,0 +1,129 @@
+"""Hypothesis strategies: random XML documents and random XQ queries.
+
+Documents are unranked trees over a small tag alphabet with short text.
+Queries are grammar-directed: generation threads the variable environment,
+so every generated query is well-scoped by construction.  Together they
+drive the differential tests against the DOM oracle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+TAGS = ("a", "b", "c", "d")
+WORDS = ("x", "yy", "z1", "7", "42")
+
+
+# ---------------------------------------------------------------------------
+# documents
+# ---------------------------------------------------------------------------
+
+
+def documents(max_depth: int = 4, max_children: int = 4) -> st.SearchStrategy[str]:
+    """Random well-formed documents with root tag ``r``."""
+
+    def element(depth: int) -> st.SearchStrategy[str]:
+        if depth <= 0:
+            leaf_text = st.sampled_from(WORDS).map(lambda w: w)
+            return st.sampled_from(TAGS).flatmap(
+                lambda tag: st.one_of(
+                    st.just(f"<{tag}/>"),
+                    leaf_text.map(lambda w: f"<{tag}>{w}</{tag}>"),
+                )
+            )
+        children = st.lists(
+            st.deferred(lambda: element(depth - 1)),
+            min_size=0,
+            max_size=max_children,
+        )
+        return st.tuples(st.sampled_from(TAGS), children).map(
+            lambda pair: f"<{pair[0]}>{''.join(pair[1])}</{pair[0]}>"
+            if pair[1]
+            else f"<{pair[0]}/>"
+        )
+
+    body = st.lists(element(max_depth - 1), min_size=0, max_size=max_children)
+    return body.map(lambda items: "<r>" + "".join(items) + "</r>")
+
+
+# ---------------------------------------------------------------------------
+# queries
+# ---------------------------------------------------------------------------
+
+
+def _step() -> st.SearchStrategy[str]:
+    test = st.sampled_from(TAGS + ("*",))
+    return st.tuples(st.sampled_from(("/", "//")), test).map("".join)
+
+
+def _path(max_steps: int = 2) -> st.SearchStrategy[str]:
+    return st.lists(_step(), min_size=1, max_size=max_steps).map("".join)
+
+
+def _condition(env: tuple[str, ...], depth: int) -> st.SearchStrategy[str]:
+    var = st.sampled_from(env)
+    atoms = [
+        st.just("true()"),
+        st.tuples(var, _path()).map(lambda p: f"exists {p[0]}{p[1]}"),
+        st.tuples(var, _path(), st.sampled_from(("=", "<", ">=")), st.sampled_from(WORDS)).map(
+            lambda p: f'{p[0]}{p[1]} {p[2]} "{p[3]}"'
+        ),
+    ]
+    if len(env) >= 2:
+        atoms.append(
+            st.tuples(var, _path(), var, _path()).map(
+                lambda p: f"{p[0]}{p[1]} = {p[2]}{p[3]}"
+            )
+        )
+    atom = st.one_of(atoms)
+    if depth <= 0:
+        return atom
+    sub = _condition(env, depth - 1)
+    return st.one_of(
+        atom,
+        st.tuples(sub, sub).map(lambda p: f"({p[0]} and {p[1]})"),
+        st.tuples(sub, sub).map(lambda p: f"({p[0]} or {p[1]})"),
+        sub.map(lambda c: f"not({c})"),
+    )
+
+
+def _expr(env: tuple[str, ...], depth: int, counter: list[int]) -> st.SearchStrategy[str]:
+    var = st.sampled_from(env)
+    leaves = [
+        st.just("()"),
+        st.tuples(var, _path()).map("".join),  # path output
+        st.sampled_from(TAGS).map(lambda t: f"<{t}/>"),
+    ]
+    if len(env) > 1:  # bare output of a bound (non-root) variable
+        leaves.append(st.sampled_from(env[1:]))
+    if depth <= 0:
+        return st.one_of(leaves)
+
+    def for_loop(source: str) -> st.SearchStrategy[str]:
+        counter[0] += 1
+        fresh = f"$v{counter[0]}"
+        inner = _expr(env + (fresh,), depth - 1, counter)
+        return st.tuples(_path(), inner).map(
+            lambda p: f"for {fresh} in {source}{p[0]} return {p[1]}"
+        )
+
+    sub = _expr(env, depth - 1, counter)
+    return st.one_of(
+        *leaves,
+        var.flatmap(for_loop),
+        st.tuples(_condition(env, 1), sub).map(
+            lambda p: f"if ({p[0]}) then {p[1]} else ()"
+        ),
+        st.tuples(_condition(env, 0), sub, sub).map(
+            lambda p: f"if ({p[0]}) then {p[1]} else {p[2]}"
+        ),
+        st.tuples(sub, sub).map(lambda p: f"({p[0]}, {p[1]})"),
+        st.tuples(st.sampled_from(TAGS), sub).map(
+            lambda p: f"<{p[0]}>{{{p[1]}}}</{p[0]}>"
+        ),
+    )
+
+
+def queries(max_depth: int = 3) -> st.SearchStrategy[str]:
+    """Random well-scoped XQ queries with free variable $root."""
+    return st.builds(lambda body: f"<out>{{{body}}}</out>", _expr(("$root",), max_depth, [0]))

@@ -1,0 +1,110 @@
+"""Differential property tests: GCX vs the DOM oracle on random inputs.
+
+This is the strongest correctness evidence in the suite: Theorem 1 says
+evaluating the rewritten query over the incrementally projected, actively
+garbage-collected buffer yields the same result as evaluating the original
+query over the full document.  We check it on thousands of random
+(query, document) pairs, across every engine configuration, together with
+the role-accounting safety invariants of Section 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import NaiveDomEngine
+from repro.engine import EngineOptions, GCXEngine
+
+from tests.properties.strategies import documents, queries
+
+FAST = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def oracle(query: str, document: str) -> str:
+    return NaiveDomEngine().run(query, document).output
+
+
+class TestTheorem1:
+    @FAST
+    @given(query=queries(), document=documents())
+    def test_default_configuration_matches_oracle(self, query, document):
+        result = GCXEngine().run(query, document)
+        assert result.output == oracle(query, document)
+
+    @FAST
+    @given(query=queries(), document=documents())
+    def test_paper_base_configuration_matches_oracle(self, query, document):
+        options = EngineOptions(
+            aggregate_roles=False,
+            early_updates=False,
+            eliminate_redundant_roles=False,
+        )
+        result = GCXEngine(options).run(query, document)
+        assert result.output == oracle(query, document)
+
+    @FAST
+    @given(query=queries(max_depth=2), document=documents(max_depth=5))
+    def test_deep_documents(self, query, document):
+        assert GCXEngine().run(query, document).output == oracle(query, document)
+
+
+class TestSafetyInvariants:
+    """Requirements (1) and (2) of Section 3, dynamically checked.
+
+    ``strict=True`` already raises inside the engine on any violation
+    (undefined role removal, unbalanced accounting, non-empty buffer); the
+    assertions here re-state the postconditions explicitly.
+    """
+
+    @FAST
+    @given(query=queries(), document=documents())
+    def test_role_accounting_balances(self, query, document):
+        result = GCXEngine().run(query, document)
+        stats = result.stats
+        assert stats.role_accounting_balanced()
+        assert stats.live_role_instances == 0
+        if result.exhausted_input:
+            # With unread input, marked unfinished nodes may legitimately
+            # remain (their closing tags never arrive); fully read inputs
+            # must leave the buffer empty.
+            assert stats.live_nodes == 0
+
+    @FAST
+    @given(query=queries(), document=documents())
+    def test_buffer_never_exceeds_document(self, query, document):
+        """The projected buffer is never larger than the full document."""
+        result = GCXEngine().run(query, document)
+        dom_nodes = NaiveDomEngine().run(query, document).stats.hwm_nodes
+        assert result.stats.hwm_nodes <= dom_nodes + 1
+
+
+class TestOptimizationEquivalence:
+    @FAST
+    @given(query=queries(), document=documents())
+    def test_aggregate_roles_do_not_change_results(self, query, document):
+        on = GCXEngine(EngineOptions(aggregate_roles=True)).run(query, document)
+        off = GCXEngine(EngineOptions(aggregate_roles=False)).run(query, document)
+        assert on.output == off.output
+
+    @FAST
+    @given(query=queries(), document=documents())
+    def test_redundancy_elimination_does_not_change_results(self, query, document):
+        on = GCXEngine(EngineOptions(eliminate_redundant_roles=True)).run(
+            query, document
+        )
+        off = GCXEngine(EngineOptions(eliminate_redundant_roles=False)).run(
+            query, document
+        )
+        assert on.output == off.output
+
+    @FAST
+    @given(query=queries(), document=documents())
+    def test_early_updates_do_not_change_results(self, query, document):
+        on = GCXEngine(EngineOptions(early_updates=True)).run(query, document)
+        off = GCXEngine(EngineOptions(early_updates=False)).run(query, document)
+        assert on.output == off.output

@@ -1,0 +1,130 @@
+"""Property tests on the substrates: tokenizer, trees, projection, paths."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import pattern_contains
+from repro.xmlio import parse_tree, serialize_tokens, serialize_tree, tokenize
+from repro.xmlio.tree import ElementNode, TextNode, project
+from repro.xquery import parse_expr, unparse
+from repro.xquery.paths import Axis, NodeTest, Step, child, descendant, dos_node
+
+from tests.properties.strategies import documents, queries
+
+FAST = settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTokenizerProperties:
+    @FAST
+    @given(document=documents(max_depth=5))
+    def test_serialize_tokenize_roundtrip(self, document):
+        tokens = list(tokenize(document))
+        rendered = serialize_tokens(tokens)
+        assert list(tokenize(rendered)) == tokens
+
+    @FAST
+    @given(document=documents())
+    def test_tree_roundtrip(self, document):
+        tree = parse_tree(document)
+        assert parse_tree(serialize_tree(tree)).size == tree.size
+
+    @FAST
+    @given(document=documents())
+    def test_balanced_tags(self, document):
+        from repro.xmlio import EndTag, StartTag
+
+        depth = 0
+        for token in tokenize(document):
+            if isinstance(token, StartTag):
+                depth += 1
+            elif isinstance(token, EndTag):
+                depth -= 1
+            assert depth >= 0
+        assert depth == 0
+
+
+class TestProjectionProperties:
+    """Definition 1's invariants on random trees and keep-sets."""
+
+    @FAST
+    @given(document=documents(), data=st.data())
+    def test_projection_subset_and_order(self, document, data):
+        tree = parse_tree(document)
+        nodes = list(tree.descendants())
+        if not nodes:
+            return
+        keep = set(
+            data.draw(st.lists(st.sampled_from(nodes), unique=True, max_size=8))
+        )
+        projected = project(tree, keep)
+        kept_orders = sorted(node.order for node in projected.descendants())
+        assert kept_orders == sorted(node.order for node in keep)
+        # Document order is preserved.
+        assert [n.order for n in projected.iter_subtree()] == sorted(
+            n.order for n in projected.iter_subtree()
+        )
+
+    @FAST
+    @given(document=documents(), data=st.data())
+    def test_projection_preserves_ancestry(self, document, data):
+        tree = parse_tree(document)
+        nodes = list(tree.descendants())
+        if len(nodes) < 2:
+            return
+        keep = set(
+            data.draw(st.lists(st.sampled_from(nodes), unique=True, min_size=2, max_size=8))
+        )
+        projected = project(tree, keep)
+        original_by_order = {node.order: node for node in tree.iter_subtree()}
+        for node in projected.descendants():
+            if node.parent is not None and node.parent.order != tree.order:
+                original = original_by_order[node.order]
+                ancestors = {a.order for a in original.ancestors()}
+                assert node.parent.order in ancestors | {tree.order}
+
+
+class TestUnparseProperty:
+    @FAST
+    @given(query=queries())
+    def test_parse_unparse_parse_identity(self, query):
+        first = parse_expr(query)
+        assert parse_expr(unparse(first)) == first
+
+
+class TestContainmentProperties:
+    STEPS = st.one_of(
+        st.sampled_from(["a", "b", "*"]).map(child),
+        st.sampled_from(["a", "b", "*"]).map(descendant),
+    )
+    PATHS = st.lists(STEPS, min_size=1, max_size=3).map(tuple)
+
+    @FAST
+    @given(path=PATHS)
+    def test_reflexive(self, path):
+        assert pattern_contains(path, path)
+
+    @FAST
+    @given(path=PATHS)
+    def test_dos_extension_contains_base(self, path):
+        assert pattern_contains(path + (dos_node(),), path)
+
+    @FAST
+    @given(a=PATHS, b=PATHS, c=PATHS)
+    def test_transitive(self, a, b, c):
+        if pattern_contains(a, b) and pattern_contains(b, c):
+            assert pattern_contains(a, c)
+
+    @FAST
+    @given(path=PATHS)
+    def test_star_generalization(self, path):
+        generalized = tuple(
+            Step(step.axis, NodeTest(child("*").test.kind), step.first)
+            for step in path
+        )
+        assert pattern_contains(generalized, path)

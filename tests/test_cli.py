@@ -1,0 +1,100 @@
+"""CLI tests (driving ``gcx`` through its main function)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def files(tmp_path):
+    query = tmp_path / "q.xq"
+    query.write_text("<out>{for $b in /bib/book return $b/title}</out>")
+    doc = tmp_path / "d.xml"
+    doc.write_text("<bib><book><title>T</title></book></bib>")
+    return query, doc
+
+
+class TestRun:
+    def test_run_outputs_result(self, files, capsys):
+        query, doc = files
+        assert main(["run", str(query), str(doc)]) == 0
+        out = capsys.readouterr().out
+        assert "<out><title>T</title></out>" in out
+
+    def test_run_with_stats(self, files, capsys):
+        query, doc = files
+        assert main(["run", str(query), str(doc), "--stats"]) == 0
+        assert "hwm" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("engine", ["naive-dom", "projection-only", "flux-like"])
+    def test_run_other_engines(self, files, capsys, engine):
+        query, doc = files
+        assert main(["run", str(query), str(doc), "--engine", engine]) == 0
+        assert "<title>T</title>" in capsys.readouterr().out
+
+    def test_unsupported_reports_na(self, tmp_path, capsys):
+        query = tmp_path / "q.xq"
+        query.write_text("<out>{for $a in //a return $a}</out>")
+        doc = tmp_path / "d.xml"
+        doc.write_text("<r><a/></r>")
+        assert main(["run", str(query), str(doc), "--engine", "flux-like"]) == 1
+        assert "n/a" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_analyze_shows_tree_and_rewriting(self, tmp_path, capsys):
+        query = tmp_path / "q.xq"
+        query.write_text(
+            "<r>{for $bib in /bib return for $b in $bib/book return $b/title}</r>"
+        )
+        assert main(["analyze", str(query)]) == 0
+        out = capsys.readouterr().out
+        assert "projection tree" in out
+        assert "signOff" in out
+        assert "n1: /" in out
+
+
+class TestXmarkCommand:
+    def test_generate_to_file(self, tmp_path, capsys):
+        target = tmp_path / "doc.xml"
+        assert main(["xmark", "0.0005", "-o", str(target)]) == 0
+        content = target.read_text()
+        assert content.startswith("<site>")
+        assert content.endswith("</site>")
+
+
+class TestTable1Command:
+    def test_small_table(self, capsys):
+        assert (
+            main(
+                [
+                    "table1",
+                    "--sizes",
+                    "30k",
+                    "--engines",
+                    "gcx,naive-dom",
+                    "--queries",
+                    "Q1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Q1" in out
+        assert "Shape checks" in out
+
+
+class TestAblationsCommand:
+    def test_runs_and_renders(self, capsys):
+        assert main(["ablations", "--scale", "0.0005", "--queries", "Q1"]) == 0
+        out = capsys.readouterr().out
+        assert "base-scheme" in out
+        assert "identical outputs" in out
+
+
+class TestDtdCommand:
+    def test_prints_dtd(self, capsys):
+        assert main(["dtd"]) == 0
+        out = capsys.readouterr().out
+        assert "<!ELEMENT site" in out
+        assert "ATTLIST" not in out

@@ -1,0 +1,72 @@
+"""Public API tests: the documented entry points keep working."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_evaluate_one_shot(self):
+        output = repro.evaluate(
+            "<o>{for $b in /bib/book return $b/title}</o>",
+            "<bib><book><title>T</title></book></bib>",
+        )
+        assert output == "<o><title>T</title></o>"
+
+    @pytest.mark.parametrize("engine", ["gcx", "naive-dom", "projection-only"])
+    def test_evaluate_engine_parameter(self, engine):
+        output = repro.evaluate(
+            "<o>{for $a in /r/a return <hit/>}</o>", "<r><a/><a/></r>", engine=engine
+        )
+        assert output == "<o><hit/><hit/></o>"
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_docstring_example(self):
+        """The example in the package docstring must actually work."""
+        query = "<out>{for $b in /bib/book return $b/title}</out>"
+        doc = (
+            "<bib><book><title>T1</title></book>"
+            "<book><title>T2</title></book></bib>"
+        )
+        result = repro.GCXEngine().run(query, doc)
+        assert result.output == "<out><title>T1</title><title>T2</title></out>"
+
+
+class TestCompileApi:
+    def test_compile_query_returns_artifacts(self):
+        compiled = repro.compile_query(
+            "<o>{for $b in /bib/book return $b/title}</o>"
+        )
+        assert compiled.projection_tree.node_count() >= 3
+        assert compiled.variables.names[0] == "$root"
+        assert compiled.rewritten is not compiled.normalized
+
+    def test_compile_options_roundtrip(self):
+        options = repro.CompileOptions(early_updates=False)
+        compiled = repro.compile_query("<o>{$root/a}</o>", options)
+        assert compiled.options == options
+
+    def test_parse_unparse_exports(self):
+        query = repro.parse_query("<o>{()}</o>")
+        assert repro.unparse(query) == "<o/>"
+
+
+class TestEngineRegistry:
+    def test_engines_share_interface(self):
+        for name, factory in repro.ENGINES.items():
+            engine = factory()
+            assert hasattr(engine, "compile")
+            assert hasattr(engine, "run")
+            assert hasattr(engine, "name")
+            assert engine.name == name
+
+    def test_xmark_exports(self):
+        assert len(repro.TABLE1_QUERIES) == 5
+        doc = repro.generate_xmark(0.0005, seed=1)
+        assert doc.startswith("<site>")

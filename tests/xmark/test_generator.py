@@ -1,0 +1,128 @@
+"""XMark generator tests: determinism, schema conformance, scaling."""
+
+import pytest
+
+from repro.xmark import (
+    ELEMENT_CHILDREN,
+    REGIONS,
+    XMarkConfig,
+    generate_xmark,
+    validate_order,
+    xmark_scale_for_bytes,
+)
+from repro.xmlio import parse_tree
+from repro.xmlio.tree import ElementNode, TextNode
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return generate_xmark(0.001, seed=11)
+
+
+@pytest.fixture(scope="module")
+def tree(doc):
+    return parse_tree(doc)
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        assert generate_xmark(0.0005, seed=3) == generate_xmark(0.0005, seed=3)
+
+    def test_different_seed_different_document(self):
+        assert generate_xmark(0.0005, seed=3) != generate_xmark(0.0005, seed=4)
+
+
+class TestWellFormedness:
+    def test_parses(self, tree):
+        assert tree.root_element.tag == "site"
+
+    def test_top_level_structure(self, tree):
+        tags = [c.tag for c in tree.root_element.children if isinstance(c, ElementNode)]
+        assert tags == [
+            "regions",
+            "categories",
+            "catgraph",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+        ]
+
+    def test_all_regions_present(self, tree):
+        regions = next(c for c in tree.root_element.children if c.tag == "regions")
+        assert [c.tag for c in regions.children] == list(REGIONS)
+
+    def test_schema_conformance(self, tree):
+        """Every element's children satisfy the (simplified) content model."""
+        checked = 0
+        for node in tree.root_element.iter_subtree():
+            if not isinstance(node, ElementNode):
+                continue
+            child_tags = [
+                c.tag for c in node.children if isinstance(c, ElementNode)
+            ]
+            if node.tag in ELEMENT_CHILDREN and child_tags:
+                assert validate_order(node.tag, child_tags), (
+                    f"<{node.tag}> children {child_tags}"
+                )
+                checked += 1
+        assert checked > 50
+
+
+class TestReferentialIntegrity:
+    def test_buyer_references_existing_persons(self, tree, doc):
+        config = XMarkConfig.for_scale(0.001)
+        site = tree.root_element
+        closed = next(c for c in site.children if c.tag == "closed_auctions")
+        for auction in closed.children:
+            buyer = next(c for c in auction.children if c.tag == "buyer")
+            ref = buyer.string_value()
+            assert ref.startswith("person")
+            assert int(ref[len("person"):]) < config.persons
+
+    def test_person0_exists(self, doc):
+        assert "<person><id>person0</id>" in doc
+
+    def test_incomes_are_numeric(self, tree):
+        site = tree.root_element
+        people = next(c for c in site.children if c.tag == "people")
+        incomes = [
+            node.string_value()
+            for node in people.iter_subtree()
+            if isinstance(node, ElementNode) and node.tag == "income"
+        ]
+        assert incomes, "some persons must have incomes"
+        for income in incomes:
+            float(income)
+
+    def test_some_persons_lack_income(self, tree):
+        """Q20's <na> bucket must be non-empty in expectation."""
+        site = tree.root_element
+        people = next(c for c in site.children if c.tag == "people")
+        persons = [c for c in people.children if isinstance(c, ElementNode)]
+        without = [
+            p
+            for p in persons
+            if not any(
+                isinstance(n, ElementNode) and n.tag == "income"
+                for n in p.iter_subtree()
+            )
+        ]
+        assert without
+
+
+class TestScaling:
+    def test_size_roughly_linear_in_scale(self):
+        small = len(generate_xmark(0.0005, seed=5))
+        large = len(generate_xmark(0.002, seed=5))
+        assert 2.5 < large / small < 6.0
+
+    def test_scale_for_bytes_estimate(self):
+        scale = xmark_scale_for_bytes(100_000)
+        actual = len(generate_xmark(scale, seed=5))
+        assert 30_000 < actual < 300_000
+
+    def test_config_counts(self):
+        config = XMarkConfig.for_scale(0.01)
+        assert config.persons == 255
+        assert config.items == 218  # 21750 * 0.01, rounded
+        assert config.closed_auctions == 98

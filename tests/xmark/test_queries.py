@@ -1,0 +1,169 @@
+"""Adapted XMark query tests: parseability, compilation, semantics."""
+
+import pytest
+
+from repro.analysis import compile_query
+from repro.baselines import FluxLikeEngine, NaiveDomEngine, UnsupportedQueryError
+from repro.engine import GCXEngine
+from repro.xmark import TABLE1_QUERIES, XMARK_QUERIES
+from repro.xquery import parse_query
+
+
+class TestAdaptations:
+    def test_table1_rows_present(self):
+        assert TABLE1_QUERIES == ("Q1", "Q6", "Q8", "Q13", "Q20")
+        assert set(TABLE1_QUERIES) <= set(XMARK_QUERIES)
+
+    @pytest.mark.parametrize("name", TABLE1_QUERIES)
+    def test_adapted_queries_parse_and_compile(self, name):
+        query = XMARK_QUERIES[name]
+        parse_query(query.adapted)
+        compiled = compile_query(query.adapted)
+        assert compiled.projection_tree.node_count() >= 3
+
+    def test_q6_flagged_descendant(self):
+        assert XMARK_QUERIES["Q6"].uses_descendant
+        with pytest.raises(UnsupportedQueryError):
+            FluxLikeEngine().compile(XMARK_QUERIES["Q6"].adapted)
+
+    def test_q8_flagged_join(self):
+        assert XMARK_QUERIES["Q8"].joins
+
+    def test_original_texts_recorded(self):
+        for query in XMARK_QUERIES.values():
+            assert query.original
+            assert query.title
+
+
+class TestSemantics:
+    """Check query results against independently computed answers."""
+
+    @pytest.fixture(scope="class")
+    def doc(self, request):
+        from repro.xmark import generate_xmark
+
+        return generate_xmark(0.0008, seed=23)
+
+    @pytest.fixture(scope="class")
+    def dom(self, doc):
+        from repro.xmlio import parse_tree
+
+        return parse_tree(doc)
+
+    def test_q1_returns_person0_name(self, doc, dom):
+        from repro.xmlio.tree import ElementNode
+
+        output = GCXEngine().run(XMARK_QUERIES["Q1"].adapted, doc).output
+        people = next(
+            c for c in dom.root_element.children if c.tag == "people"
+        )
+        person0 = next(
+            p
+            for p in people.children
+            if isinstance(p, ElementNode)
+            and any(
+                c.tag == "id" and c.string_value() == "person0"
+                for c in p.children
+                if isinstance(c, ElementNode)
+            )
+        )
+        name = next(c for c in person0.children if getattr(c, "tag", "") == "name")
+        assert name.string_value() in output
+
+    def test_q6_outputs_every_item(self, doc):
+        output = GCXEngine().run(XMARK_QUERIES["Q6"].adapted, doc).output
+        assert output.count("<item>") == doc.count("<item><id>item")
+
+    def test_q8_sale_counts_match_dom_join(self, doc, dom):
+        from repro.xmlio.tree import ElementNode
+
+        output = GCXEngine().run(XMARK_QUERIES["Q8"].adapted, doc).output
+        # Independent join: count closed auctions per buyer.
+        site = dom.root_element
+        closed = next(c for c in site.children if c.tag == "closed_auctions")
+        buyers = [
+            next(c for c in auction.children if c.tag == "buyer").string_value()
+            for auction in closed.children
+            if isinstance(auction, ElementNode)
+        ]
+        total_sales = 0
+        people = next(c for c in site.children if c.tag == "people")
+        for person in people.children:
+            if not isinstance(person, ElementNode):
+                continue
+            pid = next(
+                c.string_value()
+                for c in person.children
+                if isinstance(c, ElementNode) and c.tag == "id"
+            )
+            total_sales += buyers.count(pid)
+        assert output.count("<sale/>") == total_sales
+
+    def test_q13_australia_only(self, doc):
+        output = GCXEngine().run(XMARK_QUERIES["Q13"].adapted, doc).output
+        # Australia holds ~10% of items; every australian item contributes
+        # exactly one result element with name text and description.
+        australia = doc.split("<australia>")[1].split("</australia>")[0]
+        assert output.count("<item>") == australia.count("<item><id>item")
+
+    def test_q20_brackets_partition_persons(self, doc, dom):
+        from repro.xmlio.tree import ElementNode
+
+        output = GCXEngine().run(XMARK_QUERIES["Q20"].adapted, doc).output
+        site = dom.root_element
+        people = next(c for c in site.children if c.tag == "people")
+        expected = {"preferred": 0, "standard": 0, "challenge": 0, "na": 0}
+        for person in people.children:
+            if not isinstance(person, ElementNode):
+                continue
+            incomes = [
+                n.string_value()
+                for n in person.iter_subtree()
+                if isinstance(n, ElementNode) and n.tag == "income"
+            ]
+            if not incomes:
+                expected["na"] += 1
+            elif float(incomes[0]) >= 100_000:
+                expected["preferred"] += 1
+            elif float(incomes[0]) >= 30_000:
+                expected["standard"] += 1
+            else:
+                expected["challenge"] += 1
+        for bucket, count in expected.items():
+            assert output.count(f"<{bucket}/>") == count, bucket
+
+
+class TestExtraQueries:
+    """Q15 and Q17 are extras beyond Table 1 (deep paths, negated exists)."""
+
+    @pytest.mark.parametrize("name", ["Q15", "Q17"])
+    def test_parse_and_compile(self, name):
+        compile_query(XMARK_QUERIES[name].adapted)
+
+    @pytest.mark.parametrize("name", ["Q15", "Q17"])
+    def test_all_engines_agree(self, name):
+        from repro.xmark import generate_xmark
+        from tests.helpers import assert_engines_agree
+
+        doc = generate_xmark(0.0008, seed=23)
+        assert_engines_agree(XMARK_QUERIES[name].adapted, doc)
+
+    def test_q17_counts_persons_without_homepage(self):
+        from repro.xmark import generate_xmark
+
+        doc = generate_xmark(0.0008, seed=23)
+        output = GCXEngine().run(XMARK_QUERIES["Q17"].adapted, doc).output
+        persons = doc.count("<person><id>person")
+        with_homepage = doc.count("<homepage>")
+        assert output.count("<person>") == persons - with_homepage
+
+    def test_q15_memory_flat(self):
+        from repro.xmark import generate_xmark
+
+        small = GCXEngine().run(
+            XMARK_QUERIES["Q15"].adapted, generate_xmark(0.001, seed=5)
+        )
+        large = GCXEngine().run(
+            XMARK_QUERIES["Q15"].adapted, generate_xmark(0.004, seed=5)
+        )
+        assert large.stats.hwm_nodes <= small.stats.hwm_nodes + 5

@@ -1,0 +1,88 @@
+"""Tests for the file-backed streaming tokenizer."""
+
+import io
+
+import pytest
+
+from repro.xmlio import tokenize
+from repro.xmlio.filelexer import FileTokenizer, tokenize_file
+from repro.xmlio.lexer import XMLSyntaxError
+
+
+def file_tokens(text: str, chunk_size: int = 16):
+    return list(
+        FileTokenizer(io.StringIO(text), chunk_size=chunk_size)
+    )
+
+
+class TestEquivalenceWithStringTokenizer:
+    CASES = [
+        "<a/>",
+        "<a><b>text</b><c/></a>",
+        "<a>long text content that spans several chunks for sure</a>",
+        '<a x="1" y="2"><b/></a>',
+        "<a><!-- comment spanning -->x</a>",
+        "<a><![CDATA[raw <markup> here]]></a>",
+        "<?xml version='1.0'?><a>t</a>",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    @pytest.mark.parametrize("chunk_size", [16, 17, 31, 1024])
+    def test_same_tokens(self, text, chunk_size):
+        assert file_tokens(text, chunk_size) == list(tokenize(text))
+
+    def test_chunk_boundary_inside_tag_name(self):
+        # Force boundaries at every offset of a small document.
+        text = "<root><element-with-a-long-name attr='v'>x</element-with-a-long-name></root>"
+        expected = list(tokenize(text))
+        for chunk_size in range(16, 40):
+            assert file_tokens(text, chunk_size) == expected
+
+
+class TestBoundedMemory:
+    def test_window_stays_small(self):
+        body = "".join(f"<item><id>{i}</id></item>" for i in range(2000))
+        text = f"<list>{body}</list>"
+        tokenizer = FileTokenizer(io.StringIO(text), chunk_size=512)
+        peak = 0
+        for _token in tokenizer:
+            peak = max(peak, tokenizer.window_size)
+        assert peak < 4 * 512  # window ~ chunk size, not document size
+
+    def test_error_positions_account_for_compaction(self):
+        text = "<list>" + "<i/>" * 500 + "<broken"
+        tokenizer = FileTokenizer(io.StringIO(text), chunk_size=64)
+        with pytest.raises(XMLSyntaxError) as info:
+            list(tokenizer)
+        assert info.value.position > 1000  # absolute, not window-relative
+
+
+class TestTokenizeFile:
+    def test_from_path(self, tmp_path):
+        target = tmp_path / "doc.xml"
+        target.write_text("<a><b>hi</b></a>", encoding="utf-8")
+        assert list(tokenize_file(target)) == list(tokenize("<a><b>hi</b></a>"))
+
+    def test_from_file_object(self):
+        handle = io.StringIO("<a><b/></a>")
+        assert list(tokenize_file(handle)) == list(tokenize("<a><b/></a>"))
+
+    def test_engine_runs_from_file(self, tmp_path):
+        from repro.engine import GCXEngine
+
+        target = tmp_path / "doc.xml"
+        target.write_text(
+            "<bib><book><title>T</title></book></bib>", encoding="utf-8"
+        )
+        result = GCXEngine().run(
+            "<o>{for $b in /bib/book return $b/title}</o>",
+            tokenize_file(target, chunk_size=8),
+        )
+        assert result.output == "<o><title>T</title></o>"
+
+    def test_xmark_document_roundtrip(self, tmp_path, xmark_doc_small):
+        target = tmp_path / "xmark.xml"
+        target.write_text(xmark_doc_small, encoding="utf-8")
+        streamed = list(tokenize_file(target, chunk_size=1000))
+        in_memory = list(tokenize(xmark_doc_small))
+        assert streamed == in_memory

@@ -1,0 +1,44 @@
+"""Tests for token-stream serialization."""
+
+from repro.xmlio import EndTag, StartTag, StringSink, Text, serialize_tokens, tokenize
+
+
+class TestSerializeTokens:
+    def test_collapses_empty_elements(self):
+        assert serialize_tokens([StartTag("a"), EndTag("a")]) == "<a/>"
+
+    def test_nested(self):
+        tokens = [StartTag("a"), StartTag("b"), EndTag("b"), EndTag("a")]
+        assert serialize_tokens(tokens) == "<a><b/></a>"
+
+    def test_text_is_escaped(self):
+        tokens = [StartTag("a"), Text("x < y & z"), EndTag("a")]
+        assert serialize_tokens(tokens) == "<a>x &lt; y &amp; z</a>"
+
+    def test_text_prevents_collapse(self):
+        tokens = [StartTag("a"), Text("t"), EndTag("a")]
+        assert serialize_tokens(tokens) == "<a>t</a>"
+
+    def test_roundtrip_with_tokenizer(self):
+        text = "<a><b>one</b><c/>two<d><e/></d></a>"
+        assert serialize_tokens(tokenize(text)) == text
+
+    def test_indent_mode_runs(self):
+        tokens = [StartTag("a"), StartTag("b"), EndTag("b"), EndTag("a")]
+        rendered = serialize_tokens(tokens, indent="  ")
+        assert "<a>" in rendered and "<b/>" in rendered
+
+
+class TestStringSink:
+    def test_token_count(self):
+        sink = StringSink()
+        sink.write_all([StartTag("a"), Text("x"), EndTag("a")])
+        assert sink.token_count == 3
+        assert sink.getvalue() == "<a>x</a>"
+
+    def test_incremental_getvalue_is_stable(self):
+        sink = StringSink()
+        sink.write(StartTag("a"))
+        sink.write(EndTag("a"))
+        assert sink.getvalue() == "<a/>"
+        assert sink.getvalue() == "<a/>"

@@ -1,0 +1,119 @@
+"""Tests for the DOM tree and Definition 1's projection."""
+
+import pytest
+
+from repro.xmlio import (
+    DocumentNode,
+    ElementNode,
+    TextNode,
+    parse_tree,
+    project,
+    serialize_tree,
+)
+
+
+@pytest.fixture
+def small_tree():
+    return parse_tree("<a><c/><d><b/></d><a2>txt</a2></a>")
+
+
+class TestParseTree:
+    def test_document_root(self, small_tree):
+        assert isinstance(small_tree, DocumentNode)
+        assert small_tree.root_element.tag == "a"
+
+    def test_document_order_is_monotone(self, small_tree):
+        orders = [node.order for node in small_tree.iter_subtree()]
+        assert orders == sorted(orders)
+        assert len(set(orders)) == len(orders)
+
+    def test_parents_are_set(self, small_tree):
+        for node in small_tree.descendants():
+            assert node.parent is not None
+            assert node in node.parent.children
+
+    def test_size(self, small_tree):
+        # doc + a + c + d + b + a2 + text
+        assert small_tree.size == 7
+
+    def test_string_value_concatenates_descendant_text(self):
+        tree = parse_tree("<a>x<b>y</b>z</a>")
+        assert tree.root_element.string_value() == "xyz"
+
+    def test_ancestors(self, small_tree):
+        b = next(
+            node
+            for node in small_tree.iter_subtree()
+            if isinstance(node, ElementNode) and node.tag == "b"
+        )
+        tags = [
+            getattr(ancestor, "tag", "/") for ancestor in b.ancestors()
+        ]
+        assert tags == ["d", "a", "/"]
+
+
+class TestSerializeTree:
+    def test_roundtrip(self):
+        text = "<a><b>hi</b><c/></a>"
+        assert serialize_tree(parse_tree(text)) == text
+
+    def test_escaping(self):
+        tree = parse_tree("<a>x &amp; y</a>")
+        assert serialize_tree(tree) == "<a>x &amp; y</a>"
+
+
+class TestProjectionDefinition1:
+    """The worked example of Figure 3."""
+
+    @pytest.fixture
+    def figure3_tree(self):
+        # T: a(n1) with children c(n2), d(n3); d has child b(n4); a child a(n5)
+        return parse_tree("<a><c/><d><b/></d><a/></a>")
+
+    def _nodes_by_path(self, tree):
+        n1 = tree.root_element
+        n2, n3, n5 = n1.children
+        (n4,) = n3.children
+        return n1, n2, n3, n4, n5
+
+    def test_projection_keeps_selected_nodes_and_promotes(self, figure3_tree):
+        n1, n2, n3, n4, n5 = self._nodes_by_path(figure3_tree)
+        projected = project(figure3_tree, {n1, n4, n5})
+        # Pi_{n1,n4,n5}(T): a with children b (promoted) and a.
+        assert serialize_tree(projected) == "<a><b/><a/></a>"
+
+    def test_projection_preserves_ancestor_descendant(self, figure3_tree):
+        n1, n2, n3, n4, n5 = self._nodes_by_path(figure3_tree)
+        projected = project(figure3_tree, {n1, n3, n4})
+        assert serialize_tree(projected) == "<a><d><b/></d></a>"
+
+    def test_projection_with_predicate(self, figure3_tree):
+        projected = project(
+            figure3_tree,
+            lambda node: isinstance(node, ElementNode) and node.tag in ("a", "b"),
+        )
+        assert serialize_tree(projected) == "<a><b/><a/></a>"
+
+    def test_projection_preserves_following_order(self):
+        tree = parse_tree("<r><x><k1/></x><k2/></r>")
+        projected = project(
+            tree,
+            lambda node: isinstance(node, ElementNode) and node.tag.startswith("k"),
+        )
+        assert serialize_tree(projected) == "<k1/><k2/>"
+
+    def test_projection_keeps_original_orders(self, figure3_tree):
+        n1, n2, n3, n4, n5 = self._nodes_by_path(figure3_tree)
+        projected = project(figure3_tree, {n1, n4, n5})
+        orders = sorted(node.order for node in projected.descendants())
+        assert orders == sorted([n1.order, n4.order, n5.order])
+
+    def test_projection_does_not_mutate_original(self, figure3_tree):
+        before = serialize_tree(figure3_tree)
+        project(figure3_tree, lambda node: False)
+        assert serialize_tree(figure3_tree) == before
+
+    def test_text_nodes_projectable(self):
+        tree = parse_tree("<a><b>keep</b></a>")
+        projected = project(tree, lambda node: isinstance(node, TextNode))
+        assert serialize_tree(projected) == "keep"

@@ -1,0 +1,138 @@
+"""Tests for query normalization (Section 3's rewritings)."""
+
+import pytest
+
+from repro.xquery import (
+    Empty,
+    ForLoop,
+    IfThenElse,
+    NormalizationError,
+    PathOutput,
+    parse_expr,
+    parse_query,
+    normalize,
+    unparse,
+    validate_core,
+)
+from repro.xquery.normalize import (
+    FreshVariables,
+    expand_multistep,
+    inline_lets,
+    used_variables,
+    where_to_if,
+)
+
+
+class TestWhereToIf:
+    def test_where_becomes_if(self):
+        expr = parse_expr('for $x in $y/a where $x/b = "1" return $x')
+        rewritten = where_to_if(expr)
+        assert rewritten.where is None
+        assert isinstance(rewritten.body, IfThenElse)
+        assert isinstance(rewritten.body.else_branch, Empty)
+
+    def test_nested_wheres(self):
+        expr = parse_expr(
+            "for $x in $y/a where exists $x/k return "
+            "for $z in $x/b where exists $z/k return $z"
+        )
+        rewritten = where_to_if(expr)
+        assert rewritten.where is None
+        assert rewritten.body.then_branch.where is None
+
+
+class TestLetInlining:
+    def test_path_extension(self):
+        expr = parse_expr("let $n := $p/name return <r>{$n/text()}</r>")
+        inlined = inline_lets(expr)
+        assert unparse(inlined) == "<r>{$p/name/text()}</r>"
+
+    def test_bare_var_becomes_path_output(self):
+        expr = parse_expr("let $n := $p/name return $n")
+        assert inline_lets(expr) == PathOutput("$p", parse_expr("$p/name").path)
+
+    def test_let_in_for_source(self):
+        expr = parse_expr("let $n := $p/a return for $x in $n/b return $x")
+        inlined = inline_lets(expr)
+        assert isinstance(inlined, ForLoop)
+        assert inlined.source == "$p"
+        assert len(inlined.path) == 2
+
+    def test_let_in_condition(self):
+        expr = parse_expr(
+            "let $f := $p/profile return if (exists $f/income) then <t/> else ()"
+        )
+        inlined = inline_lets(expr)
+        assert inlined.cond.var == "$p"
+        assert len(inlined.cond.path) == 2
+
+    def test_nested_lets(self):
+        expr = parse_expr(
+            "let $a := $r/x return let $b := $a/y return $b/z"
+        )
+        inlined = inline_lets(expr)
+        assert inlined == PathOutput("$r", parse_expr("$r/x/y/z").path)
+
+    def test_rebinding_rejected(self):
+        expr = parse_expr("let $n := $p/a return for $n in $p/b return $n")
+        with pytest.raises(NormalizationError):
+            inline_lets(expr)
+
+
+class TestMultistepExpansion:
+    def test_for_loop_expansion(self):
+        expr = parse_expr("for $t in /site/people/person return $t")
+        fresh = FreshVariables(used_variables(expr))
+        expanded = expand_multistep(expr, fresh)
+        # Three nested single-step loops.
+        assert isinstance(expanded, ForLoop) and len(expanded.path) == 1
+        inner = expanded.body
+        assert isinstance(inner, ForLoop) and len(inner.path) == 1
+        innermost = inner.body
+        assert isinstance(innermost, ForLoop) and innermost.var == "$t"
+
+    def test_output_expansion(self):
+        expr = parse_expr("for $p in $r/p return $p/name/text()")
+        fresh = FreshVariables(used_variables(expr))
+        expanded = expand_multistep(expr, fresh)
+        body = expanded.body
+        assert isinstance(body, ForLoop)
+        assert isinstance(body.body, PathOutput)
+        assert len(body.body.path) == 1
+
+    def test_fresh_variables_do_not_collide(self):
+        expr = parse_expr("for $v1 in $r/a/b return $v1")
+        fresh = FreshVariables(used_variables(expr))
+        expanded = expand_multistep(expr, fresh)
+        assert expanded.var != "$v1"
+        assert expanded.body.var == "$v1"
+
+
+class TestFullPipeline:
+    def test_normalize_produces_core(self):
+        query = parse_query(
+            '<r>{for $p in /site/people/person where $p/id = "p0" '
+            "return let $n := $p/name return $n}</r>"
+        )
+        normalized = normalize(query)
+        validate_core(normalized)  # must not raise
+
+    def test_conditions_may_keep_multistep(self):
+        query = parse_query(
+            "<r>{for $p in /ps/p return "
+            'if ($p/profile/income >= "100") then <rich/> else ()}</r>'
+        )
+        validate_core(normalize(query))
+
+    def test_core_violations_detected(self):
+        query = parse_query("<r>{for $p in /a/b return $p}</r>")
+        with pytest.raises(NormalizationError):
+            validate_core(query)  # multi-step before normalization
+
+    def test_normalization_is_idempotent(self):
+        query = parse_query(
+            "<r>{for $p in /site/people/person return $p/name}</r>"
+        )
+        once = normalize(query)
+        twice = normalize(once)
+        assert once == twice

@@ -1,0 +1,243 @@
+"""Tests for the XQ parser, one per grammar production of Figure 6."""
+
+import pytest
+
+from repro.xquery import (
+    And,
+    Comparison,
+    Element,
+    Empty,
+    Exists,
+    ForLoop,
+    IfThenElse,
+    LetBinding,
+    LiteralOperand,
+    Not,
+    Or,
+    PathOperand,
+    PathOutput,
+    Sequence,
+    SignOff,
+    TextLiteral,
+    TrueCond,
+    VarRef,
+    XQSyntaxError,
+    parse_expr,
+    parse_query,
+)
+from repro.xquery.paths import Axis, child, descendant
+
+
+class TestConstructors:
+    def test_query_is_element(self):
+        query = parse_query("<r>{()}</r>")
+        assert query.root == Element("r", Empty())
+
+    def test_empty_element_forms(self):
+        assert parse_expr("<a/>") == Element("a", Empty())
+        assert parse_expr("<a></a>") == Element("a", Empty())
+
+    def test_nested_constructors(self):
+        expr = parse_expr("<a><b/><c/></a>")
+        assert expr == Element("a", Sequence((Element("b", Empty()), Element("c", Empty()))))
+
+    def test_literal_text_content(self):
+        assert parse_expr("<a>hello world</a>") == Element(
+            "a", TextLiteral("hello world")
+        )
+
+    def test_mixed_content(self):
+        expr = parse_expr("<a>x{$v}y</a>")
+        assert expr == Element(
+            "a", Sequence((TextLiteral("x"), VarRef("$v"), TextLiteral("y")))
+        )
+
+    def test_multiple_enclosed_expressions(self):
+        expr = parse_expr("<a>{$x}{$y}</a>")
+        assert expr == Element("a", Sequence((VarRef("$x"), VarRef("$y"))))
+
+    def test_mismatched_close_rejected(self):
+        with pytest.raises(XQSyntaxError):
+            parse_expr("<a></b>")
+
+    def test_query_must_be_constructor(self):
+        with pytest.raises(XQSyntaxError):
+            parse_query("for $x in /a return $x")
+
+
+class TestSequencesAndEmpty:
+    def test_empty(self):
+        assert parse_expr("()") == Empty()
+
+    def test_sequence_flattens(self):
+        expr = parse_expr("($a, (), ($b, $c))")
+        assert expr == Sequence((VarRef("$a"), VarRef("$b"), VarRef("$c")))
+
+    def test_singleton_parens(self):
+        assert parse_expr("($a)") == VarRef("$a")
+
+
+class TestPaths:
+    def test_var_ref(self):
+        assert parse_expr("$x") == VarRef("$x")
+
+    def test_single_step_output(self):
+        assert parse_expr("$x/title") == PathOutput("$x", (child("title"),))
+
+    def test_multi_step_output(self):
+        assert parse_expr("$x/a/b") == PathOutput("$x", (child("a"), child("b")))
+
+    def test_descendant_abbreviation(self):
+        assert parse_expr("$x//b") == PathOutput("$x", (descendant("b"),))
+
+    def test_explicit_axes(self):
+        assert parse_expr("$x/child::a") == PathOutput("$x", (child("a"),))
+        assert parse_expr("$x/descendant::a") == PathOutput("$x", (descendant("a"),))
+
+    def test_dos_axis(self):
+        expr = parse_expr("signOff($x/dos::node(), r1)")
+        assert expr.path[0].axis is Axis.DOS
+
+    def test_wildcard_and_tests(self):
+        assert parse_expr("$x/*").path[0].test.matches_element("anything")
+        assert parse_expr("$x/text()").path[0].test.matches_text()
+        node_path = parse_expr("$x/node()").path[0]
+        assert node_path.test.matches_text()
+        assert node_path.test.matches_element("e")
+
+    def test_attribute_step_becomes_child(self):
+        expr = parse_expr("for $p in /ps/p return if ($p/@id = \"x\") then $p else ()")
+        cond = expr.body.cond
+        assert cond.left.path == (child("id"),)
+
+
+class TestForLet:
+    def test_for_loop(self):
+        expr = parse_expr("for $x in $y/a return $x")
+        assert expr == ForLoop("$x", "$y", (child("a"),), VarRef("$x"))
+
+    def test_for_with_absolute_path(self):
+        expr = parse_expr("for $x in /bib return $x")
+        assert expr.source == "$root"
+        assert expr.path == (child("bib"),)
+
+    def test_for_with_where(self):
+        expr = parse_expr('for $x in $y/a where $x/b = "1" return $x')
+        assert isinstance(expr.where, Comparison)
+
+    def test_let(self):
+        expr = parse_expr("let $n := $p/name return <r>{$n}</r>")
+        assert expr == LetBinding(
+            "$n", "$p", (child("name"),), Element("r", VarRef("$n"))
+        )
+
+    def test_comma_binds_looser_than_return(self):
+        expr = parse_expr("(for $x in $y/a return $x, $z)")
+        assert isinstance(expr, Sequence)
+        assert isinstance(expr.items[0], ForLoop)
+        assert expr.items[1] == VarRef("$z")
+
+
+class TestConditions:
+    def test_true(self):
+        assert parse_expr("if (true()) then $a else $b") == IfThenElse(
+            TrueCond(), VarRef("$a"), VarRef("$b")
+        )
+
+    def test_exists_with_parens(self):
+        expr = parse_expr("if (exists($x/price)) then $a else ()")
+        assert expr.cond == Exists("$x", (child("price"),))
+
+    def test_exists_without_parens(self):
+        expr = parse_expr("if (exists $x/price) then $a else ()")
+        assert expr.cond == Exists("$x", (child("price"),))
+
+    def test_comparison_with_literal(self):
+        expr = parse_expr('if ($x/id = "p0") then $a else ()')
+        assert expr.cond == Comparison(
+            PathOperand("$x", (child("id"),)), "=", LiteralOperand("p0")
+        )
+
+    @pytest.mark.parametrize("op", ["<=", "<", "=", ">=", ">"])
+    def test_all_relops(self, op):
+        expr = parse_expr(f'if ($x/v {op} "1") then $a else ()')
+        assert expr.cond.op == op
+
+    def test_path_path_comparison(self):
+        expr = parse_expr("if ($x/k = $y/k) then $a else ()")
+        assert expr.cond == Comparison(
+            PathOperand("$x", (child("k"),)), "=", PathOperand("$y", (child("k"),))
+        )
+
+    def test_and_or_precedence(self):
+        expr = parse_expr(
+            "if (exists $x/a or exists $x/b and exists $x/c) then $a else ()"
+        )
+        # and binds tighter than or
+        assert isinstance(expr.cond, Or)
+        assert isinstance(expr.cond.right, And)
+
+    def test_not(self):
+        expr = parse_expr("if (not(exists $x/a)) then $a else ()")
+        assert expr.cond == Not(Exists("$x", (child("a"),)))
+
+    def test_nested_parens(self):
+        expr = parse_expr("if ((exists $x/a or exists $x/b) and exists $x/c) then $a else ()")
+        assert isinstance(expr.cond, And)
+        assert isinstance(expr.cond.left, Or)
+
+
+class TestSignOff:
+    def test_bare_variable(self):
+        assert parse_expr("signOff($x, r3)") == SignOff("$x", (), "r3")
+
+    def test_with_path(self):
+        expr = parse_expr("signOff($x/price[1], r4)")
+        assert expr.path == (child("price", first=True),)
+
+    def test_position_syntax(self):
+        expr = parse_expr("signOff($x/price[position() = 1], r4)")
+        assert expr.path[0].first
+
+    def test_dos_path(self):
+        expr = parse_expr("signOff($b/title/dos::node(), r7)")
+        assert len(expr.path) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "for $x in return $x",
+            "if exists $x/a then $a",  # missing else
+            "$x/",
+            "for $x $y return $x",
+            "<a>{$x}</b>",
+            "signOff($x r1)",
+            '$x = "unterminated',
+            "(a, b",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(XQSyntaxError):
+            parse_expr(bad)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XQSyntaxError):
+            parse_query("<a>{()}</a> extra")
+
+    def test_error_has_line_and_column(self):
+        with pytest.raises(XQSyntaxError) as info:
+            parse_expr("for $x in\n return $x")
+        assert "line" in str(info.value)
+
+
+class TestComments:
+    def test_xquery_comments_skipped(self):
+        expr = parse_expr("(: a comment :) $x")
+        assert expr == VarRef("$x")
+
+    def test_comment_inside_expression(self):
+        expr = parse_expr("for $x in $y/a (: loop :) return $x")
+        assert isinstance(expr, ForLoop)

@@ -1,0 +1,97 @@
+"""Tests for location steps and node tests."""
+
+import pytest
+
+from repro.xquery.paths import (
+    Axis,
+    NODE_TEST,
+    NodeTest,
+    STAR_TEST,
+    Step,
+    TEXT_TEST,
+    child,
+    descendant,
+    dos_node,
+    format_path,
+    tag_test,
+)
+
+
+class TestNodeTest:
+    def test_tag_matches_only_its_tag(self):
+        test = tag_test("book")
+        assert test.matches_element("book")
+        assert not test.matches_element("title")
+        assert not test.matches_text()
+
+    def test_star_matches_elements_not_text(self):
+        assert STAR_TEST.matches_element("anything")
+        assert not STAR_TEST.matches_text()
+
+    def test_node_matches_everything(self):
+        assert NODE_TEST.matches_element("x")
+        assert NODE_TEST.matches_text()
+
+    def test_text_matches_text_only(self):
+        assert TEXT_TEST.matches_text()
+        assert not TEXT_TEST.matches_element("x")
+
+    def test_tag_test_requires_name(self):
+        with pytest.raises(ValueError):
+            NodeTest(tag_test("a").kind, None)
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            (tag_test("a"), tag_test("a"), True),
+            (tag_test("a"), tag_test("b"), False),
+            (tag_test("a"), STAR_TEST, True),
+            (tag_test("a"), NODE_TEST, True),
+            (TEXT_TEST, tag_test("a"), False),
+            (TEXT_TEST, NODE_TEST, True),
+            (STAR_TEST, NODE_TEST, True),
+        ],
+    )
+    def test_overlaps(self, a, b, expected):
+        assert a.overlaps(b) == expected
+        assert b.overlaps(a) == expected
+
+    @pytest.mark.parametrize(
+        "container, contained, expected",
+        [
+            (NODE_TEST, TEXT_TEST, True),
+            (NODE_TEST, tag_test("a"), True),
+            (STAR_TEST, tag_test("a"), True),
+            (STAR_TEST, TEXT_TEST, False),
+            (tag_test("a"), tag_test("a"), True),
+            (tag_test("a"), STAR_TEST, False),
+            (TEXT_TEST, TEXT_TEST, True),
+        ],
+    )
+    def test_contains(self, container, contained, expected):
+        assert container.contains(contained) == expected
+
+
+class TestSteps:
+    def test_constructors(self):
+        assert child("a") == Step(Axis.CHILD, tag_test("a"))
+        assert descendant("*") == Step(Axis.DESCENDANT, STAR_TEST)
+        assert dos_node() == Step(Axis.DOS, NODE_TEST)
+
+    def test_first_predicate(self):
+        step = child("price", first=True)
+        assert step.first
+        assert step.without_first() == child("price")
+        plain = child("price")
+        assert plain.without_first() is plain  # no-op returns the same object
+
+    def test_str_forms(self):
+        assert str(child("a")) == "a"
+        assert str(child("price", first=True)) == "price[1]"
+        assert str(descendant("b")) == "descendant::b"
+        assert str(dos_node()) == "dos::node()"
+
+    def test_format_path(self):
+        path = (child("title"), dos_node())
+        assert format_path(path) == "/title/dos::node()"
+        assert format_path(path, leading_slash=False) == "title/dos::node()"

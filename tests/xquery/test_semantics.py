@@ -1,0 +1,100 @@
+"""Tests for variable analysis: VarsQ, parVarQ, varpath, scoping."""
+
+import pytest
+
+from repro.xquery import ScopeError, analyze_variables, normalize, parse_query
+from repro.xquery.paths import child, descendant
+
+from tests.helpers import FIGURE9_QUERY, INTRO_QUERY
+
+
+@pytest.fixture
+def intro_vars():
+    return analyze_variables(normalize(parse_query(INTRO_QUERY)))
+
+
+class TestVariableTree:
+    def test_vars_in_introduction_order(self, intro_vars):
+        assert intro_vars.names == ["$root", "$bib", "$x", "$b"]
+
+    def test_parents(self, intro_vars):
+        assert intro_vars.parent("$bib") == "$root"
+        assert intro_vars.parent("$x") == "$bib"
+        assert intro_vars.parent("$b") == "$bib"
+        assert intro_vars.parent("$root") is None
+
+    def test_children_in_order(self, intro_vars):
+        assert intro_vars.children("$bib") == ["$x", "$b"]
+
+    def test_ancestor_relation(self, intro_vars):
+        assert intro_vars.is_ancestor("$root", "$x")
+        assert intro_vars.is_ancestor("$bib", "$b")
+        assert not intro_vars.is_ancestor("$x", "$b")
+        assert not intro_vars.is_ancestor("$x", "$x")
+        assert intro_vars.is_ancestor_or_self("$x", "$x")
+
+    def test_parvar_is_not_lexical(self):
+        """Figure 9: $b's loop is inside $a's loop but parVar($b) = $root."""
+        variables = analyze_variables(normalize(parse_query(FIGURE9_QUERY)))
+        assert variables.parent("$b") == "$root"
+        assert variables.info("$b").enclosing_loops == ("$a",)
+
+
+class TestVarPath:
+    def test_empty_path_to_self(self, intro_vars):
+        assert intro_vars.variable_path("$x", "$x") == ()
+
+    def test_single_step(self, intro_vars):
+        assert intro_vars.variable_path("$bib", "$b") == (child("book"),)
+
+    def test_multi_step(self, intro_vars):
+        assert intro_vars.variable_path("$root", "$b") == (
+            child("bib"),
+            child("book"),
+        )
+
+    def test_descendant_step(self):
+        variables = analyze_variables(normalize(parse_query(FIGURE9_QUERY)))
+        assert variables.variable_path("$root", "$b") == (descendant("b"),)
+
+    def test_non_ancestor_rejected(self, intro_vars):
+        with pytest.raises(ValueError):
+            intro_vars.variable_path("$x", "$b")
+
+
+class TestScopeChecks:
+    def test_unbound_variable_rejected(self):
+        query = parse_query("<r>{$nope}</r>")
+        with pytest.raises(ScopeError):
+            analyze_variables(query)
+
+    def test_out_of_scope_use_rejected(self):
+        query = parse_query(
+            "<r>{(for $a in /r/a return <x/>, $a)}</r>"
+        )
+        with pytest.raises(ScopeError):
+            analyze_variables(query)
+
+    def test_rebinding_rejected(self):
+        query = parse_query(
+            "<r>{for $a in /r/a return for $a in /r/b return $a}</r>"
+        )
+        with pytest.raises(ScopeError):
+            analyze_variables(query)
+
+    def test_root_rebinding_rejected(self):
+        query = parse_query("<r>{for $root in /r/a return $root}</r>")
+        with pytest.raises(ScopeError):
+            analyze_variables(query)
+
+    def test_condition_variables_checked(self):
+        query = parse_query(
+            "<r>{for $a in /r/a return if (exists $zz/b) then $a else ()}</r>"
+        )
+        with pytest.raises(ScopeError):
+            analyze_variables(query)
+
+    def test_root_is_free(self):
+        query = parse_query("<r>{$root/a}</r>")
+        variables = analyze_variables(query)
+        assert "$root" in variables
