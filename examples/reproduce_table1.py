@@ -3,7 +3,7 @@
 Generates XMark documents at four sizes, runs the five adapted benchmark
 queries on every engine, and prints the table in the paper's layout
 ("time / memory high watermark") together with the qualitative shape
-checks recorded in EXPERIMENTS.md.
+checks described in README.md's "Reproducing Table 1" section.
 
 Run:  python examples/reproduce_table1.py [--sizes 256k,512k,1m,2m] [--quick]
 """

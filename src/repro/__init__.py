@@ -12,13 +12,23 @@ Quickstart
 >>> result.output
 '<out><title>T1</title><title>T2</title></out>'
 
-The package layers (bottom-up): :mod:`repro.xmlio` (streams and trees),
+Compile once, run many (static analysis happens a single time), and stream
+the output incrementally instead of materializing it:
+
+>>> session = GCXEngine().session(query)
+>>> session.run(doc).output
+'<out><title>T1</title><title>T2</title></out>'
+>>> "".join(session.run_streaming(doc).serialized())
+'<out><title>T1</title><title>T2</title></out>'
+
+The package layers (bottom-up): :mod:`repro.xmlio` (streams, trees, sinks),
 :mod:`repro.xquery` (the XQ fragment), :mod:`repro.analysis` (projection
 trees, roles, signOff insertion), :mod:`repro.stream` (preprojection),
 :mod:`repro.buffer` (active garbage collection), :mod:`repro.engine` (the
-GCX engine), :mod:`repro.baselines` (competitor strategies),
-:mod:`repro.xmark` (benchmark data and queries) and :mod:`repro.bench`
-(the Table 1 harness).
+GCX engine and query sessions), :mod:`repro.baselines` (competitor
+strategies), :mod:`repro.xmark` (benchmark data and queries) and
+:mod:`repro.bench` (the Table 1 harness).  See README.md and
+docs/ARCHITECTURE.md for the guided tour.
 """
 
 from repro.analysis import CompiledQuery, CompileOptions, compile_query
@@ -29,18 +39,39 @@ from repro.baselines import (
     ProjectionOnlyEngine,
     UnsupportedQueryError,
 )
-from repro.bench import HarnessConfig, format_table1, run_table1, shape_report
+from repro.bench import (
+    HarnessConfig,
+    format_table1,
+    latency_report,
+    run_table1,
+    shape_report,
+)
 from repro.buffer import BufferCostModel, BufferStats
-from repro.engine import EngineOptions, GCXEngine, RunResult
+from repro.engine import (
+    EngineOptions,
+    GCXEngine,
+    QuerySession,
+    RunResult,
+    StreamingRun,
+)
 from repro.xmark import TABLE1_QUERIES, XMARK_QUERIES, generate_xmark
+from repro.xmlio import (
+    GeneratorSink,
+    StringSink,
+    TokenSink,
+    WriterSink,
+    serialize_stream,
+)
 from repro.xquery import parse_query, unparse
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GCXEngine",
     "EngineOptions",
     "RunResult",
+    "QuerySession",
+    "StreamingRun",
     "compile_query",
     "CompileOptions",
     "CompiledQuery",
@@ -52,6 +83,11 @@ __all__ = [
     "NaiveDomEngine",
     "ProjectionOnlyEngine",
     "UnsupportedQueryError",
+    "TokenSink",
+    "StringSink",
+    "WriterSink",
+    "GeneratorSink",
+    "serialize_stream",
     "BufferStats",
     "BufferCostModel",
     "generate_xmark",
@@ -61,10 +97,16 @@ __all__ = [
     "run_table1",
     "format_table1",
     "shape_report",
+    "latency_report",
     "__version__",
 ]
 
 
 def evaluate(query: str, document: str, *, engine: str = "gcx") -> str:
-    """One-shot evaluation: run ``query`` over ``document``, return output."""
+    """One-shot evaluation: run ``query`` over ``document``, return output.
+
+    Convenience wrapper over the engine registry; for repeated evaluation
+    of the same query prefer :meth:`GCXEngine.session`, which performs the
+    static analysis only once.
+    """
     return ENGINES[engine]().run(query, document).output

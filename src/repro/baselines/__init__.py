@@ -20,7 +20,8 @@ ENGINES: dict[str, Callable[[], object]] = {
     "naive-dom": NaiveDomEngine,
 }
 
-#: How Table 1's columns map onto our engines (see DESIGN.md substitutions).
+#: How Table 1's columns map onto our engines (see docs/ARCHITECTURE.md,
+#: "baselines" section, for the substitution rationale).
 PAPER_SYSTEM_MAP = {
     "GCX": "gcx",
     "FluXQuery": "flux-like",

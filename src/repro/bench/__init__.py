@@ -3,7 +3,7 @@
 from repro.bench.ablation import ABLATION_CONFIGS, AblationCell, format_ablations, run_ablations
 from repro.bench.harness import DEFAULT_ENGINES, HarnessConfig, generate_documents, run_table1
 from repro.bench.measure import Measurement, format_bytes, format_seconds, measure
-from repro.bench.report import format_table1, shape_report
+from repro.bench.report import format_table1, latency_report, shape_report
 
 __all__ = [
     "HarnessConfig",
@@ -16,6 +16,7 @@ __all__ = [
     "format_seconds",
     "format_table1",
     "shape_report",
+    "latency_report",
     "ABLATION_CONFIGS",
     "AblationCell",
     "run_ablations",

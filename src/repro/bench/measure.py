@@ -5,6 +5,12 @@ evaluating one query over one document, reporting evaluation time and the
 buffer high watermark.  ``n/a`` (query outside the engine's fragment) and
 ``timeout`` (the paper's one-hour limit, scaled down) are first-class
 outcomes, because Table 1 contains both.
+
+Beyond the paper's time/memory pair, each cell records the *latency to the
+first output token* (``first_output_seconds``) when the engine streams its
+result — the defining property of an incremental engine.  Engines that
+materialize their result before emitting (the naive DOM class, static
+projection) report ``None`` there.
 """
 
 from __future__ import annotations
@@ -32,6 +38,9 @@ class Measurement:
     supported: bool = True  # False -> "n/a" (like FluXQuery on Q6)
     timed_out: bool = False  # True -> "timeout" (like Galax at 200MB)
     tracemalloc_peak: int | None = None
+    # Latency from run start to the first output token; None for engines
+    # that buffer the whole result before emitting.
+    first_output_seconds: float | None = None
 
     @property
     def cell(self) -> str:
@@ -72,6 +81,7 @@ def measure(
     result.hwm_bytes = run.hwm_bytes
     result.hwm_nodes = run.hwm_nodes
     result.output_bytes = len(run.output.encode())
+    result.first_output_seconds = getattr(run, "first_output_seconds", None)
     return result
 
 
@@ -84,6 +94,7 @@ def format_seconds(seconds: float) -> str:
 
 
 def format_bytes(count: int) -> str:
+    """Bytes with a binary-unit suffix like the paper's tables: ``1.2MB``."""
     if count >= 1 << 30:
         return f"{count / (1 << 30):.2f}GB"
     if count >= 1 << 20:

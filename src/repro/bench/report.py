@@ -3,14 +3,17 @@
 Rows are grouped by query, one line per document size; columns are engines;
 cells read ``time / memory`` with ``n/a`` and ``timeout`` where applicable.
 ``shape_report`` additionally summarizes the qualitative claims (flat vs
-growing memory, ordering between engines) that EXPERIMENTS.md records.
+growing memory, ordering between engines) that README.md's Table 1 section
+describes, and
+``latency_report`` shows time-to-first-output against total time for the
+streaming engines — the incremental-output property Table 1 cannot show.
 """
 
 from __future__ import annotations
 
-from repro.bench.measure import Measurement, format_bytes
+from repro.bench.measure import Measurement, format_bytes, format_seconds
 
-__all__ = ["format_table1", "shape_report"]
+__all__ = ["format_table1", "shape_report", "latency_report"]
 
 
 def format_table1(measurements: list[Measurement], *, title: str = "Table 1") -> str:
@@ -85,6 +88,42 @@ def shape_report(measurements: list[Measurement]) -> str:
                     f"       GCX uses >= {factor:.0f}x less memory than naive-dom "
                     f"{_check(factor >= 10)}"
                 )
+    return "\n".join(lines)
+
+
+def latency_report(measurements: list[Measurement]) -> str:
+    """Time-to-first-output vs. total time for engines that stream.
+
+    An incremental engine's first result fragment should arrive long before
+    evaluation finishes whenever the query's first match occurs early in
+    the document; engines that materialize the whole result first have no
+    entry here.  One line per (query, engine) using the largest measured
+    document.
+    """
+    lines: list[str] = ["Latency to first output (largest document):"]
+    queries = _ordered_unique(m.query for m in measurements)
+    engines = _ordered_unique(m.engine for m in measurements)
+    found = False
+    for query in queries:
+        for engine in engines:
+            series = [
+                m
+                for m in _series(measurements, query, engine)
+                if not m.timed_out and m.first_output_seconds is not None
+            ]
+            if not series:
+                continue
+            found = True
+            cell = series[-1]
+            share = cell.first_output_seconds / max(cell.seconds, 1e-9)
+            lines.append(
+                f"  {query} {cell.engine}: first output after "
+                f"{format_seconds(cell.first_output_seconds)} "
+                f"of {format_seconds(cell.seconds)} total "
+                f"({share:.0%} into the run)"
+            )
+    if not found:
+        lines.append("  (no streaming measurements)")
     return "\n".join(lines)
 
 

@@ -9,7 +9,7 @@ from two sides:
 * the query evaluator *removes* roles when it executes signOff statements,
   upon which the localized garbage collection of Figure 10 runs.
 
-Two refinements beyond the paper's pseudo-code (see DESIGN.md):
+Two refinements beyond the paper's pseudo-code (see docs/ARCHITECTURE.md):
 
 * *Pending cancellations.*  A signOff executed while its region (the
   binding's subtree) is not fully read registers a cancellation; the
@@ -61,6 +61,22 @@ class BufferTree:
         self._tag_names: list[str] = []
         # Pending cancellations keyed by region root node.
         self.cancellations: dict[BufferNode, list[CancelEntry]] = {}
+
+    def reset(self) -> "BufferTree":
+        """Clear all per-run state, keeping the tag symbol table warm.
+
+        The compile-once/run-many session API calls this between documents:
+        nodes, statistics, sequence numbers and pending cancellations are
+        per-run and start fresh, while the tag-name interning table
+        (Section 6's integer tags) is document-independent and is carried
+        over so repeated runs skip re-interning the schema's tag names.
+        Returns ``self`` for chaining.
+        """
+        self.stats = BufferStats(model=self.stats.model)
+        self._seq = 0
+        self.document = BufferNode(DOC, seq=self._next_seq())
+        self.cancellations = {}
+        return self
 
     # ------------------------------------------------------------------
     # symbol table

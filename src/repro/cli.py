@@ -1,13 +1,21 @@
 """Command-line interface: ``gcx`` (installed via the console script).
 
-Subcommands::
+Subcommands (see docs/CLI.md for sample output)::
 
-    gcx run QUERY.xq DOCUMENT.xml [--engine gcx]   evaluate a query
+    gcx run QUERY.xq DOC.xml [DOC.xml ...]         evaluate a query
     gcx analyze QUERY.xq                           show the static analysis
     gcx table1 [--sizes 256k,1m] [--engines ...]   reproduce Table 1
     gcx xmark SCALE [--seed N] [-o FILE]           generate a document
     gcx ablations [--scale F] [--queries Q1,...]   Section 6 ablation study
     gcx dtd                                        print the adapted XMark DTD
+
+``gcx run`` with the default engine is fully streaming: the query is
+compiled once, each document is read through the chunked file tokenizer,
+and result fragments are written to stdout as soon as the evaluator
+produces them — memory stays bounded by the buffer high watermark on the
+input side and O(1) on the output side, however large the document or the
+result.  Passing several documents amortizes the static analysis over all
+of them (the compile-once/run-many session).
 """
 
 from __future__ import annotations
@@ -17,7 +25,13 @@ import sys
 
 from repro.analysis import CompileOptions, compile_query
 from repro.baselines import ENGINES, UnsupportedQueryError
-from repro.bench import HarnessConfig, format_table1, run_table1, shape_report
+from repro.bench import (
+    HarnessConfig,
+    format_table1,
+    latency_report,
+    run_table1,
+    shape_report,
+)
 from repro.xmark import generate_xmark
 from repro.xquery import unparse
 
@@ -32,11 +46,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="evaluate a query over a document")
+    run_p = sub.add_parser("run", help="evaluate a query over documents")
     run_p.add_argument("query", help="query file, or '-' for stdin")
-    run_p.add_argument("document", help="XML document file")
+    run_p.add_argument(
+        "document",
+        nargs="+",
+        help="XML document file(s); the query is compiled once for all",
+    )
     run_p.add_argument("--engine", default="gcx", choices=sorted(ENGINES))
     run_p.add_argument("--stats", action="store_true", help="print buffer stats")
+    run_p.add_argument(
+        "--buffered",
+        action="store_true",
+        help="materialize each result in memory instead of streaming "
+        "(streaming is the default for the gcx engine)",
+    )
 
     ana_p = sub.add_parser("analyze", help="show projection tree and rewriting")
     ana_p.add_argument("query", help="query file, or '-' for stdin")
@@ -89,15 +113,49 @@ def _read(path: str) -> str:
 
 def _cmd_run(args) -> int:
     query = _read(args.query)
-    document = _read(args.document)
+    engine = ENGINES[args.engine]()
     try:
-        result = ENGINES[args.engine]().run(query, document)
+        compiled = engine.compile(query)
     except UnsupportedQueryError as error:
         print(f"n/a: {error}", file=sys.stderr)
         return 1
-    print(result.output)
-    if args.stats:
-        print(result.stats.summary(), file=sys.stderr)
+    if args.engine == "gcx" and not args.buffered:
+        return _run_streaming(engine, compiled, args)
+    for path in args.document:
+        result = engine.run(compiled, _read(path))
+        print(result.output)
+        if args.stats:
+            print(f"{path}: {result.stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def _run_streaming(engine, compiled, args) -> int:
+    """Compile-once/run-many evaluation with incremental stdout output."""
+    from repro.xmlio import tokenize_file
+
+    session = engine.session(compiled)
+    for path in args.document:
+        tokens = tokenize_file(sys.stdin if path == "-" else path)
+        stream = session.run_streaming(tokens)
+        for fragment in stream.serialized():
+            sys.stdout.write(fragment)
+            # Flush per fragment: a piped consumer must see output as it
+            # is decided, not when the 8KB stdio buffer happens to fill.
+            sys.stdout.flush()
+        sys.stdout.write("\n")
+        sys.stdout.flush()
+        result = stream.result
+        if args.stats:
+            latency = (
+                f"{result.first_output_seconds * 1000:.1f}ms"
+                if result.first_output_seconds is not None
+                else "n/a (empty result)"
+            )
+            print(
+                f"{path}: {result.stats.summary()}; "
+                f"first output after {latency}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -138,6 +196,8 @@ def _cmd_table1(args) -> int:
     measurements = run_table1(config, progress=progress)
     print(format_table1(measurements))
     print(shape_report(measurements))
+    print()
+    print(latency_report(measurements))
     return 0
 
 

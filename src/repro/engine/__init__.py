@@ -1,6 +1,28 @@
-"""The GCX engine: pull-based evaluator over the managed buffer."""
+"""The GCX engine: pull-based evaluator over the managed buffer.
+
+Layer map (Figure 11): :mod:`repro.engine.evaluator` interprets the
+rewritten query, pulling input on demand and yielding output tokens;
+:mod:`repro.engine.session` packages compile-once/run-many sessions with
+incremental output; :mod:`repro.engine.gcx` is the user-facing engine.
+"""
 
 from repro.engine.evaluator import EvaluationError, Evaluator
-from repro.engine.gcx import EngineOptions, GCXEngine, RunResult
+from repro.engine.gcx import GCXEngine
+from repro.engine.session import (
+    EngineOptions,
+    QuerySession,
+    RunResult,
+    StreamingRun,
+    check_safety,
+)
 
-__all__ = ["Evaluator", "EvaluationError", "GCXEngine", "EngineOptions", "RunResult"]
+__all__ = [
+    "Evaluator",
+    "EvaluationError",
+    "GCXEngine",
+    "EngineOptions",
+    "RunResult",
+    "QuerySession",
+    "StreamingRun",
+    "check_safety",
+]

@@ -8,6 +8,15 @@ token at a time.  When it encounters a signOff statement it notifies the
 buffer manager, which performs the role update and invokes active garbage
 collection (Figure 10).
 
+The interpreter is written as a *generator* of output tokens:
+:meth:`Evaluator.iter_tokens` lazily yields each output token the moment the
+query semantics determine it, interleaved with the demand-driven input
+reads.  This is what makes the engine incremental on the output side — a
+consumer holding the generator receives the first result fragment as soon
+as the first match is decided, long before the input stream is exhausted.
+:meth:`Evaluator.run` is the buffered wrapper: it drains the generator into
+the configured :class:`~repro.xmlio.serialize.TokenSink`.
+
 Iteration discipline: for-loop cursors remember the sequence number of the
 last binding and rescan from the context node, so garbage collection may
 purge already-processed siblings without invalidating iteration.  Nodes
@@ -26,7 +35,7 @@ from repro.buffer.buffer import BufferTree
 from repro.buffer.node import BufferNode, DOC, ELEMENT, TEXT
 from repro.stream.preprojector import StreamPreprojector
 from repro.xmlio.serialize import TokenSink
-from repro.xmlio.tokens import EndTag, StartTag, Text
+from repro.xmlio.tokens import EndTag, StartTag, Text, Token
 from repro.xquery.ast import (
     And,
     CloseTag,
@@ -73,7 +82,7 @@ class Evaluator:
         query: Query,
         buffer: BufferTree,
         preprojector: StreamPreprojector,
-        sink: TokenSink,
+        sink: TokenSink | None = None,
         *,
         aggregate_roles: bool = True,
         execute_signoffs: bool = True,
@@ -106,40 +115,58 @@ class Evaluator:
     # ------------------------------------------------------------------
 
     def run(self) -> None:
+        """Evaluate to completion, pushing every output token into the sink.
+
+        The buffered entry point: equivalent to draining
+        :meth:`iter_tokens`, kept for callers that provide a
+        :class:`~repro.xmlio.serialize.TokenSink` up front.
+        """
+        if self.sink is None:
+            raise EvaluationError("run() requires a sink; use iter_tokens()")
+        for token in self.iter_tokens():
+            self.sink.write(token)
+
+    def iter_tokens(self) -> Iterator[Token]:
+        """Lazily evaluate the query, yielding output tokens as decided.
+
+        Input is consumed on demand between yields, so the consumer
+        controls the pace of the whole Figure 11 pipeline: not pulling the
+        next token means not reading more input.
+        """
         env: Env = {ROOT_VAR: self.buffer.document}
-        self._eval(self.query.root, env)
+        yield from self._eval(self.query.root, env)
 
     # ------------------------------------------------------------------
     # expression dispatch
     # ------------------------------------------------------------------
 
-    def _eval(self, expr: Expr, env: Env) -> None:
+    def _eval(self, expr: Expr, env: Env) -> Iterator[Token]:
         if isinstance(expr, Empty):
             return
         if isinstance(expr, Sequence):
             for item in expr.items:
-                self._eval(item, env)
+                yield from self._eval(item, env)
             return
         if isinstance(expr, Element):
-            self.sink.write(StartTag(expr.tag))
-            self._eval(expr.body, env)
-            self.sink.write(EndTag(expr.tag))
+            yield StartTag(expr.tag)
+            yield from self._eval(expr.body, env)
+            yield EndTag(expr.tag)
             return
         if isinstance(expr, OpenTag):
-            self.sink.write(StartTag(expr.tag))
+            yield StartTag(expr.tag)
             return
         if isinstance(expr, CloseTag):
-            self.sink.write(EndTag(expr.tag))
+            yield EndTag(expr.tag)
             return
         if isinstance(expr, TextLiteral):
-            self.sink.write(Text(expr.content))
+            yield Text(expr.content)
             return
         if isinstance(expr, VarRef):
-            self._output_subtree(env[expr.var])
+            yield from self._output_subtree(env[expr.var])
             return
         if isinstance(expr, PathOutput):
             for node in self._iter_path(env[expr.var], expr.path):
-                self._output_subtree(node)
+                yield from self._output_subtree(node)
             return
         if isinstance(expr, ForLoop):
             context = env[expr.source]
@@ -151,14 +178,14 @@ class Evaluator:
                 if eager:
                     self._ensure_finished(node)
                 env[expr.var] = node
-                self._eval(expr.body, env)
+                yield from self._eval(expr.body, env)
             env.pop(expr.var, None)
             return
         if isinstance(expr, IfThenElse):
             if self._eval_condition(expr.cond, env):
-                self._eval(expr.then_branch, env)
+                yield from self._eval(expr.then_branch, env)
             else:
-                self._eval(expr.else_branch, env)
+                yield from self._eval(expr.else_branch, env)
             return
         if isinstance(expr, SignOff):
             if self.execute_signoffs:
@@ -295,24 +322,24 @@ class Evaluator:
     # output
     # ------------------------------------------------------------------
 
-    def _output_subtree(self, node: BufferNode) -> None:
+    def _output_subtree(self, node: BufferNode) -> Iterator[Token]:
         self._ensure_finished(node)
-        self._serialize(node)
+        yield from self._serialize(node)
 
-    def _serialize(self, node: BufferNode) -> None:
+    def _serialize(self, node: BufferNode) -> Iterator[Token]:
         if node.kind == TEXT:
-            self.sink.write(Text(node.text))
+            yield Text(node.text)
             return
         if node.kind == DOC:
             raise EvaluationError("cannot output the document node")
         tag = self.buffer.tag_name(node.tag_id)
-        self.sink.write(StartTag(tag))
+        yield StartTag(tag)
         child = node.first_child
         while child is not None:
             if not child.marked_deleted:
-                self._serialize(child)
+                yield from self._serialize(child)
             child = child.next_sibling
-        self.sink.write(EndTag(tag))
+        yield EndTag(tag)
 
     def _ensure_finished(self, node: BufferNode) -> None:
         while not node.finished:

@@ -1,9 +1,19 @@
 """The GCX engine: static analysis + streaming runtime (Figure 11).
 
-``GCXEngine.run`` wires the three components of the paper's architecture
-together — query evaluator, buffer manager, stream preprojector — and
-returns the query result along with the buffer statistics that the
-benchmarks report.
+:class:`GCXEngine` is the user-facing front door to the paper's
+architecture.  It delegates all evaluation to
+:class:`~repro.engine.session.QuerySession`, which separates the two
+phases cleanly:
+
+* ``compile`` / ``session`` run the static analysis (Sections 3–4 and the
+  Section 6 rewritings) exactly once per query;
+* ``run_streaming`` evaluates over one document, yielding output tokens
+  incrementally while the evaluator pulls input on demand and active
+  garbage collection bounds the buffer (Sections 5–6);
+* ``run`` is the buffered convenience wrapper that joins the stream into a
+  :class:`~repro.xmlio.serialize.TokenSink` and returns a
+  :class:`~repro.engine.session.RunResult` with the buffer statistics the
+  benchmarks report.
 
 Engine options map one-to-one onto the paper's Section 6 optimizations,
 with everything on by default ("our prototype was implemented exactly as
@@ -12,62 +22,37 @@ described in this paper").
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from repro.analysis.compile import CompiledQuery, CompileOptions, compile_query
-from repro.buffer.buffer import BufferTree
-from repro.buffer.stats import BufferCostModel, BufferStats
-from repro.engine.evaluator import Evaluator
-from repro.stream.preprojector import StreamPreprojector
-from repro.xmlio.lexer import tokenize
-from repro.xmlio.serialize import StringSink
+from repro.analysis.compile import CompiledQuery, compile_query
+from repro.engine.session import (
+    EngineOptions,
+    QuerySession,
+    RunResult,
+    StreamingRun,
+)
+from repro.xmlio.serialize import TokenSink
 from repro.xmlio.tokens import Token
 from repro.xquery.ast import Query
 
-__all__ = ["EngineOptions", "RunResult", "GCXEngine"]
-
-
-@dataclass(frozen=True)
-class EngineOptions:
-    """Runtime and analysis switches (Section 6 optimizations + strictness)."""
-
-    aggregate_roles: bool = True
-    early_updates: bool = True
-    eliminate_redundant_roles: bool = True
-    eager_leaf_bindings: bool = False  # push-based (flux-like) reading
-    strict: bool = True  # raise on undefined role removals / unbalanced roles
-    cost_model: BufferCostModel = field(default_factory=BufferCostModel)
-
-    def compile_options(self) -> CompileOptions:
-        return CompileOptions(
-            early_updates=self.early_updates,
-            eliminate_redundant=self.eliminate_redundant_roles,
-        )
-
-
-@dataclass
-class RunResult:
-    """The outcome of one query evaluation."""
-
-    output: str
-    stats: BufferStats
-    compiled: CompiledQuery
-    elapsed_seconds: float
-    exhausted_input: bool
-
-    @property
-    def hwm_bytes(self) -> int:
-        return self.stats.hwm_bytes_modelled
-
-    @property
-    def hwm_nodes(self) -> int:
-        return self.stats.hwm_nodes
+__all__ = [
+    "EngineOptions",
+    "RunResult",
+    "StreamingRun",
+    "QuerySession",
+    "GCXEngine",
+]
 
 
 class GCXEngine:
-    """Streaming XQuery evaluation with active garbage collection."""
+    """Streaming XQuery evaluation with active garbage collection.
+
+    The engine object is cheap and stateless apart from its options; all
+    per-query state lives in the :class:`QuerySession` it creates.  For
+    one-shot evaluation use :meth:`run`; to amortize static analysis over
+    many documents obtain a session with :meth:`session`; for bounded
+    output memory consume :meth:`run_streaming`.
+    """
 
     name = "gcx"
     description = "combined static + dynamic analysis (this paper)"
@@ -77,67 +62,42 @@ class GCXEngine:
         self.options = options or EngineOptions()
 
     def compile(self, query: Query | str) -> CompiledQuery:
+        """Run the static analysis only (Sections 3–4), no evaluation."""
         return compile_query(query, self.options.compile_options())
+
+    def session(self, query: Query | str | CompiledQuery) -> QuerySession:
+        """Compile ``query`` once into a reusable :class:`QuerySession`."""
+        return QuerySession(query, self.options)
 
     def run(
         self,
         query: Query | str | CompiledQuery,
         document: str | Iterator[Token],
         *,
+        sink: TokenSink | None = None,
         on_event: Callable[[str], None] | None = None,
     ) -> RunResult:
-        """Evaluate ``query`` over ``document`` (text or a token stream)."""
-        compiled = query if isinstance(query, CompiledQuery) else self.compile(query)
-        tokens = tokenize(document) if isinstance(document, str) else document
-        buffer = BufferTree(self.options.cost_model, strict=self.options.strict)
-        preprojector = StreamPreprojector(
-            tokens,
-            compiled.projection_tree,
-            buffer,
-            aggregate_roles=self.options.aggregate_roles,
-        )
-        sink = StringSink()
-        evaluator = Evaluator(
-            compiled.rewritten,
-            buffer,
-            preprojector,
-            sink,
-            aggregate_roles=self.options.aggregate_roles,
-            eager_leaf_bindings=self.options.eager_leaf_bindings,
-            on_event=on_event,
-        )
-        started = time.perf_counter()
-        evaluator.run()
-        elapsed = time.perf_counter() - started
-        if self.options.strict:
-            self._check_safety(buffer, preprojector)
-        return RunResult(
-            output=sink.getvalue(),
-            stats=buffer.stats,
-            compiled=compiled,
-            elapsed_seconds=elapsed,
-            exhausted_input=preprojector.exhausted,
-        )
+        """Evaluate ``query`` over ``document`` (text or a token stream).
 
-    # ------------------------------------------------------------------
+        A thin wrapper: compiles (unless given a ``CompiledQuery``), then
+        joins the output stream into ``sink`` (default: an in-memory
+        :class:`~repro.xmlio.serialize.StringSink`, whose text lands in
+        ``RunResult.output``).
+        """
+        return self.session(query).run(document, sink=sink, on_event=on_event)
 
-    def _check_safety(self, buffer: BufferTree, preprojector) -> None:
-        """Section 3's safety requirements, checked dynamically."""
-        stats = buffer.stats
-        if not stats.role_accounting_balanced():
-            raise AssertionError(
-                "role accounting unbalanced: "
-                f"{stats.roles_assigned} assigned != {stats.roles_removed} removed "
-                f"({stats.roles_cancelled} cancelled separately)"
-            )
-        if stats.live_role_instances != 0:
-            raise AssertionError(
-                f"{stats.live_role_instances} role instances left after evaluation"
-            )
-        if buffer.document.subtree_roles != 0:
-            raise AssertionError("buffer still carries roles after evaluation")
-        if preprojector.exhausted and not buffer.is_empty():
-            raise AssertionError(
-                "input exhausted but the buffer is not empty:\n"
-                + "\n".join(buffer.format_contents())
-            )
+    def run_streaming(
+        self,
+        query: Query | str | CompiledQuery,
+        document: str | Iterator[Token],
+        *,
+        on_event: Callable[[str], None] | None = None,
+    ) -> StreamingRun:
+        """Evaluate ``query`` over ``document``, yielding tokens as produced.
+
+        Returns a :class:`~repro.engine.session.StreamingRun`; its
+        ``result`` attribute carries the statistics once the iterator is
+        exhausted.  The first token is available as soon as the evaluator
+        decides it — before the input stream is fully consumed.
+        """
+        return self.session(query).run_streaming(document, on_event=on_event)

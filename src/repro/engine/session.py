@@ -1,0 +1,315 @@
+"""Compile-once/run-many query sessions with incremental output.
+
+The paper's architecture (Figure 11) separates a purely static phase —
+normalization, projection-tree derivation, signOff insertion — from the
+streaming runtime.  :class:`QuerySession` makes that split first-class: it
+performs the static analysis exactly once at construction and can then
+evaluate the compiled query over arbitrarily many documents or token
+streams, each run with fully isolated dynamic state (buffer tree,
+preprojector, evaluator cursors).  Between runs the session recycles its
+:class:`~repro.buffer.buffer.BufferTree` through
+:meth:`~repro.buffer.buffer.BufferTree.reset`, which keeps the tag symbol
+table (Section 6's integer tags) warm across documents that share a schema.
+
+:meth:`QuerySession.run_streaming` returns a :class:`StreamingRun` — an
+iterator of output tokens that are produced *while* the input is being
+consumed.  Together with the demand-driven reads of the evaluator this
+closes the constant-memory loop on both sides: input residency is bounded
+by the buffer high watermark (the paper's contribution), and output
+residency is bounded by the consumer, not by the result size.
+:meth:`QuerySession.run` is the buffered wrapper that drains the stream
+into a :class:`~repro.xmlio.serialize.TokenSink`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.analysis.compile import CompiledQuery, CompileOptions, compile_query
+from repro.buffer.buffer import BufferTree
+from repro.buffer.stats import BufferCostModel, BufferStats
+from repro.engine.evaluator import Evaluator
+from repro.stream.preprojector import StreamPreprojector
+from repro.xmlio.lexer import tokenize
+from repro.xmlio.serialize import StringSink, TokenSink, serialize_stream
+from repro.xmlio.tokens import Token
+from repro.xquery.ast import Query
+
+__all__ = ["EngineOptions", "RunResult", "StreamingRun", "QuerySession"]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Runtime and analysis switches (Section 6 optimizations + strictness).
+
+    The defaults match the paper's prototype — every optimization on.  The
+    ablation benchmarks toggle them individually; the flux-like baseline
+    reuses the same machinery with ``eager_leaf_bindings=True`` and the
+    dynamic refinements off.
+    """
+
+    aggregate_roles: bool = True
+    early_updates: bool = True
+    eliminate_redundant_roles: bool = True
+    eager_leaf_bindings: bool = False  # push-based (flux-like) reading
+    strict: bool = True  # raise on undefined role removals / unbalanced roles
+    cost_model: BufferCostModel = field(default_factory=BufferCostModel)
+
+    def compile_options(self) -> CompileOptions:
+        """The static-analysis switches implied by these engine options."""
+        return CompileOptions(
+            early_updates=self.early_updates,
+            eliminate_redundant=self.eliminate_redundant_roles,
+        )
+
+
+@dataclass
+class RunResult:
+    """The outcome of one query evaluation.
+
+    ``output`` holds the serialized result when the run used a
+    :class:`~repro.xmlio.serialize.StringSink` (the default); runs that
+    streamed to a custom sink or through :class:`StreamingRun` leave it
+    empty, because the tokens already went to their consumer.
+    """
+
+    output: str
+    stats: BufferStats
+    compiled: CompiledQuery
+    elapsed_seconds: float
+    exhausted_input: bool
+    first_output_seconds: float | None = None
+
+    @property
+    def hwm_bytes(self) -> int:
+        """Buffer high watermark in modelled bytes (the Table 1 number)."""
+        return self.stats.hwm_bytes_modelled
+
+    @property
+    def hwm_nodes(self) -> int:
+        """Buffer high watermark in live node count."""
+        return self.stats.hwm_nodes
+
+
+class StreamingRun:
+    """One in-flight evaluation, consumed as an iterator of output tokens.
+
+    Yields each output :class:`~repro.xmlio.tokens.Token` the moment the
+    evaluator decides it; input is read on demand between tokens, so on a
+    query whose first match occurs early the first token arrives after only
+    a prefix of the input has been consumed.  Once the iterator is
+    exhausted, :attr:`result` carries the :class:`RunResult` (statistics,
+    timings, safety checks applied); until then it is ``None``.
+    """
+
+    def __init__(
+        self,
+        session: "QuerySession",
+        buffer: BufferTree,
+        preprojector: StreamPreprojector,
+        evaluator: Evaluator,
+    ) -> None:
+        self._session = session
+        self._buffer = buffer
+        self._preprojector = preprojector
+        # The clock starts at the first next() — construction is free and
+        # consumer think-time before iterating must not count as latency.
+        self._started: float | None = None
+        self._gen = self._generate(evaluator)
+        #: Seconds from the first next() to the first output token (None
+        #: until the first token, and forever on an empty result).
+        self.first_output_seconds: float | None = None
+        #: The RunResult, available once the iterator is exhausted.
+        self.result: RunResult | None = None
+
+    # -- iteration ------------------------------------------------------
+
+    def __iter__(self) -> "StreamingRun":
+        return self
+
+    def __next__(self) -> Token:
+        if self._started is None:
+            self._started = time.perf_counter()
+        return next(self._gen)
+
+    def close(self) -> None:
+        """Abandon the run early; the partially filled buffer is discarded."""
+        self._gen.close()
+
+    def serialized(self, *, indent: str | None = None) -> Iterator[str]:
+        """The run's output as an iterator of serialized text fragments."""
+        return serialize_stream(self, indent=indent)
+
+    # -- internals ------------------------------------------------------
+
+    def _generate(self, evaluator: Evaluator) -> Iterator[Token]:
+        for token in evaluator.iter_tokens():
+            if self.first_output_seconds is None:
+                self.first_output_seconds = time.perf_counter() - self._started
+            yield token
+        self._finalize()
+
+    def _finalize(self) -> None:
+        assert self._started is not None  # finalize only runs via __next__
+        elapsed = time.perf_counter() - self._started
+        session = self._session
+        if session.options.strict:
+            check_safety(self._buffer, self._preprojector)
+        self.result = RunResult(
+            output="",
+            stats=self._buffer.stats,
+            compiled=session.compiled,
+            elapsed_seconds=elapsed,
+            exhausted_input=self._preprojector.exhausted,
+            first_output_seconds=self.first_output_seconds,
+        )
+        session._release_buffer(self._buffer)
+        session.runs_completed += 1
+
+
+class QuerySession:
+    """A query compiled once, runnable over arbitrarily many documents.
+
+    Construction runs the full static-analysis pipeline of Section 4 (or
+    adopts an already-:class:`~repro.analysis.compile.CompiledQuery`);
+    every :meth:`run`/:meth:`run_streaming` afterwards only spins up the
+    dynamic half of Figure 11.  Per-run state is fully isolated — a
+    session never leaks buffered nodes, roles, cancellations or cursor
+    positions from one document into the next — so interleaved and
+    repeated runs are safe.
+    """
+
+    def __init__(
+        self,
+        query: Query | str | CompiledQuery,
+        options: EngineOptions | None = None,
+    ) -> None:
+        self.options = options or EngineOptions()
+        if isinstance(query, CompiledQuery):
+            self._compiled = query
+        else:
+            self._compiled = compile_query(query, self.options.compile_options())
+        #: Completed evaluations (streaming runs count on exhaustion).
+        self.runs_completed = 0
+        # One finished buffer is kept for reuse; reset() preserves its tag
+        # symbol table, so same-schema documents skip re-interning.
+        self._spare_buffer: BufferTree | None = None
+
+    @property
+    def compiled(self) -> CompiledQuery:
+        """The static-analysis artifacts, produced exactly once."""
+        return self._compiled
+
+    # -- evaluation -----------------------------------------------------
+
+    def run(
+        self,
+        document: str | Iterator[Token],
+        *,
+        sink: TokenSink | None = None,
+        on_event: Callable[[str], None] | None = None,
+    ) -> RunResult:
+        """Evaluate over ``document`` (text or token stream), buffered.
+
+        With the default ``sink`` the full result text is returned in
+        :attr:`RunResult.output`; pass a custom
+        :class:`~repro.xmlio.serialize.TokenSink` (e.g. a
+        :class:`~repro.xmlio.serialize.WriterSink` on a file) to stream
+        the output elsewhere, in which case ``output`` stays empty.
+        """
+        stream = self.run_streaming(document, on_event=on_event)
+        out = sink if sink is not None else StringSink()
+        for token in stream:
+            out.write(token)
+        if sink is None:
+            # Only close sinks this run created; a caller-provided sink is
+            # the caller's to close (it may be reused across runs).
+            out.close()
+        result = stream.result
+        assert result is not None  # the stream was exhausted above
+        if sink is None:
+            # Only a sink this run created reflects exactly this run's
+            # output; a caller's sink may carry text from earlier runs.
+            result.output = out.getvalue()
+        return result
+
+    def run_streaming(
+        self,
+        document: str | Iterator[Token],
+        *,
+        on_event: Callable[[str], None] | None = None,
+    ) -> StreamingRun:
+        """Evaluate over ``document``, yielding output tokens incrementally.
+
+        Returns a :class:`StreamingRun`; iterate it to drive the pipeline.
+        Nothing is read from the input before the first ``next()``.
+        """
+        tokens = tokenize(document) if isinstance(document, str) else document
+        buffer = self._acquire_buffer()
+        preprojector = StreamPreprojector(
+            tokens,
+            self._compiled.projection_tree,
+            buffer,
+            aggregate_roles=self.options.aggregate_roles,
+        )
+        evaluator = Evaluator(
+            self._compiled.rewritten,
+            buffer,
+            preprojector,
+            None,
+            aggregate_roles=self.options.aggregate_roles,
+            eager_leaf_bindings=self.options.eager_leaf_bindings,
+            on_event=on_event,
+        )
+        return StreamingRun(self, buffer, preprojector, evaluator)
+
+    # -- buffer recycling ----------------------------------------------
+
+    def _acquire_buffer(self) -> BufferTree:
+        """A fresh-state buffer: the recycled spare if available, else new.
+
+        Concurrent (interleaved) runs each get their own buffer — the spare
+        slot only ever holds a buffer whose run has completed.
+        """
+        spare, self._spare_buffer = self._spare_buffer, None
+        if spare is not None:
+            return spare
+        return BufferTree(self.options.cost_model, strict=self.options.strict)
+
+    def _release_buffer(self, buffer: BufferTree) -> None:
+        if self._spare_buffer is None:
+            # Reset before parking (not at acquire): a run that ended
+            # without exhausting its input may still hold buffered nodes,
+            # and an idle session must not pin a document subtree in
+            # memory.  reset() keeps the tag symbol table warm.
+            self._spare_buffer = buffer.reset()
+
+
+def check_safety(buffer: BufferTree, preprojector: StreamPreprojector) -> None:
+    """Section 3's safety requirements, checked dynamically after a run.
+
+    A correct evaluation (1) removes every role instance it assigned —
+    cancellations accounted separately — and (2) leaves the buffer empty
+    once the input is exhausted.  Violations indicate a bug in the static
+    analysis or the garbage collector and raise ``AssertionError``.
+    """
+    stats = buffer.stats
+    if not stats.role_accounting_balanced():
+        raise AssertionError(
+            "role accounting unbalanced: "
+            f"{stats.roles_assigned} assigned != {stats.roles_removed} removed "
+            f"({stats.roles_cancelled} cancelled separately)"
+        )
+    if stats.live_role_instances != 0:
+        raise AssertionError(
+            f"{stats.live_role_instances} role instances left after evaluation"
+        )
+    if buffer.document.subtree_roles != 0:
+        raise AssertionError("buffer still carries roles after evaluation")
+    if preprojector.exhausted and not buffer.is_empty():
+        raise AssertionError(
+            "input exhausted but the buffer is not empty:\n"
+            + "\n".join(buffer.format_contents())
+        )

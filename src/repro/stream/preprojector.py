@@ -9,7 +9,7 @@ incrementally as the evaluator demands input (Section 1).
 Besides matching, the preprojector applies *pending cancellations*: role
 instances whose signOff already executed (while the region was unfinished)
 are subtracted at arrival, so post-scope arrivals do not retain roles
-forever (see DESIGN.md).
+forever (see docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations

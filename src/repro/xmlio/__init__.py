@@ -7,7 +7,15 @@ unranked ordered labeled trees, plus the document projection of Definition 1.
 
 from repro.xmlio.filelexer import FileTokenizer, tokenize_file
 from repro.xmlio.lexer import XMLSyntaxError, XMLTokenizer, tokenize
-from repro.xmlio.serialize import StringSink, TokenSink, serialize_tokens
+from repro.xmlio.serialize import (
+    GeneratorSink,
+    IncrementalSerializer,
+    StringSink,
+    TokenSink,
+    WriterSink,
+    serialize_stream,
+    serialize_tokens,
+)
 from repro.xmlio.tokens import EndTag, StartTag, Text, Token
 from repro.xmlio.tree import (
     DocumentNode,
@@ -32,8 +40,12 @@ __all__ = [
     "FileTokenizer",
     "tokenize_file",
     "serialize_tokens",
+    "serialize_stream",
+    "IncrementalSerializer",
     "TokenSink",
     "StringSink",
+    "WriterSink",
+    "GeneratorSink",
     "XMLNode",
     "ElementNode",
     "TextNode",

@@ -1,18 +1,43 @@
-"""Serialization of token streams.
+"""Serialization of token streams — buffered, incremental, and bridged.
 
-Query results in GCX are produced as token streams; this module renders them
-as document text.  Empty elements are rendered as bachelor tags (``<a/>``),
-matching the notation used throughout the paper (e.g. ``<title/>`` in
-Figure 2).
+Query results in GCX are produced as token streams; this module renders
+them as document text.  Empty elements are rendered as bachelor tags
+(``<a/>``), matching the notation used throughout the paper (e.g.
+``<title/>`` in Figure 2).
+
+The module is organized around three layers:
+
+* :class:`IncrementalSerializer` — the token-to-text state machine.  It is
+  *incremental*: each token fed in returns the text fragment it completes,
+  so a streaming consumer sees output bytes as soon as the one-token
+  bachelor-tag lookahead allows.
+* :class:`TokenSink` — the explicit protocol through which the evaluator
+  emits output tokens.  Three implementations ship: :class:`StringSink`
+  (accumulate everything; the classic buffered result),
+  :class:`WriterSink` (serialize incrementally to any writable, e.g.
+  ``sys.stdout`` — this is what gives ``gcx run`` bounded-memory output),
+  and :class:`GeneratorSink` (bridge a push-based producer to a pull-based
+  consumer by draining buffered tokens as an iterator).
+* module functions — :func:`serialize_tokens` (joined string) and
+  :func:`serialize_stream` (generator of text fragments).
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections import deque
+from typing import Iterable, Iterator
 
 from repro.xmlio.tokens import EndTag, StartTag, Text, Token, escape_text
 
-__all__ = ["serialize_tokens", "TokenSink", "StringSink"]
+__all__ = [
+    "serialize_tokens",
+    "serialize_stream",
+    "IncrementalSerializer",
+    "TokenSink",
+    "StringSink",
+    "WriterSink",
+    "GeneratorSink",
+]
 
 
 def serialize_tokens(tokens: Iterable[Token], *, indent: str | None = None) -> str:
@@ -22,14 +47,97 @@ def serialize_tokens(tokens: Iterable[Token], *, indent: str | None = None) -> s
     element per line; text content suppresses pretty-printing inside its
     parent to avoid changing the document's string values.
     """
-    sink = StringSink(indent=indent)
+    return "".join(serialize_stream(tokens, indent=indent))
+
+
+def serialize_stream(
+    tokens: Iterable[Token], *, indent: str | None = None
+) -> Iterator[str]:
+    """Render a token stream as an iterator of text fragments.
+
+    The lazy counterpart of :func:`serialize_tokens`: fragments are yielded
+    as soon as the bachelor-tag lookahead resolves, so joining a prefix of
+    the iterator gives a well-formed prefix of the final text.  This is the
+    serialization path of ``GCXEngine.run_streaming`` and the streaming CLI.
+    """
+    serializer = IncrementalSerializer(indent=indent)
     for token in tokens:
-        sink.write(token)
-    return sink.getvalue()
+        fragment = serializer.feed(token)
+        if fragment:
+            yield fragment
+    tail = serializer.flush()
+    if tail:
+        yield tail
+
+
+class IncrementalSerializer:
+    """Token-to-text state machine with bachelor-tag lookahead.
+
+    A one-token lookahead collapses ``<a></a>`` into ``<a/>``; consequently
+    :meth:`feed` may return the empty string for a ``StartTag`` (the text is
+    withheld until the next token decides between ``<a>`` and ``<a/>``).
+    Call :meth:`flush` once the stream ends to release a trailing pending
+    start tag.
+    """
+
+    def __init__(self, *, indent: str | None = None) -> None:
+        self._pending_start: str | None = None
+        self._indent = indent
+        self._depth = 0
+        self._started = False
+
+    def feed(self, token: Token) -> str:
+        """Consume one token, returning the text fragment it completes."""
+        if isinstance(token, StartTag):
+            fragment = self._release_pending()
+            self._pending_start = token.tag
+            return fragment
+        if isinstance(token, EndTag):
+            if self._pending_start == token.tag:
+                self._pending_start = None
+                return self._format(f"<{token.tag}/>")
+            fragment = self._release_pending()
+            self._depth = max(0, self._depth - 1)
+            return fragment + self._format(f"</{token.tag}>")
+        if isinstance(token, Text):
+            fragment = self._release_pending()
+            escaped = escape_text(token.content)
+            if escaped:
+                self._started = True
+            return fragment + escaped
+        raise TypeError(f"cannot serialize {token!r}")
+
+    def flush(self) -> str:
+        """Release a pending start tag at end of stream (``<a>`` stays open)."""
+        return self._release_pending()
+
+    def _release_pending(self) -> str:
+        if self._pending_start is None:
+            return ""
+        fragment = self._format(f"<{self._pending_start}>")
+        self._depth += 1
+        self._pending_start = None
+        return fragment
+
+    def _format(self, fragment: str) -> str:
+        if self._indent is not None:
+            prefix = "\n" + self._indent * self._depth if self._started else ""
+            self._started = True
+            return prefix + fragment
+        self._started = True
+        return fragment
 
 
 class TokenSink:
-    """Interface for receiving output tokens from the evaluator."""
+    """The protocol through which the evaluator emits output tokens.
+
+    Implementations receive one :class:`~repro.xmlio.tokens.Token` per
+    :meth:`write` call, in document order; :meth:`close` is called (by
+    owners that manage the sink's lifecycle, e.g. ``GCXEngine.run``) when
+    the result stream is complete, so buffering implementations can flush.
+    Subclasses must implement :meth:`write`; :meth:`close` defaults to a
+    no-op.
+    """
 
     def write(self, token: Token) -> None:
         raise NotImplementedError
@@ -38,57 +146,106 @@ class TokenSink:
         for token in tokens:
             self.write(token)
 
+    def close(self) -> None:
+        """The result stream is complete; flush any buffered state."""
+
 
 class StringSink(TokenSink):
-    """A sink that accumulates serialized text.
+    """A sink that accumulates the fully serialized text in memory.
 
-    A one-token lookahead collapses ``<a></a>`` into ``<a/>``.
+    The classic buffered result: ``getvalue()`` after the run returns the
+    whole output.  Prefer :class:`WriterSink` (or ``run_streaming``) when
+    the result may be large — this sink's memory is proportional to the
+    output size by construction.
     """
 
     def __init__(self, *, indent: str | None = None) -> None:
+        self._serializer = IncrementalSerializer(indent=indent)
         self._parts: list[str] = []
-        self._pending_start: str | None = None
-        self._indent = indent
-        self._depth = 0
         self._token_count = 0
 
     @property
     def token_count(self) -> int:
+        """Number of tokens written so far (used by tests and traces)."""
         return self._token_count
 
     def write(self, token: Token) -> None:
         self._token_count += 1
-        if isinstance(token, StartTag):
-            self._flush_pending()
-            self._pending_start = token.tag
-        elif isinstance(token, EndTag):
-            if self._pending_start == token.tag:
-                self._emit(f"<{token.tag}/>")
-                self._pending_start = None
-            else:
-                self._flush_pending()
-                self._depth = max(0, self._depth - 1)
-                self._emit(f"</{token.tag}>", closing=True)
-        elif isinstance(token, Text):
-            self._flush_pending()
-            self._emit_text(escape_text(token.content))
-
-    def _flush_pending(self) -> None:
-        if self._pending_start is not None:
-            self._emit(f"<{self._pending_start}>")
-            self._depth += 1
-            self._pending_start = None
-
-    def _emit(self, fragment: str, *, closing: bool = False) -> None:
-        if self._indent is not None:
-            prefix = "\n" + self._indent * self._depth if self._parts else ""
-            self._parts.append(prefix + fragment)
-        else:
+        fragment = self._serializer.feed(token)
+        if fragment:
             self._parts.append(fragment)
 
-    def _emit_text(self, fragment: str) -> None:
-        self._parts.append(fragment)
-
     def getvalue(self) -> str:
-        self._flush_pending()
+        """The text serialized so far (flushing any pending start tag)."""
+        tail = self._serializer.flush()
+        if tail:
+            self._parts.append(tail)
         return "".join(self._parts)
+
+
+class WriterSink(TokenSink):
+    """A sink that serializes incrementally to a writable object.
+
+    ``writable`` is anything with a ``write(str)`` method — an open text
+    file, ``sys.stdout``, a socket wrapper.  Fragments are written as soon
+    as the lookahead resolves, so the memory held by the sink is O(1)
+    regardless of result size: this is the output half of the paper's
+    constant-memory claim, complementing the buffer bound on the input
+    half.  The CLI's ``gcx run`` streams through this sink.
+    """
+
+    def __init__(self, writable, *, indent: str | None = None) -> None:
+        self._writable = writable
+        self._serializer = IncrementalSerializer(indent=indent)
+        self._bytes_written = 0
+
+    @property
+    def chars_written(self) -> int:
+        """Number of characters written to the underlying writable."""
+        return self._bytes_written
+
+    def write(self, token: Token) -> None:
+        fragment = self._serializer.feed(token)
+        if fragment:
+            self._writable.write(fragment)
+            self._bytes_written += len(fragment)
+
+    def close(self) -> None:
+        tail = self._serializer.flush()
+        if tail:
+            self._writable.write(tail)
+            self._bytes_written += len(tail)
+
+
+class GeneratorSink(TokenSink):
+    """A sink that bridges push-based producers to pull-based consumers.
+
+    Push-based code (the DOM baseline's interpreter, custom traversals)
+    writes tokens in; a consumer drains them with :meth:`drain` or by
+    iterating the sink.  Draining interleaved with writing yields exactly
+    the tokens written since the previous drain, which is how a push
+    producer can be adapted to the streaming-session API without threads.
+    """
+
+    def __init__(self) -> None:
+        self._queue: deque[Token] = deque()
+        self.closed = False
+
+    def write(self, token: Token) -> None:
+        if self.closed:
+            raise ValueError("cannot write to a closed GeneratorSink")
+        self._queue.append(token)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def drain(self) -> Iterator[Token]:
+        """Yield (and remove) every token buffered so far."""
+        while self._queue:
+            yield self._queue.popleft()
+
+    def __iter__(self) -> Iterator[Token]:
+        return self.drain()
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -98,6 +98,7 @@ def _role_name(role: object) -> str:
 
 
 def unparse_condition(cond: Condition) -> str:
+    """Render a condition in the paper's surface syntax (Figure 6)."""
     if isinstance(cond, TrueCond):
         return "true()"
     if isinstance(cond, Exists):

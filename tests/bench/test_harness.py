@@ -37,6 +37,17 @@ class TestMeasure:
         )
         assert cell.tracemalloc_peak is not None and cell.tracemalloc_peak > 0
 
+    def test_streaming_engines_report_first_output_latency(self):
+        cell = measure("gcx", "<o>{for $a in /r/a return $a}</o>", "<r><a>1</a></r>")
+        assert cell.first_output_seconds is not None
+        assert 0 <= cell.first_output_seconds <= cell.seconds
+
+    def test_materializing_engines_have_no_latency_figure(self):
+        cell = measure(
+            "naive-dom", "<o>{for $a in /r/a return $a}</o>", "<r><a>1</a></r>"
+        )
+        assert cell.first_output_seconds is None
+
 
 class TestFormatting:
     @pytest.mark.parametrize(

@@ -95,3 +95,33 @@ class TestIsFlat:
         assert not _is_flat(
             [cell("gcx", "Q1", 1000, hwm=100), cell("gcx", "Q1", 8000, hwm=800)]
         )
+
+
+class TestLatencyReport:
+    def test_streaming_cells_listed(self):
+        from repro.bench import latency_report
+
+        cells = [
+            cell("gcx", "Q1", 1000, seconds=0.4, first_output_seconds=0.01),
+            cell("naive-dom", "Q1", 1000, seconds=0.5),
+        ]
+        report = latency_report(cells)
+        assert "Q1 gcx" in report
+        assert "first output after" in report
+        assert "naive-dom" not in report  # no latency figure to show
+
+    def test_largest_document_wins(self):
+        from repro.bench import latency_report
+
+        cells = [
+            cell("gcx", "Q1", 1000, seconds=0.1, first_output_seconds=0.05),
+            cell("gcx", "Q1", 8000, seconds=0.8, first_output_seconds=0.02),
+        ]
+        report = latency_report(cells)
+        assert "0.02s" in report and "0.80s" in report
+
+    def test_empty_when_nothing_streams(self):
+        from repro.bench import latency_report
+
+        report = latency_report([cell("naive-dom", "Q1", 1000)])
+        assert "no streaming measurements" in report

@@ -40,6 +40,30 @@ class TestRun:
         assert main(["run", str(query), str(doc), "--engine", "flux-like"]) == 1
         assert "n/a" in capsys.readouterr().err
 
+    def test_run_many_documents_compiles_once(self, files, capsys):
+        """Several documents after one query: one result line each."""
+        query, doc = files
+        other = doc.parent / "d2.xml"
+        other.write_text("<bib><book><title>U</title></book></bib>")
+        assert main(["run", str(query), str(doc), str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "<out><title>T</title></out>" in out
+        assert "<out><title>U</title></out>" in out
+
+    def test_buffered_matches_streaming_output(self, files, capsys):
+        query, doc = files
+        assert main(["run", str(query), str(doc)]) == 0
+        streamed = capsys.readouterr().out
+        assert main(["run", str(query), str(doc), "--buffered"]) == 0
+        assert capsys.readouterr().out == streamed
+
+    def test_streaming_stats_report_first_output(self, files, capsys):
+        query, doc = files
+        assert main(["run", str(query), str(doc), "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "hwm" in err
+        assert "first output" in err
+
 
 class TestAnalyze:
     def test_analyze_shows_tree_and_rewriting(self, tmp_path, capsys):

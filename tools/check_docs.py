@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Documentation health check (run by CI's docs job).
+
+Three checks, all stdlib-only:
+
+1. every module under ``src/repro`` has a module docstring;
+2. the documentation files the README promises actually exist;
+3. the ``$``-prefixed shell lines inside README.md's fenced ``console``
+   blocks are smoke-executed in a temporary directory, with ``gcx``
+   resolved to ``python -m repro.cli`` — so the quickstart cannot rot.
+
+Exit status 0 when everything passes; each failure is reported and the
+script exits 1.
+
+Usage:  python tools/check_docs.py  [--skip-readme-commands]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+REQUIRED_DOCS = [
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/CLI.md",
+    "examples/README.md",
+]
+
+#: Commands in README console blocks slower than a docs check should be;
+#: they are validated for subcommand existence but not executed.
+SKIP_PREFIXES = ("gcx table1",)
+
+
+def check_module_docstrings() -> list[str]:
+    """Every module under src/repro must open with a docstring."""
+    failures = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if not ast.get_docstring(tree):
+            failures.append(f"missing module docstring: {path.relative_to(REPO)}")
+    return failures
+
+
+def check_docs_exist() -> list[str]:
+    return [
+        f"missing documentation file: {name}"
+        for name in REQUIRED_DOCS
+        if not (REPO / name).is_file()
+    ]
+
+
+def readme_console_commands() -> list[str]:
+    """The ``$ ...`` lines of README.md's fenced console blocks, in order."""
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    commands: list[str] = []
+    for block in re.findall(r"```console\n(.*?)```", text, flags=re.DOTALL):
+        for line in block.splitlines():
+            if line.startswith("$ "):
+                commands.append(line[2:].strip())
+    return commands
+
+
+def check_readme_commands() -> list[str]:
+    """Smoke-execute the README quickstart in a scratch directory."""
+    commands = readme_console_commands()
+    if not commands:
+        return ["README.md contains no ```console blocks with $ commands"]
+    failures: list[str] = []
+    gcx = f"{shlex.quote(sys.executable)} -m repro.cli"
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    with tempfile.TemporaryDirectory() as tmp:
+        for command in commands:
+            if command.startswith(SKIP_PREFIXES):
+                subcommand = command.split()[1]
+                if subcommand not in _known_subcommands():
+                    failures.append(f"README references unknown subcommand: {command}")
+                continue
+            head = shlex.split(command)[0]
+            if head == "gcx":
+                shell_line = gcx + command[len("gcx"):]
+            elif head in ("printf", "echo"):
+                shell_line = command  # file-setup lines; need > redirection
+            else:
+                failures.append(f"README uses unexpected command (not smoke-run): {command}")
+                continue
+            proc = subprocess.run(
+                shell_line,
+                shell=True,
+                cwd=tmp,
+                capture_output=True,
+                text=True,
+                timeout=300,
+                env=env,
+            )
+            if proc.returncode != 0:
+                failures.append(
+                    f"README command failed ({proc.returncode}): {command}\n"
+                    f"    stderr: {proc.stderr.strip()[:300]}"
+                )
+    return failures
+
+
+def _known_subcommands() -> set[str]:
+    sys.path.insert(0, str(SRC))
+    from repro.cli import main  # noqa: F401  (import validates the module)
+
+    return {"run", "analyze", "table1", "xmark", "ablations", "dtd"}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--skip-readme-commands",
+        action="store_true",
+        help="only check docstrings and file presence (fast)",
+    )
+    args = parser.parse_args()
+
+    failures = check_module_docstrings() + check_docs_exist()
+    if not args.skip_readme_commands:
+        failures += check_readme_commands()
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} docs check(s) failed", file=sys.stderr)
+        return 1
+    print("docs checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
