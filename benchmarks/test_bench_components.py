@@ -5,7 +5,6 @@ regressions in the streaming pipeline are visible independently of whole-
 query runs.
 """
 
-import pytest
 
 from repro.analysis import compile_query
 from repro.buffer import BufferTree

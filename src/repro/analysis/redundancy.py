@@ -38,7 +38,7 @@ preservation) and their signOff statements are dropped from the query.
 
 from __future__ import annotations
 
-from repro.analysis.projection_tree import ProjectionTree, PTNode
+from repro.analysis.projection_tree import ProjectionTree
 from repro.analysis.roles import Role
 from repro.xquery.ast import (
     And,

@@ -11,7 +11,7 @@ equally often.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Role", "RoleSet", "UndefinedRoleRemoval"]
 
@@ -75,6 +75,10 @@ class RoleSet:
             del self._counts[role]
         else:
             self._counts[role] = current - count
+
+    def clear(self) -> None:
+        """Drop every role instance (free-list node recycling)."""
+        self._counts.clear()
 
     def count(self, role: Role) -> int:
         return self._counts.get(role, 0)

@@ -11,7 +11,6 @@ bindings are revisited across iterations of unrelated loops.
 
 from __future__ import annotations
 
-from functools import lru_cache
 
 from repro.xquery.ast import ROOT_VAR
 from repro.xquery.semantics import QueryVariables

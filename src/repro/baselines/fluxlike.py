@@ -27,7 +27,17 @@ from __future__ import annotations
 from repro.analysis.compile import CompiledQuery, CompileOptions, compile_query
 from repro.buffer.stats import BufferCostModel
 from repro.engine.gcx import EngineOptions, GCXEngine, RunResult
-from repro.xquery.ast import Query, walk, ForLoop, PathOutput, Exists, Comparison, PathOperand, IfThenElse, atomic_conditions, conditions_of
+from repro.xquery.ast import (
+    Comparison,
+    Exists,
+    ForLoop,
+    PathOperand,
+    PathOutput,
+    Query,
+    atomic_conditions,
+    conditions_of,
+    walk,
+)
 from repro.xquery.paths import Axis
 
 __all__ = ["UnsupportedQueryError", "FluxLikeEngine", "FLUX_COST_MODEL"]

@@ -16,7 +16,6 @@ signOff execution disabled, so no roles are ever removed.
 from __future__ import annotations
 
 import time
-from typing import Callable
 
 from repro.analysis.compile import CompiledQuery, CompileOptions, compile_query
 from repro.buffer.buffer import BufferTree

@@ -1,7 +1,27 @@
 """Benchmark harness: Table 1 regeneration, measurement, reporting."""
 
-from repro.bench.ablation import ABLATION_CONFIGS, AblationCell, format_ablations, run_ablations
-from repro.bench.harness import DEFAULT_ENGINES, HarnessConfig, generate_documents, run_table1
+from repro.bench.ablation import (
+    ABLATION_CONFIGS,
+    AblationCell,
+    format_ablations,
+    run_ablations,
+)
+from repro.bench.baseline import (
+    FLOORS,
+    Metric,
+    MetricDelta,
+    benchmark_document,
+    compare,
+    load_baseline,
+    run_quick_suite,
+    save_baseline,
+)
+from repro.bench.harness import (
+    DEFAULT_ENGINES,
+    HarnessConfig,
+    generate_documents,
+    run_table1,
+)
 from repro.bench.measure import Measurement, format_bytes, format_seconds, measure
 from repro.bench.report import format_table1, latency_report, shape_report
 
@@ -21,4 +41,12 @@ __all__ = [
     "AblationCell",
     "run_ablations",
     "format_ablations",
+    "Metric",
+    "MetricDelta",
+    "FLOORS",
+    "benchmark_document",
+    "run_quick_suite",
+    "save_baseline",
+    "load_baseline",
+    "compare",
 ]

@@ -16,7 +16,7 @@ timeouts for the same reason.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bench.measure import Measurement, measure
 from repro.xmark.generator import generate_xmark, xmark_scale_for_bytes

@@ -28,9 +28,15 @@ from dataclasses import dataclass
 from repro.analysis.roles import Role, UndefinedRoleRemoval
 from repro.buffer.node import BufferNode, DOC, ELEMENT, TEXT
 from repro.buffer.stats import BufferCostModel, BufferStats
+from repro.xmlio.tokens import EndTag, StartTag
 from repro.xquery.paths import Path
 
-__all__ = ["BufferTree", "CancelEntry"]
+__all__ = ["BufferTree", "CancelEntry", "FREE_LIST_CAP"]
+
+#: Upper bound on parked recycled nodes.  Bounds the slab so a huge purge
+#: (one big irrelevant subtree) cannot pin its node count in memory forever;
+#: steady-state streaming churns far fewer nodes than this.
+FREE_LIST_CAP = 4096
 
 
 @dataclass
@@ -56,9 +62,15 @@ class BufferTree:
         self.strict = strict
         self._seq = 0
         self.document = BufferNode(DOC, seq=self._next_seq())
-        # Symbol table: tag names <-> integers (Section 6).
+        # Symbol table: tag names <-> integers (Section 6), plus interned
+        # output tokens per tag so serialization allocates nothing per node.
         self._tag_ids: dict[str, int] = {}
         self._tag_names: list[str] = []
+        self._start_tokens: list[StartTag] = []
+        self._end_tokens: list[EndTag] = []
+        # Slab reuse: purged nodes park here and are handed back out by
+        # new_element/new_text instead of fresh allocations.
+        self._free_nodes: list[BufferNode] = []
         # Pending cancellations keyed by region root node.
         self.cancellations: dict[BufferNode, list[CancelEntry]] = {}
 
@@ -68,8 +80,9 @@ class BufferTree:
         The compile-once/run-many session API calls this between documents:
         nodes, statistics, sequence numbers and pending cancellations are
         per-run and start fresh, while the tag-name interning table
-        (Section 6's integer tags) is document-independent and is carried
-        over so repeated runs skip re-interning the schema's tag names.
+        (Section 6's integer tags), the interned output tokens, and the
+        node free list are document-independent and are carried over so
+        repeated runs skip re-interning tag names and re-allocating nodes.
         Returns ``self`` for chaining.
         """
         self.stats = BufferStats(model=self.stats.model)
@@ -88,10 +101,20 @@ class BufferTree:
             tid = len(self._tag_names)
             self._tag_ids[tag] = tid
             self._tag_names.append(tag)
+            self._start_tokens.append(StartTag(tag))
+            self._end_tokens.append(EndTag(tag))
         return tid
 
     def tag_name(self, tag_id: int) -> str:
         return self._tag_names[tag_id]
+
+    def start_token(self, tag_id: int) -> StartTag:
+        """The interned ``StartTag`` for a tag id (one object per tag)."""
+        return self._start_tokens[tag_id]
+
+    def end_token(self, tag_id: int) -> EndTag:
+        """The interned ``EndTag`` for a tag id (one object per tag)."""
+        return self._end_tokens[tag_id]
 
     # ------------------------------------------------------------------
     # construction (called by the preprojector)
@@ -102,13 +125,27 @@ class BufferTree:
         return self._seq
 
     def new_element(self, parent: BufferNode, tag: str) -> BufferNode:
-        node = BufferNode(ELEMENT, seq=self._next_seq(), tag_id=self.tag_id(tag))
+        free = self._free_nodes
+        if free:
+            node = free.pop()
+            node.reinit(ELEMENT, self._next_seq(), tag_id=self.tag_id(tag))
+            self.stats.nodes_recycled += 1
+        else:
+            node = BufferNode(
+                ELEMENT, seq=self._next_seq(), tag_id=self.tag_id(tag)
+            )
         parent.append_child(node)
         self.stats.on_create(self.stats.model.element_cost())
         return node
 
     def new_text(self, parent: BufferNode, content: str) -> BufferNode:
-        node = BufferNode(TEXT, seq=self._next_seq(), text=content)
+        free = self._free_nodes
+        if free:
+            node = free.pop()
+            node.reinit(TEXT, self._next_seq(), text=content)
+            self.stats.nodes_recycled += 1
+        else:
+            node = BufferNode(TEXT, seq=self._next_seq(), text=content)
         parent.append_child(node)
         self.stats.on_create(self.stats.model.text_cost(content))
         return node
@@ -175,15 +212,48 @@ class BufferTree:
         return False
 
     def _purge(self, node: BufferNode) -> None:
-        """Physically delete ``node`` and its (role-free) subtree."""
+        """Physically delete ``node`` and its (role-free) subtree.
+
+        Purged nodes are parked on the free list (up to
+        :data:`FREE_LIST_CAP`) for :meth:`new_element`/:meth:`new_text` to
+        reuse — streaming evaluation creates and purges nodes at the same
+        rate, so the slab turns that churn into pointer resets instead of
+        allocations.
+
+        Why reuse-while-held cannot happen: purging requires the subtree to
+        be role-free, and every node the evaluator still dereferences (a
+        suspended cursor's context, an ``env`` binding) holds a role until
+        its signOff — which is always the last act over that binding.  A
+        parked node also keeps ``finished=True`` until :meth:`reinit`, so a
+        cursor resumed against a stale reference bails out before the node
+        can be handed back out.  Weakening either invariant (purging
+        role-carrying nodes, or clearing ``finished`` here) would let
+        ``reinit`` turn a held reference into an unrelated live node.
+        """
         node.unlink()
-        for member in node.iter_subtree():
+        free = self._free_nodes
+        model = self.stats.model
+        stack = [node]
+        while stack:
+            member = stack.pop()
+            child = member.first_child
+            while child is not None:
+                stack.append(child)
+                child = child.next_sibling
             if member.kind == TEXT:
-                cost = self.stats.model.text_cost(member.text)
+                cost = model.text_cost(member.text)
             else:
-                cost = self.stats.model.element_cost()
+                cost = model.element_cost()
             self.stats.on_purge(cost)
             self.cancellations.pop(member, None)
+            if len(free) < FREE_LIST_CAP:
+                member.parent = None
+                member.prev_sibling = None
+                member.next_sibling = None
+                member.first_child = None
+                member.last_child = None
+                member.text = ""
+                free.append(member)
 
     # ------------------------------------------------------------------
     # stream progress (called by the preprojector)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.analysis.roles import Role, RoleSet
+from repro.analysis.roles import RoleSet
 
 __all__ = ["BufferNode", "DOC", "ELEMENT", "TEXT"]
 
@@ -69,6 +69,29 @@ class BufferNode:
         self.marked_deleted = False
         self.roles = RoleSet()
         self.aggregate_roles = RoleSet()
+        self.subtree_roles = 0
+
+    def reinit(self, kind: int, seq: int, tag_id: int = -1, text: str = "") -> None:
+        """Reset a recycled node to freshly constructed state.
+
+        The buffer's free list (slab reuse, docs/PERFORMANCE.md) calls this
+        instead of allocating: the node object and its two ``RoleSet``
+        instances are reused, everything else is reset exactly as
+        ``__init__`` would.  The caller guarantees the node is detached.
+        """
+        self.kind = kind
+        self.tag_id = tag_id
+        self.text = text
+        self.parent = None
+        self.prev_sibling = None
+        self.next_sibling = None
+        self.first_child = None
+        self.last_child = None
+        self.seq = seq
+        self.finished = kind == TEXT
+        self.marked_deleted = False
+        self.roles.clear()
+        self.aggregate_roles.clear()
         self.subtree_roles = 0
 
     # -- structure -------------------------------------------------------

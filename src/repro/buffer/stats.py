@@ -55,6 +55,7 @@ class BufferStats:
     nodes_created: int = 0
     nodes_purged: int = 0
     nodes_dropped: int = 0  # tokens discarded by projection (never buffered)
+    nodes_recycled: int = 0  # creations served from the free list (slab reuse)
 
     roles_assigned: int = 0
     roles_removed: int = 0

@@ -332,14 +332,16 @@ class Evaluator:
             return
         if node.kind == DOC:
             raise EvaluationError("cannot output the document node")
-        tag = self.buffer.tag_name(node.tag_id)
-        yield StartTag(tag)
+        # Interned per-tag tokens from the buffer's symbol table: emitting a
+        # subtree allocates no tag objects (docs/PERFORMANCE.md).
+        buffer = self.buffer
+        yield buffer.start_token(node.tag_id)
         child = node.first_child
         while child is not None:
             if not child.marked_deleted:
                 yield from self._serialize(child)
             child = child.next_sibling
-        yield EndTag(tag)
+        yield buffer.end_token(node.tag_id)
 
     def _ensure_finished(self, node: BufferNode) -> None:
         while not node.finished:

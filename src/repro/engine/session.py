@@ -25,17 +25,25 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.analysis.compile import CompiledQuery, CompileOptions, compile_query
 from repro.buffer.buffer import BufferTree
 from repro.buffer.stats import BufferCostModel, BufferStats
 from repro.engine.evaluator import Evaluator
+from repro.stream.matcher import StreamMatcher
 from repro.stream.preprojector import StreamPreprojector
+from repro.xmlio.filelexer import tokenize_file
 from repro.xmlio.lexer import tokenize
 from repro.xmlio.serialize import StringSink, TokenSink, serialize_stream
 from repro.xmlio.tokens import Token
 from repro.xquery.ast import Query
+
+#: A shared matcher whose lazy DFA outgrows this many states is replaced
+#: with a fresh one on the next run (bounds session-lifetime memory; normal
+#: query/document mixes stay well under it — XMark queries intern < 100).
+MATCHER_STATE_CAP = 4096
 
 __all__ = ["EngineOptions", "RunResult", "StreamingRun", "QuerySession"]
 
@@ -196,6 +204,17 @@ class QuerySession:
         # One finished buffer is kept for reuse; reset() preserves its tag
         # symbol table, so same-schema documents skip re-interning.
         self._spare_buffer: BufferTree | None = None
+        # One shared matcher: its lazy-DFA transition table is document-
+        # independent (append-only states + memoized transitions), so every
+        # run after the first replays warm transitions.  Safe under
+        # interleaved runs — per-run state lives in the preprojector frames.
+        # Recycled via _acquire_matcher when an adversarial document (DFA
+        # states scale with match-multiset variety, e.g. nesting depth under
+        # a descendant axis) inflates it past MATCHER_STATE_CAP.
+        self._matcher = StreamMatcher(
+            self._compiled.projection_tree,
+            aggregate_roles=self.options.aggregate_roles,
+        )
 
     @property
     def compiled(self) -> CompiledQuery:
@@ -206,12 +225,12 @@ class QuerySession:
 
     def run(
         self,
-        document: str | Iterator[Token],
+        document: str | Path | Iterator[Token],
         *,
         sink: TokenSink | None = None,
         on_event: Callable[[str], None] | None = None,
     ) -> RunResult:
-        """Evaluate over ``document`` (text or token stream), buffered.
+        """Evaluate over ``document`` (text, path, or token stream), buffered.
 
         With the default ``sink`` the full result text is returned in
         :attr:`RunResult.output`; pass a custom
@@ -237,22 +256,32 @@ class QuerySession:
 
     def run_streaming(
         self,
-        document: str | Iterator[Token],
+        document: str | Path | Iterator[Token],
         *,
         on_event: Callable[[str], None] | None = None,
     ) -> StreamingRun:
         """Evaluate over ``document``, yielding output tokens incrementally.
 
-        Returns a :class:`StreamingRun`; iterate it to drive the pipeline.
-        Nothing is read from the input before the first ``next()``.
+        ``document`` may be the document text, a :class:`~pathlib.Path` to
+        an XML file (tokenized chunk-at-a-time with bounded memory via
+        :func:`~repro.xmlio.filelexer.tokenize_file`), or any token
+        iterator.  Returns a :class:`StreamingRun`; iterate it to drive the
+        pipeline.  Nothing is read from the input before the first
+        ``next()``.
         """
-        tokens = tokenize(document) if isinstance(document, str) else document
+        if isinstance(document, str):
+            tokens = tokenize(document)
+        elif isinstance(document, Path):
+            tokens = tokenize_file(document)
+        else:
+            tokens = document
         buffer = self._acquire_buffer()
         preprojector = StreamPreprojector(
             tokens,
             self._compiled.projection_tree,
             buffer,
             aggregate_roles=self.options.aggregate_roles,
+            matcher=self._acquire_matcher(),
         )
         evaluator = Evaluator(
             self._compiled.rewritten,
@@ -264,6 +293,22 @@ class QuerySession:
             on_event=on_event,
         )
         return StreamingRun(self, buffer, preprojector, evaluator)
+
+    def _acquire_matcher(self) -> StreamMatcher:
+        """The shared warm matcher, replaced if a past run bloated it.
+
+        DFA states are keyed on match multisets, whose variety grows with
+        input shape (a depth-N document under a descendant axis interns
+        ~N states), so one adversarial document could otherwise pin memory
+        for the session's lifetime.  In-flight runs keep their reference to
+        the old matcher; only future runs see the fresh one.
+        """
+        if self._matcher.state_count > MATCHER_STATE_CAP:
+            self._matcher = StreamMatcher(
+                self._compiled.projection_tree,
+                aggregate_roles=self.options.aggregate_roles,
+            )
+        return self._matcher
 
     # -- buffer recycling ----------------------------------------------
 

@@ -3,19 +3,26 @@
 The paper realizes stream preprojection with a lazily constructed DFA whose
 states map to multisets of projection tree nodes — multiplicities count the
 number of path-step assignments that match (Example 1).  This module
-implements the same machine as an incremental matcher over the stack of
-open elements, with transition memoization playing the role of the lazy DFA
-construction:
+implements that machine literally: every distinct multiset pair
+(``matches``, ``cumulative``) is *interned* into a small integer DFA state
+id, and transitions are memoized in a table keyed by ``(state_id, tag)``.
+After the first occurrence of a tag in a given state, matching that tag
+again is a single dict lookup — the lazy DFA construction of Section 2,
+with :attr:`StreamMatcher.table_hits` / :attr:`StreamMatcher.table_misses`
+exposing how often the table short-circuits the multiset computation.
 
 * each open element carries the multiset of projection tree nodes matched
   exactly at it (``matches``) and the accumulated multiset of ancestor-or-
   self matches that can still extend through descendant steps
-  (``cumulative``),
+  (``cumulative``), plus the interned ``state_id`` of that pair,
 * reading an opening tag computes the child's multiset from child-axis
   contributions of the parent's ``matches`` and descendant/dos-axis
   contributions of the parent's ``cumulative``,
 * ``[1]`` (first witness) steps are consumed per context node, so only the
-  first match per context is preserved (Figure 1's ``price[1]``),
+  first match per context is preserved (Figure 1's ``price[1]``).  Frames
+  that consumed a ``[1]`` step take the matcher off the DFA: the transition
+  then depends on how matches distribute across frames, which a
+  single-state key cannot see, so it is computed directly (rare),
 * ``dos::node()`` leaves assign their role at the node their parent step
   matched — as an *aggregate* role covering the subtree (Section 6) or,
   with ``aggregate_roles=False``, as plain roles on every subtree node
@@ -32,11 +39,11 @@ would promote a descendant into a false child-axis match (Example 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.projection_tree import ProjectionTree, PTNode
 from repro.analysis.roles import Role
-from repro.xquery.paths import Axis, NodeTest, Step
+from repro.xquery.paths import Axis, NodeTest
 
 __all__ = ["MatchFrame", "Transition", "StreamMatcher"]
 
@@ -51,43 +58,73 @@ class Transition:
     aggregate_roles: dict[Role, int]
     structural: bool  # preservation condition (2) fired
     consumed_first: list[tuple[int, PTNode]]  # (stack depth, [1]-node) pairs
+    state_id: int = -1  # interned DFA state of (matches, cumulative)
 
 
 class MatchFrame:
     """Matcher state for one open element of the input stream."""
 
-    __slots__ = ("matches", "cumulative", "consumed")
+    __slots__ = ("matches", "cumulative", "consumed", "state_id")
 
     def __init__(
         self,
         matches: dict[PTNode, int],
         cumulative: dict[PTNode, int],
+        state_id: int | None = None,
     ) -> None:
         self.matches = matches
         self.cumulative = cumulative
         # [1]-steps already satisfied from this frame's context.
         self.consumed: set[PTNode] = set()
+        # Interned DFA state; None for frames built outside the matcher
+        # (tests), interned lazily on first lookup.
+        self.state_id = state_id
 
 
 class StreamMatcher:
-    """Incremental matcher with transition memoization (the lazy DFA)."""
+    """Incremental matcher with an interned-state transition table.
+
+    This is the paper's lazy DFA: states are discovered on demand as the
+    document exposes new (``matches``, ``cumulative``) multiset pairs, and
+    the transition table maps ``(state_id, tag)`` — with ``tag=None``
+    standing for character data — straight to the memoized
+    :class:`Transition`.
+    """
 
     def __init__(self, tree: ProjectionTree, *, aggregate_roles: bool = True) -> None:
         self.tree = tree
         self.aggregate = aggregate_roles
-        self._index: dict[int, int] = {}  # id(PTNode) -> small int (cache keys)
+        self._index: dict[int, int] = {}  # id(PTNode) -> small int (state keys)
         for i, node in enumerate(tree.all_nodes()):
             self._index[id(node)] = i
-        self._cache: dict[tuple, Transition] = {}
+        # Lazy DFA: interned states and the memoized transition table.
+        self._state_ids: dict[tuple, int] = {}
+        self._table: dict[tuple[int, str | None], Transition] = {}
+        #: Transition-table lookups that hit a memoized transition.
+        self.table_hits = 0
+        #: Lookups that had to compute (and then memoize) the transition.
+        self.table_misses = 0
+        #: Tokens matched off-DFA because a frame consumed a [1]-step.
+        self.off_dfa_computes = 0
 
     # ------------------------------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        """Number of DFA states discovered so far."""
+        return len(self._state_ids)
+
+    @property
+    def table_size(self) -> int:
+        """Number of memoized transitions."""
+        return len(self._table)
 
     def initial_frame(self) -> MatchFrame:
         """The frame of the document node: the root ``/`` matched once."""
         root = self.tree.root
         matches = {root: 1}
         cumulative = {root: 1} if _desc_capable(root) else {}
-        return MatchFrame(matches, cumulative)
+        return MatchFrame(matches, cumulative, self._intern(matches, cumulative))
 
     def match_token(
         self,
@@ -95,29 +132,60 @@ class StreamMatcher:
         *,
         tag: str | None,
         is_text: bool,
+        any_consumed: bool | None = None,
     ) -> Transition:
         """Match an opening tag (``tag``) or a text token against the stack.
 
         The caller applies ``consumed_first`` updates and pushes a new frame
-        built from ``matches``/``cumulative`` for element tokens.
+        built from the transition for element tokens.  ``any_consumed``
+        short-circuits the per-frame consumption scan when the caller
+        already tracks it (the preprojector does); ``None`` means "look".
         """
-        if any(frame.consumed for frame in stack):
+        if any_consumed is None:
+            any_consumed = any(frame.consumed for frame in stack)
+        if any_consumed:
             # Past [1]-consumptions make the transition depend on how
-            # matches are distributed across frames, which the cache key
+            # matches are distributed across frames, which the table key
             # cannot see; compute directly (rare in practice).
+            self.off_dfa_computes += 1
             return self._compute(stack, tag=tag, is_text=is_text)
-        key = self._cache_key(stack, tag, is_text)
-        cached = self._cache.get(key)
+        top = stack[-1]
+        state_id = top.state_id
+        if state_id is None:
+            state_id = top.state_id = self._intern(top.matches, top.cumulative)
+        key = (state_id, tag)
+        cached = self._table.get(key)
         if cached is not None:
+            self.table_hits += 1
             return cached
+        self.table_misses += 1
         transition = self._compute(stack, tag=tag, is_text=is_text)
         if not transition.consumed_first:
             # Transitions that consume [1]-steps mutate frame state and are
             # not safely shareable; everything else is.
-            self._cache[key] = transition
+            self._table[key] = transition
         return transition
 
+    def frame_for(self, transition: Transition) -> MatchFrame:
+        """The frame a start tag pushes: carries the transition's state."""
+        return MatchFrame(
+            transition.matches, transition.cumulative, transition.state_id
+        )
+
     # ------------------------------------------------------------------
+
+    def _intern(
+        self, matches: dict[PTNode, int], cumulative: dict[PTNode, int]
+    ) -> int:
+        index = self._index
+        key = (
+            tuple(sorted((index[id(n)], c) for n, c in matches.items())),
+            tuple(sorted((index[id(n)], c) for n, c in cumulative.items())),
+        )
+        state_id = self._state_ids.get(key)
+        if state_id is None:
+            state_id = self._state_ids[key] = len(self._state_ids)
+        return state_id
 
     def _compute(
         self, stack: list[MatchFrame], *, tag: str | None, is_text: bool
@@ -194,6 +262,7 @@ class StreamMatcher:
             aggregate_roles=aggregate_roles,
             structural=structural,
             consumed_first=consumed_first,
+            state_id=self._intern(matches, cumulative),
         )
 
     def _first_witness_contributions(
@@ -246,24 +315,19 @@ class StreamMatcher:
 
     def apply_consumptions(
         self, stack: list[MatchFrame], transition: Transition
-    ) -> None:
+    ) -> int:
+        """Record consumed [1]-steps; returns how many frames newly hold one.
+
+        The return value lets the preprojector maintain its count of
+        consumption-carrying frames without rescanning the stack per token.
+        """
+        newly_consumed = 0
         for depth, node in transition.consumed_first:
-            stack[depth].consumed.add(node)
-
-    def _cache_key(
-        self, stack: list[MatchFrame], tag: str | None, is_text: bool
-    ) -> tuple:
-        top = stack[-1]
-        index = self._index
-
-        def freeze(mapping: dict[PTNode, int]) -> tuple:
-            return tuple(
-                sorted((index[id(node)], count) for node, count in mapping.items())
-            )
-
-        # The cache is only consulted when no frame has consumed [1]-steps,
-        # so the key needs just the top state and the token.
-        return (freeze(top.matches), freeze(top.cumulative), is_text, tag)
+            consumed = stack[depth].consumed
+            if not consumed:
+                newly_consumed += 1
+            consumed.add(node)
+        return newly_consumed
 
 
 def _desc_capable(node: PTNode) -> bool:

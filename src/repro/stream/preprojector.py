@@ -48,15 +48,37 @@ class StreamPreprojector:
         buffer: BufferTree,
         *,
         aggregate_roles: bool = True,
+        matcher: StreamMatcher | None = None,
     ) -> None:
         self._tokens = tokens
         self.buffer = buffer
-        self.matcher = StreamMatcher(tree, aggregate_roles=aggregate_roles)
+        # A caller may pass a warm matcher (compile-once/run-many sessions
+        # do): its lazily built transition table carries over, so repeated
+        # documents replay memoized transitions from the first token.
+        if matcher is not None:
+            if matcher.tree is not tree:
+                raise ValueError(
+                    "matcher was built for a different projection tree"
+                )
+            if matcher.aggregate != aggregate_roles:
+                raise ValueError(
+                    "matcher was built with aggregate_roles="
+                    f"{matcher.aggregate}, preprojector asked for "
+                    f"{aggregate_roles}"
+                )
+            self.matcher = matcher
+        else:
+            self.matcher = StreamMatcher(tree, aggregate_roles=aggregate_roles)
         self.exhausted = False
         root_frame = self.matcher.initial_frame()
         self._stack: list[_OpenElement] = [
             _OpenElement("", root_frame, buffer.document, buffer.document)
         ]
+        # The matcher sees the frame stack; keep it materialized instead of
+        # rebuilding a list per token, and count frames holding consumed
+        # [1]-steps so the DFA fast path needs no per-token stack scan.
+        self._frames: list[MatchFrame] = [root_frame]
+        self._consumed_frames = 0
 
     # ------------------------------------------------------------------
 
@@ -90,9 +112,11 @@ class StreamPreprojector:
     # ------------------------------------------------------------------
 
     def _open(self, tag: str) -> None:
-        frames = [entry.frame for entry in self._stack]
-        transition = self.matcher.match_token(frames, tag=tag, is_text=False)
-        self.matcher.apply_consumptions(frames, transition)
+        frames = self._frames
+        transition = self.matcher.match_token(
+            frames, tag=tag, is_text=False, any_consumed=self._consumed_frames > 0
+        )
+        self._consumed_frames += self.matcher.apply_consumptions(frames, transition)
         normal, aggregate, cancelled = self._apply_cancellations(
             transition, tag=tag, is_text=False
         )
@@ -104,7 +128,8 @@ class StreamPreprojector:
             parent_entry,
             lambda attach: self.buffer.new_element(attach, tag),
         )
-        frame = MatchFrame(transition.matches, transition.cumulative)
+        frame = self.matcher.frame_for(transition)
+        frames.append(frame)
         self._stack.append(
             _OpenElement(
                 tag,
@@ -116,13 +141,18 @@ class StreamPreprojector:
 
     def _close(self) -> None:
         entry = self._stack.pop()
+        frame = self._frames.pop()
+        if frame.consumed:
+            self._consumed_frames -= 1
         if entry.buffer_node is not None:
             self.buffer.finish(entry.buffer_node)
 
     def _text(self, content: str) -> None:
-        frames = [entry.frame for entry in self._stack]
-        transition = self.matcher.match_token(frames, tag=None, is_text=True)
-        self.matcher.apply_consumptions(frames, transition)
+        frames = self._frames
+        transition = self.matcher.match_token(
+            frames, tag=None, is_text=True, any_consumed=self._consumed_frames > 0
+        )
+        self._consumed_frames += self.matcher.apply_consumptions(frames, transition)
         normal, aggregate, cancelled = self._apply_cancellations(
             transition, tag=None, is_text=True
         )

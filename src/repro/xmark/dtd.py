@@ -14,7 +14,6 @@ reasoning FluX performs).
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from repro.xmark.schema import ELEMENT_CHILDREN, REFERENCE_POSITIONS, validate_order
 from repro.xmlio.tree import DocumentNode, ElementNode, parse_tree

@@ -7,12 +7,19 @@ hook) and periodically *compacts* the consumed prefix away, so the resident
 window stays proportional to the chunk size — the engine's end-to-end memory
 then really is the buffer high watermark plus O(chunk).
 
+The interaction with the batch scanner (see :mod:`repro.xmlio.lexer`) is
+what keeps the window bounded: a batch may advance at most ``chunk_size``
+characters (``_batch_chars``), and the consumed prefix is compacted in the
+``_before_batch`` hook, between batches, when no scan positions point into
+the window.  The whole document is therefore never concatenated: at any
+moment the window holds at most one batch span plus one in-flight construct
+plus one read-ahead chunk.
+
 ``tokenize_file`` accepts a path or any text-mode file object.
 """
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 from typing import Iterator, TextIO
 
@@ -42,6 +49,9 @@ class FileTokenizer(XMLTokenizer):
         )
         self._stream = stream
         self._chunk_size = max(chunk_size, 16)
+        # Cap batch scanning at one chunk so compaction keeps pace and the
+        # resident window stays O(chunk) regardless of document length.
+        self._batch_chars = self._chunk_size
         self._eof = False
 
     def _refill(self) -> bool:
@@ -54,15 +64,10 @@ class FileTokenizer(XMLTokenizer):
         self._text += chunk
         return True
 
-    def next_token(self):
-        # Compact between tokens only: mid-construct scans hold local
+    def _before_batch(self) -> None:
+        # Compact between batches only: mid-batch scans hold local
         # positions into the window, which compaction would invalidate.
-        self._compact()
-        return super().next_token()
-
-    def _compact(self) -> None:
-        """Drop the consumed prefix once it dominates the window."""
-        if self._pos > self._chunk_size and not self._pending:
+        if self._pos > self._chunk_size:
             self._offset += self._pos
             self._text = self._text[self._pos :]
             self._pos = 0

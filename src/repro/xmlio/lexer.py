@@ -1,10 +1,31 @@
-"""A streaming XML tokenizer.
+"""A streaming XML tokenizer with a chunk-scanning hot path.
 
 The tokenizer is the lowest layer of the GCX architecture (Figure 11): the
 stream preprojector pulls tokens from it one at a time, so the tokenizer must
 never materialize the whole document.  It is deliberately written from
 scratch (no ``xml.sax``) so the repository is self-contained and the token
 boundaries match the paper's stream model exactly.
+
+Hot-path design (see docs/PERFORMANCE.md)
+-----------------------------------------
+Instead of dispatching one Python method call per token, the scanner fills a
+*batch* of up to :data:`BATCH_TOKENS` tokens per internal call, advancing
+through the document with ``str.find`` jumps — character data, tag bodies and
+skipped constructs are located by substring search, never by per-character
+stepping.  ``next_token`` then serves tokens from the batch by index, which
+makes the per-token cost a list lookup.  Two further properties matter:
+
+* *token interning* — ``StartTag``/``EndTag`` objects are cached per tag
+  name, so a document with a small element vocabulary allocates a bounded
+  number of tag tokens no matter its length;
+* *bounded lookahead* — batches stop after ``_batch_chars`` scanned
+  characters, so the file-backed subclass (:mod:`repro.xmlio.filelexer`) can
+  compact its window between batches and keep memory proportional to the
+  chunk size, not the document.
+
+The pre-optimization implementation is preserved verbatim in
+:mod:`repro.xmlio._reference_lexer`; differential tests assert both emit
+identical token streams, and the CI perf gate tracks the speedup.
 
 Supported XML subset
 --------------------
@@ -25,9 +46,17 @@ from typing import Iterator
 
 from repro.xmlio.tokens import EndTag, StartTag, Text, Token, unescape_text
 
-__all__ = ["XMLSyntaxError", "XMLTokenizer", "tokenize"]
+__all__ = ["XMLSyntaxError", "XMLTokenizer", "tokenize", "BATCH_TOKENS"]
 
 _WHITESPACE = " \t\r\n"
+
+#: Maximum number of tokens scanned ahead per batch.  Large enough to
+#: amortize the per-batch setup, small enough that time-to-first-token and
+#: the file lexer's resident window stay bounded.
+BATCH_TOKENS = 256
+
+#: Character budget sentinel for in-memory scanning (effectively unbounded).
+_NO_BUDGET = 1 << 62
 
 
 class XMLSyntaxError(ValueError):
@@ -42,7 +71,9 @@ class XMLTokenizer:
     """Incrementally tokenize an XML document held in a string.
 
     The tokenizer checks well-formedness of tag nesting as it goes and
-    raises :class:`XMLSyntaxError` on mismatched or dangling tags.
+    raises :class:`XMLSyntaxError` on mismatched or dangling tags.  Errors
+    surface in stream order: tokens scanned before the offending construct
+    are delivered first, exactly like the pre-batching implementation.
 
     Parameters
     ----------
@@ -72,19 +103,38 @@ class XMLTokenizer:
         self._strip_whitespace = strip_whitespace
         self._convert_attributes = convert_attributes
         self._open_tags: list[str] = []
-        self._pending: list[Token] = []
         self._seen_root = False
         self._done = False
+        # Batch machinery: tokens are scanned BATCH_TOKENS at a time into
+        # ``_out`` and served by index.  ``_batch_chars`` caps how far one
+        # batch may advance (the file subclass sets it to the chunk size so
+        # compaction keeps up with scanning).
+        self._out: list[Token] = []
+        self._out_pos = 0
+        self._batch_chars = _NO_BUDGET
+        self._error: XMLSyntaxError | None = None
+        # Interning tables: one token object per distinct tag name.
+        self._start_tags: dict[str, StartTag] = {}
+        self._end_tags: dict[str, EndTag] = {}
 
     def _refill(self) -> bool:
         """Ask for more input.  The in-memory tokenizer has none; the
         file-backed subclass appends the next chunk and returns True."""
         return False
 
+    def _before_batch(self) -> None:
+        """Hook run before scanning a batch (the file subclass compacts)."""
+
     def __iter__(self) -> Iterator[Token]:
         return self
 
     def __next__(self) -> Token:
+        # Inline the batch fast path: one bounds check and a list index.
+        out = self._out
+        pos = self._out_pos
+        if pos < len(out):
+            self._out_pos = pos + 1
+            return out[pos]
         token = self.next_token()
         if token is None:
             raise StopIteration
@@ -92,60 +142,255 @@ class XMLTokenizer:
 
     def next_token(self) -> Token | None:
         """Return the next token, or ``None`` when the stream is exhausted."""
-        if self._pending:
-            return self._pending.pop(0)
+        out = self._out
+        pos = self._out_pos
+        if pos < len(out):
+            self._out_pos = pos + 1
+            return out[pos]
         while True:
-            token = self._scan()
-            if token is None:
+            if not self._fill():
+                if self._error is not None:
+                    raise self._error
                 self._finish_checks()
                 return None
-            if (
-                self._strip_whitespace
-                and isinstance(token, Text)
-                and not token.content.strip()
-            ):
-                continue
-            return token
+            if self._out:
+                self._out_pos = 1
+                return self._out[0]
 
     # ------------------------------------------------------------------
     # scanning machinery
     # ------------------------------------------------------------------
 
-    def _scan(self) -> Token | None:
-        while self._pos >= len(self._text):
-            if not self._refill():
-                return None
-        text, pos = self._text, self._pos
-        if text[pos] != "<":
-            end = text.find("<", pos)
-            while end == -1 and self._refill():
-                text = self._text
-                end = text.find("<", pos)
-            if end == -1:
-                end = len(text)
-            raw = text[pos:end]
-            self._pos = end
-            if not self._open_tags and raw.strip():
-                raise XMLSyntaxError(
-                    "character data outside the root element", pos + self._offset
-                )
-            return Text(unescape_text(raw))
-        # A markup construct starts here.  Ensure the construct kind is
-        # decidable even when a chunk boundary splits the prefix.
-        while len(self._text) - pos < 9 and self._refill():
-            pass
+    def _fill(self) -> bool:
+        """Scan the next batch of tokens into ``_out``.
+
+        Returns False when the stream is exhausted (or a deferred syntax
+        error is pending); True when the batch may hold tokens — possibly
+        zero, when the character budget was spent on skipped constructs.
+        """
+        if self._error is not None:
+            return False
+        self._before_batch()
+        out = self._out
+        out.clear()
+        self._out_pos = 0
+        append = out.append
         text = self._text
-        if text.startswith("<!--", pos):
-            return self._skip_until("-->", pos)
-        if text.startswith("<![CDATA[", pos):
-            return self._scan_cdata(pos)
-        if text.startswith("<?", pos):
-            return self._skip_until("?>", pos)
-        if text.startswith("<!", pos):
-            return self._skip_doctype(pos)
-        if text.startswith("</", pos):
-            return self._scan_end_tag(pos)
-        return self._scan_start_tag(pos)
+        n = len(text)
+        pos = self._pos
+        limit = pos + self._batch_chars
+        offset = self._offset
+        strip_ws = self._strip_whitespace
+        open_tags = self._open_tags
+        start_tags = self._start_tags
+        end_tags = self._end_tags
+        progressed = False
+        try:
+            while len(out) < BATCH_TOKENS and pos <= limit:
+                if pos >= n:
+                    self._pos = pos
+                    if not self._refill():
+                        break
+                    text = self._text
+                    n = len(text)
+                    continue
+                progressed = True
+                if text[pos] != "<":
+                    # -- character data run ------------------------------
+                    end = text.find("<", pos)
+                    if end == -1:
+                        self._pos = pos
+                        while end == -1:
+                            # Resume the search where the old text ended:
+                            # rescanning from ``pos`` would make one long
+                            # text run quadratic in the number of refills.
+                            old_length = len(text)
+                            if not self._refill():
+                                break
+                            text = self._text
+                            end = text.find("<", old_length)
+                        n = len(text)
+                        if end == -1:
+                            end = n
+                    raw = text[pos:end]
+                    start = pos
+                    pos = end
+                    if raw.isspace():
+                        if strip_ws:
+                            continue
+                        append(Text(raw))
+                        continue
+                    if not open_tags:
+                        raise XMLSyntaxError(
+                            "character data outside the root element",
+                            start + offset,
+                        )
+                    if "&" in raw:
+                        raw = unescape_text(raw)
+                    append(Text(raw))
+                    continue
+                # -- markup: make the construct kind decidable even when a
+                # chunk boundary splits the prefix (longest is <![CDATA[).
+                if n - pos < 9:
+                    self._pos = pos
+                    while n - pos < 9 and self._refill():
+                        text = self._text
+                        n = len(text)
+                second = text[pos + 1] if pos + 1 < n else ""
+                if second == "/":
+                    # -- end tag -----------------------------------------
+                    end = text.find(">", pos)
+                    if end == -1:
+                        self._pos = pos
+                        end = self._find(">", pos)
+                        if end == -1:
+                            raise XMLSyntaxError(
+                                "unterminated end tag", pos + offset
+                            )
+                        text = self._text
+                        n = len(text)
+                    name = text[pos + 2 : end].strip()
+                    if not name:
+                        raise XMLSyntaxError("empty end tag", pos + offset)
+                    if not open_tags:
+                        raise XMLSyntaxError(
+                            f"closing tag </{name}> with no open element",
+                            pos + offset,
+                        )
+                    expected = open_tags.pop()
+                    if expected != name:
+                        raise XMLSyntaxError(
+                            f"mismatched closing tag </{name}>, "
+                            f"expected </{expected}>",
+                            pos + offset,
+                        )
+                    pos = end + 1
+                    token = end_tags.get(name)
+                    if token is None:
+                        token = end_tags[name] = EndTag(name)
+                    append(token)
+                    continue
+                if second == "!" or second == "?":
+                    self._pos = pos
+                    if text.startswith("<!--", pos):
+                        end = self._find("-->", pos)
+                        if end == -1:
+                            raise XMLSyntaxError(
+                                "unterminated construct, expected '-->'",
+                                pos + offset,
+                            )
+                        text = self._text
+                        n = len(text)
+                        pos = end + 3
+                        continue
+                    if text.startswith("<![CDATA[", pos):
+                        end = self._find("]]>", pos)
+                        if end == -1:
+                            raise XMLSyntaxError(
+                                "unterminated CDATA section", pos + offset
+                            )
+                        text = self._text
+                        n = len(text)
+                        content = text[pos + 9 : end]
+                        if not open_tags:
+                            raise XMLSyntaxError(
+                                "character data outside the root element",
+                                pos + offset,
+                            )
+                        pos = end + 3
+                        if strip_ws and not content.strip():
+                            continue
+                        append(Text(content))
+                        continue
+                    if second == "?":
+                        end = self._find("?>", pos)
+                        if end == -1:
+                            raise XMLSyntaxError(
+                                "unterminated construct, expected '?>'",
+                                pos + offset,
+                            )
+                        text = self._text
+                        n = len(text)
+                        pos = end + 2
+                        continue
+                    pos = self._skip_doctype(pos)
+                    text = self._text
+                    n = len(text)
+                    continue
+                # -- start tag -------------------------------------------
+                end = text.find(">", pos)
+                if end == -1:
+                    self._pos = pos
+                    end = self._find(">", pos)
+                    if end == -1:
+                        raise XMLSyntaxError(
+                            "unterminated start tag", pos + offset
+                        )
+                    text = self._text
+                    n = len(text)
+                body = text[pos + 1 : end]
+                if body.endswith("/"):
+                    self_closing = True
+                    body = body[:-1]
+                else:
+                    self_closing = False
+                if (
+                    " " in body
+                    or "\t" in body
+                    or "\n" in body
+                    or "\r" in body
+                ):
+                    name, attributes = self._parse_tag_body(body, pos)
+                else:
+                    if not body:
+                        raise XMLSyntaxError("empty start tag", pos + offset)
+                    name, attributes = body, ()
+                if self._seen_root and not open_tags:
+                    raise XMLSyntaxError(
+                        "document has more than one root element", pos + offset
+                    )
+                self._seen_root = True
+                pos = end + 1
+                token = start_tags.get(name)
+                if token is None:
+                    token = start_tags[name] = StartTag(name)
+                append(token)
+                if attributes and self._convert_attributes:
+                    for attr_name, attr_value in attributes:
+                        attr_start = start_tags.get(attr_name)
+                        if attr_start is None:
+                            attr_start = start_tags[attr_name] = StartTag(
+                                attr_name
+                            )
+                        attr_end = end_tags.get(attr_name)
+                        if attr_end is None:
+                            attr_end = end_tags[attr_name] = EndTag(attr_name)
+                        append(attr_start)
+                        if attr_value:
+                            append(Text(attr_value))
+                        append(attr_end)
+                if self_closing:
+                    token = end_tags.get(name)
+                    if token is None:
+                        token = end_tags[name] = EndTag(name)
+                    append(token)
+                else:
+                    open_tags.append(name)
+        except XMLSyntaxError as error:
+            # Deliver already-scanned tokens first, then the error — the
+            # stream behaves exactly like the token-at-a-time oracle.
+            self._error = error
+            self._pos = pos
+            return bool(out)
+        self._pos = pos
+        if out:
+            return True
+        # No tokens: either the stream ended, or the budget went into
+        # skipped constructs / stripped whitespace and scanning continues.
+        return progressed and (pos < len(self._text) or not self._at_eof())
+
+    def _at_eof(self) -> bool:
+        return not self._refill()
 
     def _find(self, needle: str, start: int) -> int:
         """``str.find`` that refills until the needle appears or input ends."""
@@ -159,28 +404,7 @@ class XMLTokenizer:
             end = self._text.find(needle, rescan_from)
         return end
 
-    def _skip_until(self, terminator: str, pos: int) -> Token | None:
-        end = self._find(terminator, pos)
-        if end == -1:
-            raise XMLSyntaxError(
-                f"unterminated construct, expected {terminator!r}", pos + self._offset
-            )
-        self._pos = end + len(terminator)
-        return self._scan()
-
-    def _scan_cdata(self, pos: int) -> Token:
-        end = self._find("]]>", pos)
-        if end == -1:
-            raise XMLSyntaxError("unterminated CDATA section", pos + self._offset)
-        content = self._text[pos + len("<![CDATA[") : end]
-        self._pos = end + len("]]>")
-        if not self._open_tags:
-            raise XMLSyntaxError(
-                "character data outside the root element", pos + self._offset
-            )
-        return Text(content)
-
-    def _skip_doctype(self, pos: int) -> Token | None:
+    def _skip_doctype(self, pos: int) -> int:
         # DOCTYPE may contain an internal subset in square brackets.
         depth = 0
         i = pos
@@ -196,60 +420,12 @@ class XMLTokenizer:
             elif ch == "]":
                 depth -= 1
             elif ch == ">" and depth <= 0:
-                self._pos = i + 1
-                return self._scan()
+                return i + 1
             i += 1
 
-    def _scan_end_tag(self, pos: int) -> Token:
-        end = self._find(">", pos)
-        if end == -1:
-            raise XMLSyntaxError("unterminated end tag", pos + self._offset)
-        name = self._text[pos + 2 : end].strip()
-        if not name:
-            raise XMLSyntaxError("empty end tag", pos + self._offset)
-        self._pos = end + 1
-        if not self._open_tags:
-            raise XMLSyntaxError(
-                f"closing tag </{name}> with no open element", pos + self._offset
-            )
-        expected = self._open_tags.pop()
-        if expected != name:
-            raise XMLSyntaxError(
-                f"mismatched closing tag </{name}>, expected </{expected}>",
-                pos + self._offset,
-            )
-        return EndTag(name)
-
-    def _scan_start_tag(self, pos: int) -> Token:
-        end = self._find(">", pos)
-        if end == -1:
-            raise XMLSyntaxError("unterminated start tag", pos + self._offset)
-        self._pos = end + 1
-        body = self._text[pos + 1 : end]
-        self_closing = body.endswith("/")
-        if self_closing:
-            body = body[:-1]
-        name, attributes = self._parse_tag_body(body, pos)
-        if self._seen_root and not self._open_tags:
-            raise XMLSyntaxError(
-                "document has more than one root element", pos + self._offset
-            )
-        self._seen_root = True
-        tokens: list[Token] = [StartTag(name)]
-        if self._convert_attributes:
-            for attr_name, attr_value in attributes:
-                tokens.append(StartTag(attr_name))
-                if attr_value:
-                    tokens.append(Text(attr_value))
-                tokens.append(EndTag(attr_name))
-        if self_closing:
-            tokens.append(EndTag(name))
-        else:
-            self._open_tags.append(name)
-        self._pending = tokens[1:]
-        return tokens[0]
-
-    def _parse_tag_body(self, body: str, pos: int) -> tuple[str, list[tuple[str, str]]]:
+    def _parse_tag_body(
+        self, body: str, pos: int
+    ) -> tuple[str, list[tuple[str, str]]]:
         body = body.strip()
         if not body:
             raise XMLSyntaxError("empty start tag", pos + self._offset)
@@ -265,17 +441,23 @@ class XMLTokenizer:
                 break
             eq = body.find("=", i)
             if eq == -1:
-                raise XMLSyntaxError(f"malformed attribute in <{name}>", pos)
+                raise XMLSyntaxError(
+                    f"malformed attribute in <{name}>", pos + self._offset
+                )
             attr_name = body[i:eq].strip()
             j = eq + 1
             while j < len(body) and body[j] in _WHITESPACE:
                 j += 1
             if j >= len(body) or body[j] not in "\"'":
-                raise XMLSyntaxError(f"unquoted attribute value in <{name}>", pos)
+                raise XMLSyntaxError(
+                    f"unquoted attribute value in <{name}>", pos + self._offset
+                )
             quote = body[j]
             close = body.find(quote, j + 1)
             if close == -1:
-                raise XMLSyntaxError(f"unterminated attribute value in <{name}>", pos)
+                raise XMLSyntaxError(
+                    f"unterminated attribute value in <{name}>", pos + self._offset
+                )
             attributes.append((attr_name, unescape_text(body[j + 1 : close])))
             i = close + 1
         return name, attributes
@@ -284,13 +466,16 @@ class XMLTokenizer:
         if self._done:
             return
         self._done = True
+        # ``_pos`` is window-relative in chunked file mode; add the
+        # compacted-away prefix so positions stay document-absolute.
+        position = self._pos + self._offset
         if self._open_tags:
             raise XMLSyntaxError(
                 f"input exhausted with unclosed element <{self._open_tags[-1]}>",
-                self._pos,
+                position,
             )
         if not self._seen_root:
-            raise XMLSyntaxError("document has no root element", self._pos)
+            raise XMLSyntaxError("document has no root element", position)
 
 
 def tokenize(

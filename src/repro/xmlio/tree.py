@@ -198,7 +198,9 @@ def _serialize_into(node: XMLNode, parts: list[str]) -> None:
         parts.append(escape_text(node.content))
 
 
-def project(document: DocumentNode, keep: set[XMLNode] | Callable[[XMLNode], bool]) -> DocumentNode:
+def project(
+    document: DocumentNode, keep: set[XMLNode] | Callable[[XMLNode], bool]
+) -> DocumentNode:
     """Compute the projection Pi_S(T) of Definition 1.
 
     ``keep`` is either the node-set S (the document root is always kept) or a

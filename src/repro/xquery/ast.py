@@ -25,7 +25,7 @@ All node classes are immutable; rewriting builds new trees.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.xquery.paths import Path, Step, format_path

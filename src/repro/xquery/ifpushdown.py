@@ -20,7 +20,6 @@ that in practice only if-expressions containing a for-loop need processing;
 from __future__ import annotations
 
 from repro.xquery.ast import (
-    And,
     CloseTag,
     Element,
     Empty,

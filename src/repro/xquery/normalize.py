@@ -26,7 +26,6 @@ from typing import Callable
 
 from repro.xquery.ast import (
     And,
-    CloseTag,
     Comparison,
     Condition,
     Element,
@@ -36,17 +35,13 @@ from repro.xquery.ast import (
     ForLoop,
     IfThenElse,
     LetBinding,
-    LiteralOperand,
     Not,
-    OpenTag,
     Or,
     PathOperand,
     PathOutput,
     Query,
     SignOff,
     Sequence,
-    TextLiteral,
-    TrueCond,
     VarRef,
     sequence_of,
 )
@@ -132,7 +127,9 @@ def map_expr(expr: Expr, transform: Callable[[Expr], Expr]) -> Expr:
             expr.where,
         )
     elif isinstance(expr, LetBinding):
-        rebuilt = LetBinding(expr.var, expr.source, expr.path, map_expr(expr.body, transform))
+        rebuilt = LetBinding(
+            expr.var, expr.source, expr.path, map_expr(expr.body, transform)
+        )
     elif isinstance(expr, IfThenElse):
         rebuilt = IfThenElse(
             expr.cond,
@@ -206,7 +203,11 @@ def _substitute(expr: Expr, var: str, source: str, prefix: Path) -> Expr:
             new_source = source if node.source == var else node.source
             new_path = (prefix + node.path) if node.source == var else node.path
             new_where = rewrite_cond(node.where) if node.where is not None else None
-            if (new_source, new_path, new_where) != (node.source, node.path, node.where):
+            if (new_source, new_path, new_where) != (
+                node.source,
+                node.path,
+                node.where,
+            ):
                 return ForLoop(node.var, new_source, new_path, node.body, new_where)
             return node
         if isinstance(node, LetBinding) and node.source == var:
@@ -220,7 +221,9 @@ def _substitute(expr: Expr, var: str, source: str, prefix: Path) -> Expr:
         if isinstance(node, SignOff) and node.var == var:
             return SignOff(source, prefix + node.path, node.role)
         if isinstance(node, IfThenElse):
-            return IfThenElse(rewrite_cond(node.cond), node.then_branch, node.else_branch)
+            return IfThenElse(
+                rewrite_cond(node.cond), node.then_branch, node.else_branch
+            )
         return node
 
     return map_expr(expr, transform)

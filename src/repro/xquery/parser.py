@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from repro.xquery.ast import (
     And,
-    CloseTag,
     Comparison,
     Condition,
     Element,
@@ -33,14 +32,12 @@ from repro.xquery.ast import (
     LetBinding,
     LiteralOperand,
     Not,
-    OpenTag,
     Or,
     PathOperand,
     PathOutput,
     Query,
     REL_OPS,
     SignOff,
-    Sequence,
     TextLiteral,
     TrueCond,
     VarRef,

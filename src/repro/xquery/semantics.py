@@ -9,7 +9,7 @@ checks (every used variable must be bound, the only free variable is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.xquery.ast import (
     And,

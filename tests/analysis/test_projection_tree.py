@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import CompileOptions, compile_query
-from repro.xquery.paths import Axis, child, dos_node
+from repro.xquery.paths import child, dos_node
 
 from tests.helpers import INTRO_QUERY
 

@@ -1,6 +1,5 @@
 """Golden tests for signOff insertion (Figures 8 and 9, the intro query)."""
 
-import pytest
 
 from repro.analysis import CompileOptions, compile_query
 from repro.xquery import parse_query, unparse
@@ -111,13 +110,17 @@ class TestEarlyUpdates:
         # The fresh variable is signed off inside its own loop (early).
         import re
 
-        match = re.search(r"for (\$out\d+) in \$b/title return \(\1, signOff\(\1,", rendered)
+        match = re.search(
+            r"for (\$out\d+) in \$b/title return \(\1, signOff\(\1,", rendered
+        )
         assert match, rendered
 
     def test_early_updates_preserve_output(self):
         from repro.engine import EngineOptions, GCXEngine
 
         doc = "<bib><book><title>T</title><title>U</title></book></bib>"
-        with_updates = GCXEngine(EngineOptions(early_updates=True)).run(INTRO_QUERY, doc)
+        with_updates = GCXEngine(EngineOptions(early_updates=True)).run(
+            INTRO_QUERY, doc
+        )
         without = GCXEngine(EngineOptions(early_updates=False)).run(INTRO_QUERY, doc)
         assert with_updates.output == without.output

@@ -1,6 +1,5 @@
 """Tests for Definitions 3 and 4 (straight variables, fsa)."""
 
-import pytest
 
 from repro.analysis import compute_straight
 from repro.xquery import analyze_variables, normalize, parse_query

@@ -9,7 +9,7 @@ over the whole corpus; the other engines are covered along the way.
 
 import pytest
 
-from repro.baselines import ENGINES, UnsupportedQueryError
+from repro.baselines import ENGINES
 from repro.engine import EngineOptions, GCXEngine
 
 from tests.helpers import CORPUS, assert_engines_agree

@@ -1,6 +1,5 @@
 """Report-rendering tests."""
 
-import pytest
 
 from repro.bench import Measurement, format_table1, shape_report
 from repro.bench.report import _is_flat
@@ -35,7 +34,9 @@ class TestFormatTable1:
     def test_na_column(self):
         cells = [
             cell("gcx", "Q6", 1000),
-            Measurement(engine="flux-like", query="Q6", doc_bytes=1000, supported=False),
+            Measurement(
+                engine="flux-like", query="Q6", doc_bytes=1000, supported=False
+            ),
         ]
         assert "n/a" in format_table1(cells)
 
@@ -89,7 +90,9 @@ class TestIsFlat:
         assert _is_flat([cell("gcx", "Q1", 1000)])
 
     def test_two_similar_points_flat(self):
-        assert _is_flat([cell("gcx", "Q1", 1000, hwm=100), cell("gcx", "Q1", 2000, hwm=104)])
+        assert _is_flat(
+            [cell("gcx", "Q1", 1000, hwm=100), cell("gcx", "Q1", 2000, hwm=104)]
+        )
 
     def test_proportional_growth_not_flat(self):
         assert not _is_flat(

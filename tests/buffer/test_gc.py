@@ -1,6 +1,5 @@
 """Active garbage collection tests (Section 5, Figure 10)."""
 
-import pytest
 
 from repro.analysis import Role
 from repro.buffer import BufferTree

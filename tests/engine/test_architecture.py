@@ -1,6 +1,5 @@
 """Architecture tests (Figure 11): the pull chain and safety checks."""
 
-import pytest
 
 from repro.engine import EngineOptions, GCXEngine
 

@@ -7,7 +7,6 @@ arrivals would keep their roles forever, violating Section 3's requirement
 that all roles be removed.  These tests construct exactly such races.
 """
 
-import pytest
 
 from repro.engine import EngineOptions, GCXEngine
 

@@ -72,7 +72,8 @@ class TestIterationDiscipline:
         assert result.output == "<out><hit/><hit/><hit/></out>"
 
     def test_empty_iteration(self):
-        assert run("<out>{for $z in /r/none return $z}</out>", "<r><a/></r>").output == "<out/>"
+        result = run("<out>{for $z in /r/none return $z}</out>", "<r><a/></r>")
+        assert result.output == "<out/>"
 
 
 class TestConditions:

@@ -65,7 +65,9 @@ def _condition(env: tuple[str, ...], depth: int) -> st.SearchStrategy[str]:
     atoms = [
         st.just("true()"),
         st.tuples(var, _path()).map(lambda p: f"exists {p[0]}{p[1]}"),
-        st.tuples(var, _path(), st.sampled_from(("=", "<", ">=")), st.sampled_from(WORDS)).map(
+        st.tuples(
+            var, _path(), st.sampled_from(("=", "<", ">=")), st.sampled_from(WORDS)
+        ).map(
             lambda p: f'{p[0]}{p[1]} {p[2]} "{p[3]}"'
         ),
     ]
@@ -87,7 +89,9 @@ def _condition(env: tuple[str, ...], depth: int) -> st.SearchStrategy[str]:
     )
 
 
-def _expr(env: tuple[str, ...], depth: int, counter: list[int]) -> st.SearchStrategy[str]:
+def _expr(
+    env: tuple[str, ...], depth: int, counter: list[int]
+) -> st.SearchStrategy[str]:
     var = st.sampled_from(env)
     leaves = [
         st.just("()"),
@@ -126,4 +130,6 @@ def _expr(env: tuple[str, ...], depth: int, counter: list[int]) -> st.SearchStra
 
 def queries(max_depth: int = 3) -> st.SearchStrategy[str]:
     """Random well-scoped XQ queries with free variable $root."""
-    return st.builds(lambda body: f"<out>{{{body}}}</out>", _expr(("$root",), max_depth, [0]))
+    return st.builds(
+        lambda body: f"<out>{{{body}}}</out>", _expr(("$root",), max_depth, [0])
+    )

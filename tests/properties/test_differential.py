@@ -10,7 +10,6 @@ the role-accounting safety invariants of Section 3.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.baselines import NaiveDomEngine

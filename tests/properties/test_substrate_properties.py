@@ -7,9 +7,9 @@ from hypothesis import strategies as st
 
 from repro.analysis import pattern_contains
 from repro.xmlio import parse_tree, serialize_tokens, serialize_tree, tokenize
-from repro.xmlio.tree import ElementNode, TextNode, project
+from repro.xmlio.tree import project
 from repro.xquery import parse_expr, unparse
-from repro.xquery.paths import Axis, NodeTest, Step, child, descendant, dos_node
+from repro.xquery.paths import NodeTest, Step, child, descendant, dos_node
 
 from tests.properties.strategies import documents, queries
 
@@ -78,7 +78,9 @@ class TestProjectionProperties:
         if len(nodes) < 2:
             return
         keep = set(
-            data.draw(st.lists(st.sampled_from(nodes), unique=True, min_size=2, max_size=8))
+            data.draw(
+                st.lists(st.sampled_from(nodes), unique=True, min_size=2, max_size=8)
+            )
         )
         projected = project(tree, keep)
         original_by_order = {node.order: node for node in tree.iter_subtree()}

@@ -4,7 +4,6 @@ The projection trees of those figures are built directly from PTNodes so
 the tests pin down the matcher in isolation from query compilation.
 """
 
-import pytest
 
 from repro.analysis.projection_tree import ProjectionTree, PTNode
 from repro.analysis.roles import Role

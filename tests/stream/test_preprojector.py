@@ -1,6 +1,5 @@
 """Preprojector tests: incremental projection, preservation, cancellation."""
 
-import pytest
 
 from repro.analysis import CompileOptions, compile_query
 from repro.buffer import BufferTree

@@ -11,7 +11,7 @@ from repro.xmark import (
     xmark_scale_for_bytes,
 )
 from repro.xmlio import parse_tree
-from repro.xmlio.tree import ElementNode, TextNode
+from repro.xmlio.tree import ElementNode
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import compile_query
-from repro.baselines import FluxLikeEngine, NaiveDomEngine, UnsupportedQueryError
+from repro.baselines import FluxLikeEngine, UnsupportedQueryError
 from repro.engine import GCXEngine
 from repro.xmark import TABLE1_QUERIES, XMARK_QUERIES
 from repro.xquery import parse_query

@@ -39,7 +39,9 @@ class TestConstructors:
 
     def test_nested_constructors(self):
         expr = parse_expr("<a><b/><c/></a>")
-        assert expr == Element("a", Sequence((Element("b", Empty()), Element("c", Empty()))))
+        assert expr == Element(
+            "a", Sequence((Element("b", Empty()), Element("c", Empty())))
+        )
 
     def test_literal_text_content(self):
         assert parse_expr("<a>hello world</a>") == Element(
@@ -182,7 +184,9 @@ class TestConditions:
         assert expr.cond == Not(Exists("$x", (child("a"),)))
 
     def test_nested_parens(self):
-        expr = parse_expr("if ((exists $x/a or exists $x/b) and exists $x/c) then $a else ()")
+        expr = parse_expr(
+            "if ((exists $x/a or exists $x/b) and exists $x/c) then $a else ()"
+        )
         assert isinstance(expr.cond, And)
         assert isinstance(expr.cond.left, Or)
 

@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Performance regression gate (run by CI's perf job).
+
+Compares a fresh run of the quick benchmark suite (or a pre-recorded
+``BENCH_*.json``) against the committed baseline and turns the deltas into
+an exit status:
+
+* machine-independent metrics (speedup ratios, hit rates, buffer high
+  watermarks) that regress beyond ``--threshold`` FAIL the gate (exit 1);
+* machine-dependent metrics (absolute MB/s numbers) WARN by default,
+  because CI hardware differs from the machine that recorded the baseline;
+  pass ``--strict-timings`` to fail on them too (useful locally);
+* metrics with an absolute floor (``tokenizer_speedup`` ≥ 2.0, the PR
+  acceptance criterion) FAIL whenever the fresh value sinks below it,
+  threshold notwithstanding.
+
+Usage:
+    python tools/bench_gate.py                       # run suite + gate
+    python tools/bench_gate.py --out BENCH_fresh.json
+    python tools/bench_gate.py --fresh BENCH_fresh.json   # gate a recording
+    python tools/bench_gate.py --update              # rewrite the baseline
+
+See docs/PERFORMANCE.md for the full workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench.baseline import (  # noqa: E402  (path bootstrap above)
+    FLOORS,
+    compare,
+    load_baseline,
+    run_quick_suite,
+    save_baseline,
+)
+
+DEFAULT_BASELINE = REPO / "BENCH_baseline.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark regression gate", epilog=__doc__
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline snapshot (default: BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=None,
+        help="gate this pre-recorded BENCH_*.json instead of running the suite",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the freshly measured BENCH_*.json here",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative regression that fails the gate (default 0.25)",
+    )
+    parser.add_argument(
+        "--strict-timings",
+        action="store_true",
+        help="fail (not warn) on machine-dependent timing regressions",
+    )
+    parser.add_argument(
+        "--doc-bytes",
+        type=int,
+        default=1_200_000,
+        help="benchmark document size when running the suite",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the fresh results over the baseline and exit 0",
+    )
+    args = parser.parse_args()
+
+    if args.fresh is not None:
+        try:
+            fresh = load_baseline(args.fresh)
+        except (OSError, ValueError) as error:
+            print(f"ERROR: cannot load {args.fresh}: {error}", file=sys.stderr)
+            return 2
+        print(f"gating pre-recorded results from {args.fresh}")
+    else:
+        print(f"running quick benchmark suite ({args.doc_bytes} byte document)...")
+        fresh = run_quick_suite(target_bytes=args.doc_bytes, seed=args.seed)
+        def floor_margin(run: dict) -> float:
+            return min(
+                (
+                    run[name].value - floor
+                    for name, floor in FLOORS.items()
+                    if name in run
+                ),
+                default=0.0,
+            )
+
+        if floor_margin(fresh) < 0:
+            # Hard floors bypass the noise threshold, and shared CI runners
+            # are noisy — confirm a floor miss with one re-measurement
+            # before failing the gate.  Whichever *whole run* clears the
+            # floors by the wider margin is used for gating and persistence,
+            # so --out/--update never records a cherry-picked hybrid.
+            print("floored metric under its floor; re-measuring to rule out noise")
+            retry = run_quick_suite(target_bytes=args.doc_bytes, seed=args.seed)
+            if floor_margin(retry) > floor_margin(fresh):
+                fresh = retry
+        for metric in fresh.values():
+            print(f"  {metric.name}: {metric.value:.4g} {metric.unit}")
+    def persist(target: Path) -> None:
+        if args.fresh is not None:
+            # Copy the recording verbatim: re-saving would stamp it with
+            # this invocation's host/document metadata, not the one that
+            # actually measured the numbers.
+            target.write_text(
+                args.fresh.read_text(encoding="utf-8"), encoding="utf-8"
+            )
+        else:
+            save_baseline(
+                fresh, target, target_bytes=args.doc_bytes, seed=args.seed
+            )
+
+    if args.out is not None:
+        persist(args.out)
+        print(f"wrote fresh snapshot to {args.out}")
+
+    if args.update:
+        persist(args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.is_file():
+        print(
+            f"ERROR: no baseline at {args.baseline}; record one with --update",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, ValueError) as error:
+        print(f"ERROR: cannot load {args.baseline}: {error}", file=sys.stderr)
+        return 2
+    deltas = compare(baseline, fresh)
+    failures: list[str] = []
+    warnings: list[str] = []
+    # A tracked metric that vanished from the fresh run is a gate bypass,
+    # not a pass — renames/deletions must re-record the baseline explicitly.
+    for name in sorted(set(baseline) - set(fresh)):
+        failures.append(
+            f"baseline metric {name!r} missing from the fresh run "
+            "(rename/removal requires --update)"
+        )
+    for name in sorted(set(fresh) - set(baseline)):
+        warnings.append(
+            f"new metric {name!r} has no baseline yet (record with --update)"
+        )
+    # Hard floors hold against the fresh values directly — a baseline that
+    # predates (or lost) a floored metric must not disable its floor.
+    for name, floor in sorted(FLOORS.items()):
+        metric = fresh.get(name)
+        if metric is not None and metric.value < floor and name not in baseline:
+            failures.append(
+                f"{name} = {metric.value:.4g} {metric.unit} is below the "
+                f"hard floor {floor:.4g} (no baseline entry)"
+            )
+    for delta in deltas:
+        if delta.below_floor:
+            failures.append(
+                f"{delta.name} = {delta.fresh:.4g} {delta.unit} is below the "
+                f"hard floor {FLOORS[delta.name]:.4g}"
+            )
+            continue
+        if not delta.exceeded(args.threshold):
+            if delta.regression > 0:
+                warnings.append(delta.describe() + " [within threshold]")
+            continue
+        if delta.machine_dependent and not args.strict_timings:
+            warnings.append(delta.describe() + " [machine-dependent, not gated]")
+        else:
+            failures.append(delta.describe())
+
+    for warning in warnings:
+        print(f"WARN: {warning}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        print(
+            f"bench gate FAILED: {len(failures)} metric(s) regressed beyond "
+            f"{args.threshold:.0%} (or sank below a hard floor)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench gate passed ({len(deltas)} metrics compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

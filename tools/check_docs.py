@@ -34,6 +34,7 @@ REQUIRED_DOCS = [
     "README.md",
     "docs/ARCHITECTURE.md",
     "docs/CLI.md",
+    "docs/PERFORMANCE.md",
     "examples/README.md",
 ]
 
@@ -92,7 +93,9 @@ def check_readme_commands() -> list[str]:
             elif head in ("printf", "echo"):
                 shell_line = command  # file-setup lines; need > redirection
             else:
-                failures.append(f"README uses unexpected command (not smoke-run): {command}")
+                failures.append(
+                    f"README uses unexpected command (not smoke-run): {command}"
+                )
                 continue
             proc = subprocess.run(
                 shell_line,
