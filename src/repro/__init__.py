@@ -25,7 +25,8 @@ The package layers (bottom-up): :mod:`repro.xmlio` (streams, trees, sinks),
 :mod:`repro.xquery` (the XQ fragment), :mod:`repro.analysis` (projection
 trees, roles, signOff insertion), :mod:`repro.stream` (preprojection),
 :mod:`repro.buffer` (active garbage collection), :mod:`repro.engine` (the
-GCX engine and query sessions), :mod:`repro.baselines` (competitor
+GCX engine, query sessions, and the concurrent
+:class:`~repro.engine.pool.SessionPool`), :mod:`repro.baselines` (competitor
 strategies), :mod:`repro.xmark` (benchmark data and queries) and
 :mod:`repro.bench` (the Table 1 harness).  See README.md and
 docs/ARCHITECTURE.md for the guided tour.
@@ -50,8 +51,11 @@ from repro.buffer import BufferCostModel, BufferStats
 from repro.engine import (
     EngineOptions,
     GCXEngine,
+    PoolResult,
+    PoolStats,
     QuerySession,
     RunResult,
+    SessionPool,
     StreamingRun,
 )
 from repro.xmark import TABLE1_QUERIES, XMARK_QUERIES, generate_xmark
@@ -64,13 +68,16 @@ from repro.xmlio import (
 )
 from repro.xquery import parse_query, unparse
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GCXEngine",
     "EngineOptions",
     "RunResult",
     "QuerySession",
+    "SessionPool",
+    "PoolResult",
+    "PoolStats",
     "StreamingRun",
     "compile_query",
     "CompileOptions",

@@ -6,6 +6,12 @@ from repro.bench.ablation import (
     format_ablations,
     run_ablations,
 )
+from repro.bench.concurrency import (
+    ConcurrencyPoint,
+    ConcurrencyReport,
+    format_concurrency_report,
+    run_concurrency_benchmark,
+)
 from repro.bench.baseline import (
     FLOORS,
     Metric,
@@ -27,6 +33,10 @@ from repro.bench.report import format_table1, latency_report, shape_report
 
 __all__ = [
     "HarnessConfig",
+    "ConcurrencyPoint",
+    "ConcurrencyReport",
+    "run_concurrency_benchmark",
+    "format_concurrency_report",
     "DEFAULT_ENGINES",
     "generate_documents",
     "run_table1",

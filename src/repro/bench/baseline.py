@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.bench.concurrency import run_concurrency_benchmark
 from repro.engine.session import QuerySession
 from repro.stream.preprojector import StreamPreprojector
 from repro.buffer.buffer import BufferTree
@@ -247,6 +248,33 @@ def run_quick_suite(
         "buffer_recycle_rate",
         result.stats.nodes_recycled / max(result.stats.nodes_created, 1),
         "ratio",
+    )
+
+    # -- concurrent serving: SessionPool vs cold per-request engines ----
+    # Machine-dependent throughout: the speedup mixes amortization (host-
+    # independent-ish) with scheduler behaviour and core count, and the
+    # aggregate high watermark depends on run overlap.  The gate warns
+    # rather than fails on these (docs/CONCURRENCY.md explains the model).
+    report = run_concurrency_benchmark(repeats=repeats)
+    four = report.point(4)
+    add(
+        "pool_speedup_4w",
+        four.speedup_vs_cold,
+        "x",
+        machine_dependent=True,
+    )
+    add(
+        "pool_docs_per_s_4w",
+        four.docs_per_second,
+        "docs/s",
+        machine_dependent=True,
+    )
+    add(
+        "pool_aggregate_hwm_nodes_4w",
+        float(four.peak_live_nodes),
+        "nodes",
+        higher_is_better=False,
+        machine_dependent=True,
     )
     return metrics
 

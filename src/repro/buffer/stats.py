@@ -12,8 +12,23 @@ instance.  ``tracemalloc`` peaks can be recorded on top for reference.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
 
-__all__ = ["BufferCostModel", "BufferStats"]
+__all__ = ["BufferAccountant", "BufferCostModel", "BufferStats"]
+
+
+class BufferAccountant(Protocol):
+    """Receiver of live-residency deltas from one or more buffers.
+
+    :class:`~repro.engine.pool.SessionPool` attaches one accountant to
+    every checked-out buffer so the pool-wide aggregate (the sum of live
+    nodes/bytes across all concurrent runs, and its peak) can be tracked
+    without the per-buffer counters having to know about each other.
+    Implementations must be thread-safe; calls arrive from whichever
+    thread drives each run.
+    """
+
+    def on_delta(self, nodes: int, cost: int) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -46,6 +61,11 @@ class BufferStats:
     """
 
     model: BufferCostModel = field(default_factory=BufferCostModel)
+    #: Optional pool-wide aggregate receiver (attached per checkout by
+    #: SessionPool; ``None`` costs one predicted branch on the hot paths).
+    accountant: BufferAccountant | None = field(
+        default=None, repr=False, compare=False
+    )
 
     live_nodes: int = 0
     live_bytes: int = 0
@@ -70,12 +90,16 @@ class BufferStats:
         self.nodes_created += 1
         self.live_nodes += 1
         self.live_bytes += cost
+        if self.accountant is not None:
+            self.accountant.on_delta(1, cost)
         self._touch()
 
     def on_purge(self, cost: int) -> None:
         self.nodes_purged += 1
         self.live_nodes -= 1
         self.live_bytes -= cost
+        if self.accountant is not None:
+            self.accountant.on_delta(-1, -cost)
 
     def on_roles(self, delta: int) -> None:
         """``delta`` role instances were added (positive) or removed."""
@@ -85,6 +109,8 @@ class BufferStats:
             self.roles_removed += -delta
         self.live_role_instances += delta
         self.live_bytes += delta * self.model.role_instance
+        if self.accountant is not None:
+            self.accountant.on_delta(0, delta * self.model.role_instance)
         if delta > 0:
             self._touch()
 

@@ -3,11 +3,14 @@
 Layer map (Figure 11): :mod:`repro.engine.evaluator` interprets the
 rewritten query, pulling input on demand and yielding output tokens;
 :mod:`repro.engine.session` packages compile-once/run-many sessions with
-incremental output; :mod:`repro.engine.gcx` is the user-facing engine.
+incremental output; :mod:`repro.engine.pool` serves one compiled query to
+many concurrent clients; :mod:`repro.engine.gcx` is the user-facing
+engine.
 """
 
 from repro.engine.evaluator import EvaluationError, Evaluator
 from repro.engine.gcx import GCXEngine
+from repro.engine.pool import PoolResult, PoolStats, SessionPool
 from repro.engine.session import (
     EngineOptions,
     QuerySession,
@@ -23,6 +26,9 @@ __all__ = [
     "EngineOptions",
     "RunResult",
     "QuerySession",
+    "SessionPool",
+    "PoolResult",
+    "PoolStats",
     "StreamingRun",
     "check_safety",
 ]

@@ -1,0 +1,628 @@
+"""Concurrent session pool: serving one compiled query to many clients.
+
+The paper's argument — static analysis plus active garbage collection keep
+each run's buffer bounded — is exactly what makes *concurrent* serving
+viable: N in-flight evaluations cost N small buffers, not N documents.
+:class:`SessionPool` turns that into an API.  It splits the engine's state
+the way docs/CONCURRENCY.md describes:
+
+* **Shared static state** (computed once, immutable afterwards): the
+  :class:`~repro.analysis.compile.CompiledQuery` and one
+  :class:`~repro.stream.matcher.StreamMatcher` whose interned lazy-DFA
+  transition table is safely shareable — states are immutable after
+  publish, and the only lock sits on the memoization miss path, so the hot
+  hit path stays lock-free.  Every concurrent run warms the table for all
+  the others.
+* **Pooled dynamic state** (exclusive per run): :class:`BufferTree`
+  instances move through a checkout pool with an owner assertion — a
+  buffer handed to two concurrent runs raises instead of corrupting — and
+  are recycled with warm tag tables between runs.  The matcher's per-run
+  dynamic state (the :class:`~repro.stream.matcher.MatchFrame` stack and
+  consumed-``[1]`` bookkeeping) lives inside each run's preprojector, so
+  it needs no pooling at all.
+
+An aggregate accountant observes every checked-out buffer and maintains
+the *pool-wide* live residency and its peak (``PoolStats.peak_live_nodes``
+/ ``peak_live_bytes``) — the serving-layer analogue of the paper's
+per-run buffer high watermark.
+
+Two executors:
+
+* ``executor="thread"`` (default): a ``ThreadPoolExecutor`` sharing the
+  compiled query and the warm DFA across workers.  Under CPython's GIL
+  this does not parallelize the CPU work; its win is amortization (compile
+  once, warm matcher/buffers) plus overlap with any I/O in tokenization.
+* ``executor="process"``: a ``ProcessPoolExecutor`` whose workers each
+  compile the query once at startup; documents are shipped to workers and
+  slim :class:`PoolResult` values come back.  This buys real CPU
+  parallelism on multi-core hosts at the price of per-process static
+  state (nothing is shared) and pickling.  Requires the query as text.
+
+``map`` is ordered and backpressured: at most a bounded window of work is
+in flight, and the ``documents`` iterable is consumed lazily, so a pool
+can serve an unbounded request stream with bounded memory on both the
+input and the output side.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from functools import partial
+from itertools import islice
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.compile import CompiledQuery, compile_query
+from repro.buffer.buffer import BufferTree
+from repro.engine.session import (
+    MATCHER_STATE_CAP,
+    EngineOptions,
+    QuerySession,
+    RunResult,
+    StreamingRun,
+    build_streaming_run,
+    drain_streaming_run,
+    reap_dropped_runs,
+)
+from repro.stream.matcher import StreamMatcher
+from repro.xmlio.serialize import TokenSink
+from repro.xmlio.tokens import Token
+
+__all__ = ["PoolResult", "PoolStats", "SessionPool"]
+
+
+@dataclass(frozen=True)
+class PoolResult:
+    """Slim, picklable outcome of one pooled evaluation.
+
+    ``submit``/``map`` return these instead of full
+    :class:`~repro.engine.session.RunResult` objects so that thread and
+    process executors have one result type: the compiled-query reference
+    (process workers would have to pickle a whole AST) is dropped, the
+    numbers the serving layer cares about are kept.
+    """
+
+    output: str
+    hwm_nodes: int
+    #: Raw modelled cost (no duplication factor applied), the same unit
+    #: as the pool-wide ``PoolStats.peak_live_bytes`` aggregate — per-run
+    #: and pool-wide figures must be directly comparable.
+    hwm_bytes: int
+    tokens_read: int
+    elapsed_seconds: float
+    first_output_seconds: float | None
+
+    @classmethod
+    def from_run(cls, result: RunResult) -> "PoolResult":
+        return cls(
+            output=result.output,
+            hwm_nodes=result.stats.hwm_nodes,
+            hwm_bytes=result.stats.hwm_bytes,
+            tokens_read=result.stats.tokens_read,
+            elapsed_seconds=result.elapsed_seconds,
+            first_output_seconds=result.first_output_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """A consistent snapshot of the pool-wide accounting.
+
+    The ``live_*``/``peak_live_*`` fields aggregate over *all* buffers
+    checked out at the same time — the number a capacity planner needs,
+    where per-run statistics only bound one client.  Process-executor runs
+    happen in other address spaces: they count in ``runs_started`` (exact,
+    recorded at submit) and ``runs_completed``/``runs_abandoned``
+    (recorded by future callbacks, which may lag ``future.result()`` by an
+    instant; exact once the pool is closed), but cannot contribute to the
+    live aggregates.
+    """
+
+    executor: str
+    max_workers: int
+    runs_started: int
+    runs_completed: int
+    runs_abandoned: int
+    active_runs: int
+    peak_active_runs: int
+    live_nodes: int
+    live_bytes: int
+    peak_live_nodes: int
+    peak_live_bytes: int
+    buffers_created: int
+
+    def summary(self) -> str:
+        if self.executor == "process":
+            # Remote runs never feed the live accountant; printing the
+            # structurally-zero aggregates would read as a measured peak.
+            aggregate = "aggregate hwm n/a (process workers)"
+        else:
+            aggregate = (
+                f"aggregate hwm {self.peak_live_nodes} nodes / "
+                f"{self.peak_live_bytes} bytes across "
+                f"{self.peak_active_runs} concurrent run(s); "
+                f"{self.buffers_created} buffer(s) allocated"
+            )
+        return (
+            f"{self.runs_completed} runs "
+            f"({self.runs_abandoned} abandoned) on "
+            f"{self.max_workers} {self.executor} worker(s); "
+            f"{aggregate}"
+        )
+
+
+class _PoolAccountant:
+    """Thread-safe aggregate high-watermark accounting for the pool.
+
+    Attached (as :class:`~repro.buffer.stats.BufferAccountant`) to every
+    checked-out buffer; each node/role delta updates the pool-wide live
+    totals and their peaks under one small lock.  The lock is uncontended
+    in the common case and touched only when buffers actually grow or
+    shrink — never on the matcher's hit path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.runs_started = 0
+        self.runs_completed = 0
+        self.runs_abandoned = 0
+        self.active_runs = 0
+        self.peak_active_runs = 0
+        self.live_nodes = 0
+        self.live_bytes = 0
+        self.peak_live_nodes = 0
+        self.peak_live_bytes = 0
+
+    # BufferAccountant protocol ----------------------------------------
+
+    def on_delta(self, nodes: int, cost: int) -> None:
+        with self._lock:
+            self.live_nodes += nodes
+            self.live_bytes += cost
+            if self.live_nodes > self.peak_live_nodes:
+                self.peak_live_nodes = self.live_nodes
+            if self.live_bytes > self.peak_live_bytes:
+                self.peak_live_bytes = self.live_bytes
+
+    # run lifecycle ----------------------------------------------------
+
+    def run_started(self) -> None:
+        with self._lock:
+            self.runs_started += 1
+            self.active_runs += 1
+            if self.active_runs > self.peak_active_runs:
+                self.peak_active_runs = self.active_runs
+
+    def run_ended(
+        self, *, completed: bool, leftover_nodes: int, leftover_bytes: int
+    ) -> None:
+        with self._lock:
+            self.active_runs -= 1
+            if completed:
+                self.runs_completed += 1
+            else:
+                self.runs_abandoned += 1
+            # An abandoned run's residue is discarded with its buffer; a
+            # completed strict run leaves nothing (Section 3's guarantee).
+            self.live_nodes -= leftover_nodes
+            self.live_bytes -= leftover_bytes
+
+    def remote_runs_started(self, count: int) -> None:
+        """Counted synchronously at submit time, so it is always exact."""
+        with self._lock:
+            self.runs_started += count
+
+    def remote_runs_completed(self, count: int) -> None:
+        with self._lock:
+            self.runs_completed += count
+
+    def remote_runs_failed(self, count: int) -> None:
+        """A remote task died: all its runs count as abandoned.
+
+        A mid-chunk failure abandons the whole chunk from the caller's
+        point of view (its future raises), so the whole chunk is counted
+        here even if some documents inside it evaluated before the error.
+        """
+        with self._lock:
+            self.runs_abandoned += count
+
+
+class SessionPool:
+    """Thread-safe serving of one compiled query to N concurrent clients.
+
+    Construction compiles the query exactly once (or adopts a
+    :class:`~repro.analysis.compile.CompiledQuery`); afterwards any number
+    of threads may call :meth:`run`, :meth:`run_streaming`,
+    :meth:`submit` and :meth:`map` concurrently.  The pool owns a lazily
+    created executor for ``submit``/``map``; ``run``/``run_streaming``
+    execute on the calling thread and only use the checkout machinery.
+
+    Use as a context manager (or call :meth:`close`) to shut the executor
+    down; an unclosed pool's threads are daemonic only insofar as
+    ``ThreadPoolExecutor`` allows, so closing is good manners.
+    """
+
+    def __init__(
+        self,
+        query: str | CompiledQuery,
+        options: EngineOptions | None = None,
+        *,
+        max_workers: int = 4,
+        executor: str = "thread",
+        max_idle_buffers: int | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        self.options = options or EngineOptions()
+        self.max_workers = max_workers
+        self.executor_kind = executor
+        self._query_text = query if isinstance(query, str) else None
+        if executor == "process" and self._query_text is None:
+            raise ValueError(
+                "executor='process' needs the query as text: worker "
+                "processes each compile their own copy at startup"
+            )
+        if isinstance(query, CompiledQuery):
+            self._compiled = query
+        else:
+            self._compiled = compile_query(
+                query, self.options.compile_options()
+            )
+        # Shared static half (Figure 11's left side): one matcher whose
+        # lazy DFA every run reads and warms; replaced wholesale (under
+        # the pool lock) if an adversarial document bloats it.
+        self._matcher = StreamMatcher(
+            self._compiled.projection_tree,
+            aggregate_roles=self.options.aggregate_roles,
+        )
+        # Pooled dynamic half: idle buffers plus the checkout registry
+        # mapping id(buffer) -> (owning thread ident, the buffer itself).
+        # The registry IS the owner assertion: checking out a registered
+        # buffer raises.  Holding the buffer reference keeps a registered
+        # id from ever aliasing a recycled address, so a leaked checkout
+        # stays a diagnosable leak instead of a spurious violation.
+        self._lock = threading.Lock()
+        self._idle_buffers: list[BufferTree] = []
+        self._checked_out: dict[int, tuple[int, BufferTree]] = {}
+        # Abandoned runs queue their release guards here from GC-safe
+        # contexts (see session._ReleaseGuard); reaped before checkouts,
+        # stats snapshots, and shutdown.
+        self._dropped_runs: list = []
+        self._max_idle = (
+            max_idle_buffers if max_idle_buffers is not None else max_workers
+        )
+        self._buffers_created = 0
+        self._accountant = _PoolAccountant()
+        self._executor: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+        # _closing rejects *new* submissions while close() drains the
+        # queued work; _closed (set once the drain finished) additionally
+        # rejects checkouts, i.e. direct run/run_streaming calls.
+        self._closing = False
+        self._closed = False
+
+    # -- static artifacts ----------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledQuery:
+        """The static-analysis artifacts, shared by every run."""
+        return self._compiled
+
+    @property
+    def matcher(self) -> StreamMatcher:
+        """The shared matcher (its DFA table is warmed by all runs)."""
+        return self._matcher
+
+    @property
+    def stats(self) -> PoolStats:
+        """A snapshot of the pool-wide accounting."""
+        reap_dropped_runs(self)  # settle abandoned runs first
+        acct = self._accountant
+        with acct._lock, self._lock:
+            return PoolStats(
+                executor=self.executor_kind,
+                max_workers=self.max_workers,
+                runs_started=acct.runs_started,
+                runs_completed=acct.runs_completed,
+                runs_abandoned=acct.runs_abandoned,
+                active_runs=acct.active_runs,
+                peak_active_runs=acct.peak_active_runs,
+                live_nodes=acct.live_nodes,
+                live_bytes=acct.live_bytes,
+                peak_live_nodes=acct.peak_live_nodes,
+                peak_live_bytes=acct.peak_live_bytes,
+                buffers_created=self._buffers_created,
+            )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the executor; in-flight work completes first.
+
+        "In flight" includes work queued but not yet started: the closed
+        flag that fails checkouts is only raised *after* the executor has
+        drained, so every accepted future resolves normally.
+        """
+        reap_dropped_runs(self)
+        with self._lock:
+            if self._closed or self._closing:
+                return
+            self._closing = True
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        with self._lock:
+            self._closed = True
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- direct (calling-thread) evaluation -----------------------------
+
+    def run_streaming(
+        self,
+        document: str | Path | Iterator[Token],
+        *,
+        on_event: Callable[[str], None] | None = None,
+    ) -> StreamingRun:
+        """One incremental evaluation on the *calling* thread.
+
+        Checks out a buffer (exclusive) and borrows the shared matcher;
+        both are returned when the run is exhausted, closed, or dies.
+        Any number of threads — and any number of interleaved runs per
+        thread — may hold streaming runs from one pool simultaneously.
+        Not available on process pools (runs live in other processes).
+        """
+        if self.executor_kind == "process":
+            raise RuntimeError(
+                "run_streaming is not available on a process pool: worker "
+                "processes cannot stream tokens into this one"
+            )
+        buffer = self._checkout_buffer()
+        matcher = self._shared_matcher()
+        self._accountant.run_started()
+        try:
+            return build_streaming_run(
+                self, document, buffer, matcher, on_event=on_event
+            )
+        except BaseException:
+            # No release guard exists until StreamingRun.__init__ ends,
+            # so a construction failure returns the checkout here.
+            self._release_buffer(buffer, completed=False)
+            raise
+
+    def run(
+        self,
+        document: str | Path | Iterator[Token],
+        *,
+        sink: TokenSink | None = None,
+        on_event: Callable[[str], None] | None = None,
+    ) -> RunResult:
+        """One buffered evaluation on the calling thread (full RunResult)."""
+        stream = self.run_streaming(document, on_event=on_event)
+        return drain_streaming_run(stream, sink)
+
+    # -- pooled evaluation ----------------------------------------------
+
+    def submit(self, document: str | Path) -> "Future[PoolResult]":
+        """Schedule one evaluation on the pool; returns a future.
+
+        Futures resolve to :class:`PoolResult`.  Exceptions raised by the
+        evaluation surface through ``future.result()`` as usual.
+        """
+        executor = self._ensure_executor()
+        if self.executor_kind == "process":
+            self._accountant.remote_runs_started(1)
+            future = executor.submit(
+                _process_serve_one, document
+            )  # type: Future[PoolResult]
+            future.add_done_callback(partial(self._count_remote, 1))
+            return future
+        return executor.submit(self._serve_one, document)
+
+    def map(
+        self,
+        documents: Iterable[str | Path],
+        *,
+        chunksize: int = 1,
+        window: int | None = None,
+    ) -> Iterator[PoolResult]:
+        """Ordered, backpressured evaluation of many documents.
+
+        Yields one :class:`PoolResult` per document, in input order.  At
+        most ``window`` chunks (default ``2 * max_workers``) are in flight
+        at once and ``documents`` is consumed lazily, so both sides stay
+        bounded however long the request stream is.  ``chunksize`` batches
+        several documents per task — worth using when the documents are
+        small enough that per-task dispatch overhead would dominate.
+        """
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        window = window if window is not None else 2 * self.max_workers
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        executor = self._ensure_executor()
+        if self.executor_kind == "process":
+            serve = _process_serve_chunk
+            remote = True
+        else:
+            serve = self._serve_chunk
+            remote = False
+
+        def submit_chunk(chunk: list[str | Path]) -> Future:
+            # Chunks are submitted lazily as the caller iterates; re-check
+            # here so iterating a leftover map() after close() gets the
+            # pool's clear error, not the executor's opaque one.
+            with self._lock:
+                if self._closed or self._closing:
+                    raise RuntimeError("SessionPool is closed")
+            if remote:
+                self._accountant.remote_runs_started(len(chunk))
+            future = executor.submit(serve, chunk)
+            if remote:
+                future.add_done_callback(
+                    partial(self._count_remote, len(chunk))
+                )
+            return future
+
+        def generate() -> Iterator[PoolResult]:
+            source = iter(documents)
+            pending: deque[Future] = deque()
+            exhausted = False
+            while True:
+                while not exhausted and len(pending) < window:
+                    chunk = list(islice(source, chunksize))
+                    if not chunk:
+                        exhausted = True
+                        break
+                    pending.append(submit_chunk(chunk))
+                if not pending:
+                    return
+                yield from pending.popleft().result()
+
+        return generate()
+
+    # -- worker bodies ---------------------------------------------------
+
+    def _serve_one(self, document: str | Path) -> PoolResult:
+        return PoolResult.from_run(self.run(document))
+
+    def _serve_chunk(self, documents: list[str | Path]) -> list[PoolResult]:
+        return [self._serve_one(document) for document in documents]
+
+    def _count_remote(self, count: int, future: Future) -> None:
+        if future.cancelled() or future.exception() is not None:
+            self._accountant.remote_runs_failed(count)
+        else:
+            self._accountant.remote_runs_completed(count)
+
+    # -- RunOwner callbacks (invoked by StreamingRun exactly once) -------
+
+    def _on_run_finished(self, buffer: BufferTree) -> None:
+        self._release_buffer(buffer, completed=True)
+
+    def _on_run_closed(self, buffer: BufferTree) -> None:
+        self._release_buffer(buffer, completed=False)
+
+    # -- checkout pool ----------------------------------------------------
+
+    def _checkout_buffer(self) -> BufferTree:
+        """An exclusive, fresh-state buffer, registered to this thread."""
+        reap_dropped_runs(self)  # abandoned checkouts free up first
+        ident = threading.get_ident()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SessionPool is closed")
+            buffer = (
+                self._idle_buffers.pop() if self._idle_buffers else None
+            )
+            if buffer is None:
+                buffer = BufferTree(
+                    self.options.cost_model, strict=self.options.strict
+                )
+                self._buffers_created += 1
+            key = id(buffer)
+            entry = self._checked_out.get(key)
+            if entry is not None:  # the owner assertion
+                raise RuntimeError(
+                    f"buffer checkout violation: buffer {key:#x} is "
+                    f"already held by thread {entry[0]}"
+                )
+            self._checked_out[key] = (ident, buffer)
+        buffer.stats.accountant = self._accountant
+        return buffer
+
+    def _release_buffer(self, buffer: BufferTree, *, completed: bool) -> None:
+        stats = buffer.stats
+        stats.accountant = None  # no further deltas from this run
+        with self._lock:
+            entry = self._checked_out.pop(id(buffer), None)
+        if entry is None:
+            raise RuntimeError(
+                "buffer release violation: buffer was not checked out"
+            )
+        self._accountant.run_ended(
+            completed=completed,
+            leftover_nodes=stats.live_nodes,
+            leftover_bytes=stats.live_bytes,
+        )
+        # Park with a warm tag table; abandoned runs' residue is cleared
+        # by reset() just the same, so recycling is always safe.
+        buffer.reset()
+        with self._lock:
+            if not self._closed and len(self._idle_buffers) < self._max_idle:
+                self._idle_buffers.append(buffer)
+
+    def _shared_matcher(self) -> StreamMatcher:
+        with self._lock:
+            if self._matcher.state_count > MATCHER_STATE_CAP:
+                # Same escape hatch as QuerySession: in-flight runs keep
+                # their reference, future runs start a fresh table.
+                self._matcher = StreamMatcher(
+                    self._compiled.projection_tree,
+                    aggregate_roles=self.options.aggregate_roles,
+                )
+            return self._matcher
+
+    # -- executor ---------------------------------------------------------
+
+    def _ensure_executor(self) -> ThreadPoolExecutor | ProcessPoolExecutor:
+        with self._lock:
+            if self._closed or self._closing:
+                raise RuntimeError("SessionPool is closed")
+            if self._executor is None:
+                if self.executor_kind == "process":
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.max_workers,
+                        initializer=_process_worker_init,
+                        initargs=(self._query_text, self.options),
+                    )
+                else:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="gcx-pool",
+                    )
+            return self._executor
+
+
+# ----------------------------------------------------------------------
+# process-executor workers (module level: must be picklable by reference)
+# ----------------------------------------------------------------------
+
+_WORKER_SESSION: QuerySession | None = None
+
+
+def _process_worker_init(query_text: str, options: EngineOptions) -> None:
+    """Compile once per worker process (the pool's initializer)."""
+    global _WORKER_SESSION
+    _WORKER_SESSION = QuerySession(query_text, options)
+
+
+def _process_serve_one(document: str | Path) -> PoolResult:
+    assert _WORKER_SESSION is not None  # initializer ran first
+    started = time.perf_counter()
+    result = _WORKER_SESSION.run(document)
+    # RunResult carries its own elapsed time; keep it, the wall-clock
+    # above only guards against a zero-duration clock on tiny documents.
+    if result.elapsed_seconds <= 0.0:
+        result.elapsed_seconds = time.perf_counter() - started
+    return PoolResult.from_run(result)
+
+
+def _process_serve_chunk(documents: list[str | Path]) -> list[PoolResult]:
+    return [_process_serve_one(document) for document in documents]

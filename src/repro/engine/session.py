@@ -23,10 +23,12 @@ into a :class:`~repro.xmlio.serialize.TokenSink`.
 
 from __future__ import annotations
 
+import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Protocol
 
 from repro.analysis.compile import CompiledQuery, CompileOptions, compile_query
 from repro.buffer.buffer import BufferTree
@@ -45,7 +47,97 @@ from repro.xquery.ast import Query
 #: query/document mixes stay well under it — XMark queries intern < 100).
 MATCHER_STATE_CAP = 4096
 
-__all__ = ["EngineOptions", "RunResult", "StreamingRun", "QuerySession"]
+__all__ = [
+    "EngineOptions",
+    "RunResult",
+    "RunOwner",
+    "StreamingRun",
+    "QuerySession",
+    "build_streaming_run",
+    "drain_streaming_run",
+]
+
+class RunOwner(Protocol):
+    """What a :class:`StreamingRun` needs from whoever started it.
+
+    Both :class:`QuerySession` (single-client) and
+    :class:`~repro.engine.pool.SessionPool` (multi-client) implement this:
+    the run calls back exactly once — ``_on_run_finished`` when the output
+    was exhausted and the buffer can be recycled, or ``_on_run_closed``
+    when the run was abandoned or died and the buffer must be discarded.
+    """
+
+    options: EngineOptions
+    #: Guards of abandoned runs awaiting reclamation (see _ReleaseGuard).
+    _dropped_runs: list
+
+    @property
+    def compiled(self) -> CompiledQuery: ...
+
+    def _on_run_finished(self, buffer: BufferTree) -> None: ...
+
+    def _on_run_closed(self, buffer: BufferTree) -> None: ...
+
+
+class _ReleaseGuard:
+    """One-shot release of a run's checkout back to its owner.
+
+    Shared between the :class:`StreamingRun` and a :mod:`weakref`
+    finalizer, so the owner is notified exactly once on whichever comes
+    first: exhaustion, ``close()``, an in-run error — or garbage
+    collection of a run that was abandoned (a never-started generator
+    does not run its ``finally`` when closed or collected, which would
+    otherwise leak the checkout forever).
+
+    The discard path may execute *inside the garbage collector* — cyclic
+    GC can fire on any allocation, including one made while the very
+    thread triggering it holds the owner's (non-reentrant) lock — so
+    :meth:`discard` takes no locks at all: it enqueues the guard on the
+    owner's ``_dropped_runs`` list (a GIL-atomic append) and the owner
+    reclaims queued guards from a normal call context via
+    :func:`reap_dropped_runs`.  Only :meth:`finish` releases
+    synchronously; it runs exclusively inside ``next()`` on the run's
+    iterator, never inside GC.
+    """
+
+    __slots__ = ("_owner", "_buffer", "_done")
+
+    def __init__(self, owner: RunOwner, buffer: BufferTree) -> None:
+        self._owner = owner
+        self._buffer = buffer
+        self._done = False
+
+    def discard(self) -> None:
+        """Queue the release, buffer to be discarded.  GC-safe: no locks."""
+        if not self._done:
+            self._done = True
+            self._owner._dropped_runs.append(self)
+
+    def finish(self) -> None:
+        """Release with the buffer recycled (completed run)."""
+        if not self._done:
+            self._done = True
+            self._owner._on_run_finished(self._buffer)
+
+    def _reclaim(self) -> None:
+        """Perform the queued release (normal call context only)."""
+        self._owner._on_run_closed(self._buffer)
+
+
+def reap_dropped_runs(owner: RunOwner) -> None:
+    """Reclaim checkouts of abandoned runs queued by their guards.
+
+    Owners call this at the top of their entry points, *before* taking
+    their own locks.  ``pop()`` is GIL-atomic, so concurrent reapers each
+    reclaim a disjoint set of guards.
+    """
+    dropped = owner._dropped_runs
+    while dropped:
+        try:
+            guard = dropped.pop()
+        except IndexError:  # another thread reaped the last one
+            break
+        guard._reclaim()
 
 
 @dataclass(frozen=True)
@@ -114,12 +206,12 @@ class StreamingRun:
 
     def __init__(
         self,
-        session: "QuerySession",
+        owner: RunOwner,
         buffer: BufferTree,
         preprojector: StreamPreprojector,
         evaluator: Evaluator,
     ) -> None:
-        self._session = session
+        self._owner = owner
         self._buffer = buffer
         self._preprojector = preprojector
         # The clock starts at the first next() — construction is free and
@@ -131,6 +223,19 @@ class StreamingRun:
         self.first_output_seconds: float | None = None
         #: The RunResult, available once the iterator is exhausted.
         self.result: RunResult | None = None
+        # The guard goes in LAST: once it exists, it owns the release, and
+        # a construction failure before this point is the caller's to
+        # clean up (run_streaming releases the checkout directly).  No
+        # statement may follow it, or an __init__ error after the guard
+        # would race the caller's cleanup against the GC finalizer.
+        self._release = _ReleaseGuard(owner, buffer)
+        # Safety net for runs dropped without ever being iterated (their
+        # generator's finally never runs): GC discards the checkout.  Not
+        # at interpreter exit — the owner may already be torn down then.
+        self._finalizer = weakref.finalize(
+            self, _ReleaseGuard.discard, self._release
+        )
+        self._finalizer.atexit = False
 
     # -- iteration ------------------------------------------------------
 
@@ -144,6 +249,11 @@ class StreamingRun:
 
     def close(self) -> None:
         """Abandon the run early; the partially filled buffer is discarded."""
+        # A never-iterated generator does not run its finally on close(),
+        # so the guard must fire here; otherwise closing (or an in-run
+        # error, or exhaustion) reaches the generator's cleanup below.
+        if self._started is None:
+            self._release.discard()
         self._gen.close()
 
     def serialized(self, *, indent: str | None = None) -> Iterator[str]:
@@ -153,28 +263,46 @@ class StreamingRun:
     # -- internals ------------------------------------------------------
 
     def _generate(self, evaluator: Evaluator) -> Iterator[Token]:
-        for token in evaluator.iter_tokens():
-            if self.first_output_seconds is None:
-                self.first_output_seconds = time.perf_counter() - self._started
-            yield token
-        self._finalize()
+        completed = False
+        try:
+            for token in evaluator.iter_tokens():
+                if self.first_output_seconds is None:
+                    self.first_output_seconds = (
+                        time.perf_counter() - self._started
+                    )
+                yield token
+            completed = True
+        finally:
+            # Exactly one owner callback per run: abandoned (close()) and
+            # crashed runs discard their buffer; completed runs recycle it.
+            # Without this an error mid-run would leak the checkout and
+            # wedge a pool worker's slot forever.
+            if completed:
+                self._finalize()
+            else:
+                self._release.discard()
 
     def _finalize(self) -> None:
         assert self._started is not None  # finalize only runs via __next__
         elapsed = time.perf_counter() - self._started
-        session = self._session
-        if session.options.strict:
-            check_safety(self._buffer, self._preprojector)
+        owner = self._owner
+        try:
+            if owner.options.strict:
+                check_safety(self._buffer, self._preprojector)
+        except BaseException:
+            # A failed safety check means the buffer state is suspect:
+            # release the checkout but do not recycle the buffer.
+            self._release.discard()
+            raise
         self.result = RunResult(
             output="",
             stats=self._buffer.stats,
-            compiled=session.compiled,
+            compiled=owner.compiled,
             elapsed_seconds=elapsed,
             exhausted_input=self._preprojector.exhausted,
             first_output_seconds=self.first_output_seconds,
         )
-        session._release_buffer(self._buffer)
-        session.runs_completed += 1
+        self._release.finish()
 
 
 class QuerySession:
@@ -201,6 +329,17 @@ class QuerySession:
             self._compiled = compile_query(query, self.options.compile_options())
         #: Completed evaluations (streaming runs count on exhaustion).
         self.runs_completed = 0
+        # Guards the spare-buffer slot, the shared matcher, and the
+        # in-flight accounting below.  A session is a single-client object:
+        # the lock makes the checkout bookkeeping race-free, and the
+        # owner-thread guard turns cross-thread concurrent use into a clear
+        # error instead of corrupted state (use SessionPool for that).
+        self._lock = threading.Lock()
+        self._active_streams = 0
+        self._stream_owner: int | None = None  # thread ident
+        # Abandoned runs queue their guards here from GC-safe contexts;
+        # reaped (outside the lock) at the next run_streaming.
+        self._dropped_runs: list = []
         # One finished buffer is kept for reuse; reset() preserves its tag
         # symbol table, so same-schema documents skip re-interning.
         self._spare_buffer: BufferTree | None = None
@@ -208,7 +347,7 @@ class QuerySession:
         # independent (append-only states + memoized transitions), so every
         # run after the first replays warm transitions.  Safe under
         # interleaved runs — per-run state lives in the preprojector frames.
-        # Recycled via _acquire_matcher when an adversarial document (DFA
+        # Recycled via _acquire_matcher_locked when an adversarial document (DFA
         # states scale with match-multiset variety, e.g. nesting depth under
         # a descendant axis) inflates it past MATCHER_STATE_CAP.
         self._matcher = StreamMatcher(
@@ -239,20 +378,7 @@ class QuerySession:
         the output elsewhere, in which case ``output`` stays empty.
         """
         stream = self.run_streaming(document, on_event=on_event)
-        out = sink if sink is not None else StringSink()
-        for token in stream:
-            out.write(token)
-        if sink is None:
-            # Only close sinks this run created; a caller-provided sink is
-            # the caller's to close (it may be reused across runs).
-            out.close()
-        result = stream.result
-        assert result is not None  # the stream was exhausted above
-        if sink is None:
-            # Only a sink this run created reflects exactly this run's
-            # output; a caller's sink may carry text from earlier runs.
-            result.output = out.getvalue()
-        return result
+        return drain_streaming_run(stream, sink)
 
     def run_streaming(
         self,
@@ -268,33 +394,60 @@ class QuerySession:
         iterator.  Returns a :class:`StreamingRun`; iterate it to drive the
         pipeline.  Nothing is read from the input before the first
         ``next()``.
-        """
-        if isinstance(document, str):
-            tokens = tokenize(document)
-        elif isinstance(document, Path):
-            tokens = tokenize_file(document)
-        else:
-            tokens = document
-        buffer = self._acquire_buffer()
-        preprojector = StreamPreprojector(
-            tokens,
-            self._compiled.projection_tree,
-            buffer,
-            aggregate_roles=self.options.aggregate_roles,
-            matcher=self._acquire_matcher(),
-        )
-        evaluator = Evaluator(
-            self._compiled.rewritten,
-            buffer,
-            preprojector,
-            None,
-            aggregate_roles=self.options.aggregate_roles,
-            eager_leaf_bindings=self.options.eager_leaf_bindings,
-            on_event=on_event,
-        )
-        return StreamingRun(self, buffer, preprojector, evaluator)
 
-    def _acquire_matcher(self) -> StreamMatcher:
+        Interleaved streaming runs are supported *on one thread* (each run
+        gets its own buffer; the shared matcher's per-run state lives in
+        the run's frames).  Starting a streaming run from a second thread
+        while another thread's run is in flight raises ``RuntimeError``:
+        the session's checkout bookkeeping is single-client by design —
+        use :class:`~repro.engine.pool.SessionPool` for concurrent serving.
+        """
+        reap_dropped_runs(self)  # settle abandoned runs before the lock
+        ident = threading.get_ident()
+        with self._lock:
+            if self._active_streams and self._stream_owner != ident:
+                raise RuntimeError(
+                    "QuerySession has a streaming run in flight on another "
+                    "thread; a session's matcher/buffer checkout is "
+                    "single-client.  Use repro.engine.pool.SessionPool for "
+                    "concurrent evaluation."
+                )
+            self._stream_owner = ident
+            self._active_streams += 1
+            buffer = self._acquire_buffer_locked()
+            matcher = self._acquire_matcher_locked()
+        try:
+            return build_streaming_run(
+                self, document, buffer, matcher, on_event=on_event
+            )
+        except BaseException:
+            # The run's release guard does not exist yet (it is the last
+            # thing StreamingRun.__init__ creates), so a construction
+            # failure must hand the checkout back here or the in-flight
+            # accounting would wedge every other thread forever.
+            self._on_run_closed(buffer)
+            raise
+
+    # -- run-owner callbacks (invoked by StreamingRun exactly once) -----
+
+    def _on_run_finished(self, buffer: BufferTree) -> None:
+        with self._lock:
+            self.runs_completed += 1
+            self._release_buffer_locked(buffer)
+            self._leave_stream_locked()
+
+    def _on_run_closed(self, buffer: BufferTree) -> None:
+        # Abandoned/crashed run: the partially filled buffer is discarded
+        # (not parked), but the in-flight accounting must still drop.
+        with self._lock:
+            self._leave_stream_locked()
+
+    def _leave_stream_locked(self) -> None:
+        self._active_streams -= 1
+        if self._active_streams == 0:
+            self._stream_owner = None
+
+    def _acquire_matcher_locked(self) -> StreamMatcher:
         """The shared warm matcher, replaced if a past run bloated it.
 
         DFA states are keyed on match multisets, whose variety grows with
@@ -312,7 +465,7 @@ class QuerySession:
 
     # -- buffer recycling ----------------------------------------------
 
-    def _acquire_buffer(self) -> BufferTree:
+    def _acquire_buffer_locked(self) -> BufferTree:
         """A fresh-state buffer: the recycled spare if available, else new.
 
         Concurrent (interleaved) runs each get their own buffer — the spare
@@ -323,13 +476,79 @@ class QuerySession:
             return spare
         return BufferTree(self.options.cost_model, strict=self.options.strict)
 
-    def _release_buffer(self, buffer: BufferTree) -> None:
+    def _release_buffer_locked(self, buffer: BufferTree) -> None:
         if self._spare_buffer is None:
             # Reset before parking (not at acquire): a run that ended
             # without exhausting its input may still hold buffered nodes,
             # and an idle session must not pin a document subtree in
             # memory.  reset() keeps the tag symbol table warm.
             self._spare_buffer = buffer.reset()
+
+
+def build_streaming_run(
+    owner: RunOwner,
+    document: str | Path | Iterator[Token],
+    buffer: BufferTree,
+    matcher: StreamMatcher,
+    *,
+    on_event: Callable[[str], None] | None = None,
+) -> StreamingRun:
+    """Wire the dynamic half of Figure 11 for one run.
+
+    Shared by :class:`QuerySession` and
+    :class:`~repro.engine.pool.SessionPool`: the caller has already checked
+    out ``buffer`` (exclusive to this run) and ``matcher`` (shareable; its
+    per-run state lives in the preprojector's frame stack), and the
+    returned :class:`StreamingRun` reports back to ``owner`` exactly once.
+    """
+    if isinstance(document, str):
+        tokens = tokenize(document)
+    elif isinstance(document, Path):
+        tokens = tokenize_file(document)
+    else:
+        tokens = document
+    preprojector = StreamPreprojector(
+        tokens,
+        owner.compiled.projection_tree,
+        buffer,
+        aggregate_roles=owner.options.aggregate_roles,
+        matcher=matcher,
+    )
+    evaluator = Evaluator(
+        owner.compiled.rewritten,
+        buffer,
+        preprojector,
+        None,
+        aggregate_roles=owner.options.aggregate_roles,
+        eager_leaf_bindings=owner.options.eager_leaf_bindings,
+        on_event=on_event,
+    )
+    return StreamingRun(owner, buffer, preprojector, evaluator)
+
+
+def drain_streaming_run(
+    stream: StreamingRun, sink: TokenSink | None = None
+) -> RunResult:
+    """Exhaust ``stream`` into ``sink`` and return its :class:`RunResult`.
+
+    With ``sink=None`` a fresh :class:`~repro.xmlio.serialize.StringSink`
+    collects the output into ``RunResult.output``; a caller-provided sink
+    is neither closed nor read back (it may be reused across runs).
+    """
+    out = sink if sink is not None else StringSink()
+    for token in stream:
+        out.write(token)
+    if sink is None:
+        # Only close sinks this drain created; a caller-provided sink is
+        # the caller's to close (it may be reused across runs).
+        out.close()
+    result = stream.result
+    assert result is not None  # the stream was exhausted above
+    if sink is None:
+        # Only a sink this drain created reflects exactly this run's
+        # output; a caller's sink may carry text from earlier runs.
+        result.output = out.getvalue()
+    return result
 
 
 def check_safety(buffer: BufferTree, preprojector: StreamPreprojector) -> None:

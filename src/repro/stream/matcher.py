@@ -35,9 +35,22 @@ is preserved, even without roles, when the current state matches nodes
 ``v`` (with a child-axis child labeled ``a``) and ``w`` (with a
 descendant-axis child labeled ``a``) for overlapping tests — discarding it
 would promote a descendant into a false child-axis match (Example 2).
+
+Thread safety (see docs/CONCURRENCY.md).  One matcher may serve concurrent
+runs: all per-run state lives in the :class:`MatchFrame` stacks owned by
+each run's preprojector, while the shared state — the interned DFA states
+and the transition table — is *immutable after publish*: a
+:class:`Transition` (and the dicts it carries) is never mutated once it is
+stored, and frames only read the dicts they borrow from it.  Publication is
+guarded by a single lock taken on the memoization **miss** path only; the
+hot hit path (one dict ``get``) stays lock-free.  The ``table_hits`` /
+``off_dfa_computes`` counters are updated without the lock and may
+undercount under concurrency; they are exact in single-threaded use.
 """
 
 from __future__ import annotations
+
+import threading
 
 from dataclasses import dataclass
 
@@ -98,6 +111,10 @@ class StreamMatcher:
         for i, node in enumerate(tree.all_nodes()):
             self._index[id(node)] = i
         # Lazy DFA: interned states and the memoized transition table.
+        # Readers go lock-free (GIL-atomic dict gets); every write — state
+        # interning and transition publication — happens under this lock,
+        # which is only ever taken on the miss path.
+        self._lock = threading.Lock()
         self._state_ids: dict[tuple, int] = {}
         self._table: dict[tuple[int, str | None], Transition] = {}
         #: Transition-table lookups that hit a memoized transition.
@@ -162,8 +179,12 @@ class StreamMatcher:
         transition = self._compute(stack, tag=tag, is_text=is_text)
         if not transition.consumed_first:
             # Transitions that consume [1]-steps mutate frame state and are
-            # not safely shareable; everything else is.
-            self._table[key] = transition
+            # not safely shareable; everything else is.  Publish under the
+            # lock: the transition is fully built and never mutated after
+            # this point, so concurrent readers either miss (and recompute
+            # an identical transition) or see the complete object.
+            with self._lock:
+                self._table[key] = transition
         return transition
 
     def frame_for(self, transition: Transition) -> MatchFrame:
@@ -184,7 +205,13 @@ class StreamMatcher:
         )
         state_id = self._state_ids.get(key)
         if state_id is None:
-            state_id = self._state_ids[key] = len(self._state_ids)
+            # Double-checked interning: without the lock two threads could
+            # both assign ``len(self._state_ids)`` and alias distinct ids to
+            # one multiset state, splitting its transitions across keys.
+            with self._lock:
+                state_id = self._state_ids.get(key)
+                if state_id is None:
+                    state_id = self._state_ids[key] = len(self._state_ids)
         return state_id
 
     def _compute(

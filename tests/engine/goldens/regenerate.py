@@ -1,0 +1,33 @@
+"""Regenerate the conformance corpus (document + expected outputs).
+
+Run only after an *intentional* output-semantics change, and eyeball the
+diff — these files are the end-to-end oracle for matcher/buffer refactors:
+
+    PYTHONPATH=src python tests/engine/goldens/regenerate.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.engine.session import QuerySession
+from repro.xmark.generator import generate_xmark, xmark_scale_for_bytes
+from repro.xmark.queries import XMARK_QUERIES
+
+GOLDENS = Path(__file__).parent
+TARGET_BYTES = 60_000
+SEED = 20070415  # fixed forever: the corpus document must stay stable
+
+
+def main() -> None:
+    document = generate_xmark(xmark_scale_for_bytes(TARGET_BYTES), seed=SEED)
+    (GOLDENS / "document.xml").write_text(document, encoding="utf-8")
+    print(f"document.xml: {len(document)} bytes (seed={SEED})")
+    for name, entry in sorted(XMARK_QUERIES.items()):
+        output = QuerySession(entry.adapted).run(document).output
+        (GOLDENS / f"{name}.expected").write_text(output, encoding="utf-8")
+        print(f"{name}.expected: {len(output)} bytes")
+
+
+if __name__ == "__main__":
+    main()

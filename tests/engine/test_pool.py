@@ -1,0 +1,465 @@
+"""SessionPool: concurrency stress, checkout discipline, aggregate stats.
+
+The stress tests drive N threads x M documents through one pool and hold
+the results to the strongest oracle available — byte-identical output to a
+sequential :class:`QuerySession` — while instrumentation asserts that no
+``BufferTree`` is ever checked out twice concurrently.  The worker count
+is taken from ``GCX_POOL_STRESS_WORKERS`` so CI can run a thread-count
+matrix over the same tests.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.bench.concurrency import serving_documents
+from repro.engine import QuerySession, SessionPool
+from repro.engine.pool import PoolResult
+from repro.xmark.queries import XMARK_QUERIES
+from repro.xmlio import StringSink
+
+from tests.helpers import INTRO_QUERY
+
+STRESS_WORKERS = int(os.environ.get("GCX_POOL_STRESS_WORKERS", "8"))
+STRESS_DOCUMENTS = 32
+
+Q1 = XMARK_QUERIES["Q1"].adapted
+
+
+class TestStress:
+    def test_pool_output_byte_identical_to_sequential(self):
+        """N threads x M documents == sequential QuerySession, byte for byte."""
+        docs = serving_documents(STRESS_DOCUMENTS)
+        sequential = QuerySession(Q1)
+        expected = [sequential.run(doc).output for doc in docs]
+        with SessionPool(Q1, max_workers=STRESS_WORKERS) as pool:
+            results = list(pool.map(docs))
+        assert [r.output for r in results] == expected
+
+    def test_stress_via_submit_futures(self):
+        docs = serving_documents(STRESS_DOCUMENTS)
+        sequential = QuerySession(Q1)
+        expected = [sequential.run(doc).output for doc in docs]
+        with SessionPool(Q1, max_workers=STRESS_WORKERS) as pool:
+            futures = [pool.submit(doc) for doc in docs]
+            assert [f.result().output for f in futures] == expected
+
+    def test_stress_direct_runs_from_many_threads(self):
+        """run()/run_streaming() on caller threads, all hitting one pool."""
+        docs = serving_documents(STRESS_DOCUMENTS)
+        sequential = QuerySession(Q1)
+        expected = [sequential.run(doc).output for doc in docs]
+        with SessionPool(Q1, max_workers=STRESS_WORKERS) as pool:
+            with ThreadPoolExecutor(STRESS_WORKERS) as executor:
+                outputs = list(
+                    executor.map(lambda d: pool.run(d).output, docs)
+                )
+        assert outputs == expected
+
+    def test_no_buffer_checked_out_twice_concurrently(self):
+        """Instrumented checkout: ownership is exclusive at every instant."""
+        docs = serving_documents(STRESS_DOCUMENTS)
+        pool = SessionPool(Q1, max_workers=STRESS_WORKERS)
+        held: dict[int, int] = {}
+        violations: list[int] = []
+        lock = threading.Lock()
+        real_checkout = pool._checkout_buffer
+        real_release = pool._release_buffer
+
+        def checkout():
+            buffer = real_checkout()
+            with lock:
+                if id(buffer) in held:
+                    violations.append(id(buffer))
+                held[id(buffer)] = threading.get_ident()
+            return buffer
+
+        def release(buffer, *, completed):
+            with lock:
+                held.pop(id(buffer), None)
+            real_release(buffer, completed=completed)
+
+        pool._checkout_buffer = checkout
+        pool._release_buffer = release
+        with pool:
+            list(pool.map(docs))
+        assert violations == []
+        assert held == {}  # every checkout was released
+
+    def test_double_checkout_raises(self):
+        """The pool's own owner assertion fires on a double checkout."""
+        pool = SessionPool(INTRO_QUERY)
+        buffer = pool._checkout_buffer()
+        # Simulate the bug the assertion exists for: the same buffer
+        # re-entering circulation while still owned by a run.
+        pool._idle_buffers.append(buffer)
+        with pytest.raises(RuntimeError, match="already held"):
+            pool._checkout_buffer()
+
+    def test_release_of_unknown_buffer_raises(self):
+        from repro.buffer.buffer import BufferTree
+
+        pool = SessionPool(INTRO_QUERY)
+        with pytest.raises(RuntimeError, match="not checked out"):
+            pool._release_buffer(BufferTree(), completed=True)
+
+
+class TestConcurrentStreams:
+    def test_streams_genuinely_overlap(self):
+        """A barrier forces all workers to hold open runs simultaneously."""
+        workers = min(STRESS_WORKERS, 4)
+        docs = serving_documents(workers)
+        sequential = QuerySession(Q1)
+        expected = [sequential.run(doc).output for doc in docs]
+        pool = SessionPool(Q1, max_workers=workers)
+        barrier = threading.Barrier(workers)
+
+        def serve(i: int) -> str:
+            stream = pool.run_streaming(docs[i])
+            sink = StringSink()
+            sink.write(next(stream))  # buffer now checked out, run open
+            barrier.wait()  # every thread holds an open run here
+            for token in stream:
+                sink.write(token)
+            return sink.getvalue()
+
+        with pool:
+            with ThreadPoolExecutor(workers) as executor:
+                outputs = list(executor.map(serve, range(workers)))
+        assert outputs == expected
+        stats = pool.stats
+        assert stats.peak_active_runs >= workers
+        assert stats.active_runs == 0
+        assert stats.live_nodes == 0 and stats.live_bytes == 0
+
+    def test_shared_matcher_is_one_object_and_warms_across_runs(self):
+        docs = serving_documents(8)
+        with SessionPool(Q1, max_workers=4) as pool:
+            matcher = pool.matcher
+            list(pool.map(docs))
+            assert pool.matcher is matcher
+            warmed_states = matcher.state_count
+            hits_before = matcher.table_hits
+            list(pool.map(docs))
+            # Replaying the same documents discovers no new DFA states and
+            # runs almost entirely on memoized transitions.
+            assert matcher.state_count == warmed_states
+            assert matcher.table_hits > hits_before
+
+
+class TestAggregateAccounting:
+    def test_aggregate_peak_at_least_single_run_peak(self):
+        docs = serving_documents(16)
+        with SessionPool(Q1, max_workers=4) as pool:
+            results = list(pool.map(docs))
+            stats = pool.stats
+        assert stats.peak_live_nodes >= max(r.hwm_nodes for r in results)
+        assert stats.peak_live_bytes >= max(r.hwm_bytes for r in results)
+        assert stats.runs_completed == len(docs)
+        assert stats.live_nodes == 0 and stats.live_bytes == 0
+
+    def test_overlapping_runs_sum_into_aggregate(self):
+        """Two runs paused while holding buffered nodes: the aggregate live
+        count is the sum of both runs' residency, which no per-run stat
+        can see."""
+        # INTRO_QUERY buffers each <book> subtree while deciding on it, so
+        # pausing right after the first buffered token leaves nodes live.
+        doc = (
+            "<bib><book><title>T1</title></book>"
+            "<book><price>9</price><title>T2</title></book></bib>"
+        )
+        pool = SessionPool(INTRO_QUERY, max_workers=2)
+
+        def pause_with_live_nodes(stream) -> None:
+            for _ in range(3):  # <r> wrapper, then buffered book content
+                next(stream)
+
+        solo = pool.run_streaming(doc)
+        pause_with_live_nodes(solo)
+        live_single = pool.stats.live_nodes
+        for _ in solo:
+            pass
+        assert live_single > 0
+
+        stream_a = pool.run_streaming(doc)
+        stream_b = pool.run_streaming(doc)
+        pause_with_live_nodes(stream_a)
+        pause_with_live_nodes(stream_b)
+        live_both = pool.stats.live_nodes
+        for stream in (stream_a, stream_b):
+            for _ in stream:
+                pass
+        assert live_both == 2 * live_single
+        assert pool.stats.peak_active_runs >= 2
+        assert pool.stats.live_nodes == 0
+        pool.close()
+
+    def test_abandoned_run_is_settled(self):
+        docs = serving_documents(4)
+        with SessionPool(Q1, max_workers=2) as pool:
+            stream = pool.run_streaming(docs[0])
+            next(stream)
+            stream.close()
+            stats = pool.stats
+            assert stats.runs_abandoned == 1
+            assert stats.active_runs == 0
+            assert stats.live_nodes == 0 and stats.live_bytes == 0
+            # The pool still serves correctly afterwards.
+            assert pool.run(docs[0]).output == QuerySession(Q1).run(
+                docs[0]
+            ).output
+
+    def test_failed_run_releases_its_checkout(self):
+        with SessionPool(INTRO_QUERY, max_workers=2) as pool:
+            with pytest.raises(Exception):
+                pool.run("<bib><unclosed>")
+            stats = pool.stats
+            assert stats.active_runs == 0
+            assert stats.runs_abandoned == 1
+            # The worker slot is not wedged: the pool keeps serving.
+            assert "<title>" not in pool.run("<bib><book/></bib>").output
+
+
+class TestMapSemantics:
+    def test_map_is_ordered(self):
+        docs = serving_documents(24)
+        with SessionPool(Q1, max_workers=4) as pool:
+            outputs = [r.output for r in pool.map(docs)]
+        sequential = QuerySession(Q1)
+        assert outputs == [sequential.run(d).output for d in docs]
+
+    def test_map_is_backpressured_and_lazy(self):
+        """The documents iterable is pulled as results are consumed, never
+        drained eagerly: in-flight work stays within the window."""
+        docs = serving_documents(40)
+        pulled = []
+
+        def source():
+            for doc in docs:
+                pulled.append(doc)
+                yield doc
+
+        with SessionPool(Q1, max_workers=2) as pool:
+            results = pool.map(source(), window=3, chunksize=1)
+            assert pulled == []  # nothing read before iteration
+            first = next(results)
+            assert first.output  # sanity
+            assert len(pulled) <= 3 + 1  # window chunks + the one yielded
+            rest = list(results)
+        assert len(pulled) == len(docs)
+        assert len(rest) == len(docs) - 1
+
+    def test_map_chunksize_batches_without_reordering(self):
+        docs = serving_documents(17)  # deliberately not a chunk multiple
+        with SessionPool(Q1, max_workers=4) as pool:
+            outputs = [r.output for r in pool.map(docs, chunksize=5)]
+        sequential = QuerySession(Q1)
+        assert outputs == [sequential.run(d).output for d in docs]
+
+    def test_map_propagates_evaluation_errors(self):
+        docs = ["<site><people/></site>", "<site><broken>"]
+        with SessionPool(Q1, max_workers=2) as pool:
+            with pytest.raises(Exception):
+                list(pool.map(docs))
+
+    def test_map_rejects_bad_arguments(self):
+        with SessionPool(Q1) as pool:
+            with pytest.raises(ValueError, match="chunksize"):
+                list(pool.map(["<site/>"], chunksize=0))
+            with pytest.raises(ValueError, match="window"):
+                list(pool.map(["<site/>"], window=0))
+
+
+class TestProcessExecutor:
+    def test_process_pool_matches_sequential(self):
+        docs = serving_documents(6)
+        sequential = QuerySession(Q1)
+        expected = [sequential.run(doc).output for doc in docs]
+        with SessionPool(Q1, max_workers=2, executor="process") as pool:
+            results = list(pool.map(docs, chunksize=2))
+            assert [r.output for r in results] == expected
+            assert all(isinstance(r, PoolResult) for r in results)
+            assert pool.stats.runs_started == len(docs)
+        # Completion counters are exact once close() has drained the
+        # executor (done-callbacks may lag future.result() before that).
+        assert pool.stats.runs_completed == len(docs)
+
+    def test_process_pool_requires_query_text(self):
+        from repro.analysis.compile import compile_query
+
+        compiled = compile_query(Q1)
+        with pytest.raises(ValueError, match="query as text"):
+            SessionPool(compiled, executor="process")
+
+    def test_process_pool_has_no_streaming(self):
+        with SessionPool(Q1, executor="process") as pool:
+            with pytest.raises(RuntimeError, match="not available"):
+                pool.run_streaming("<site/>")
+
+    def test_process_pool_counts_failed_runs(self):
+        with SessionPool(Q1, max_workers=2, executor="process") as pool:
+            good = pool.submit("<site><people/></site>")
+            bad = pool.submit("<site><broken>")
+            assert good.result().output
+            with pytest.raises(Exception):
+                bad.result()
+            assert pool.stats.runs_started == 2  # exact at submit
+        stats = pool.stats  # completion counters exact after close()
+        assert stats.runs_completed == 1
+        assert stats.runs_abandoned == 1
+
+    def test_process_pool_summary_reports_aggregate_as_na(self):
+        with SessionPool(Q1, max_workers=2, executor="process") as pool:
+            list(pool.map(["<site><people/></site>"]))
+            summary = pool.stats.summary()
+        assert "n/a (process workers)" in summary
+        assert "0 nodes" not in summary
+
+
+class TestLifecycle:
+    def test_close_drains_queued_work(self):
+        """Futures accepted before close() all resolve — close waits for
+        queued (not just running) work instead of failing it."""
+        docs = serving_documents(STRESS_DOCUMENTS)
+        sequential = QuerySession(Q1)
+        expected = [sequential.run(doc).output for doc in docs]
+        pool = SessionPool(Q1, max_workers=2)
+        futures = [pool.submit(doc) for doc in docs]
+        pool.close()
+        assert [f.result().output for f in futures] == expected
+
+    def test_closed_pool_rejects_work(self):
+        pool = SessionPool(Q1)
+        pool.run("<site/>")
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run("<site/>")
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit("<site/>")
+        pool.close()  # idempotent
+
+    def test_leftover_map_iterator_gets_clear_error_after_close(self):
+        """Chunks are submitted lazily, so an iterator kept across close()
+        must fail with the pool's error, not the executor's opaque one."""
+        pool = SessionPool(Q1, max_workers=2)
+        results = pool.map(["<site><people/></site>"] * 3, window=1)
+        assert next(results).output  # first chunk served while open
+        pool.close()
+        with pytest.raises(RuntimeError, match="SessionPool is closed"):
+            list(results)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            SessionPool(Q1, max_workers=0)
+        with pytest.raises(ValueError, match="executor"):
+            SessionPool(Q1, executor="fibers")
+
+    def test_pool_adopts_precompiled_query(self):
+        from repro.analysis.compile import compile_query
+
+        compiled = compile_query(INTRO_QUERY)
+        with SessionPool(compiled, max_workers=2) as pool:
+            assert pool.compiled is compiled
+            doc = "<bib><book><title>T</title></book></bib>"
+            assert pool.run(doc).output == QuerySession(compiled).run(
+                doc
+            ).output
+
+    def test_dropped_unstarted_run_releases_its_checkout(self):
+        """A run that is never iterated nor closed must not leak its
+        checkout when garbage collected (its generator's finally never
+        runs, so the weakref finalizer is the only way out)."""
+        import gc
+
+        with SessionPool(Q1, max_workers=2) as pool:
+            run = pool.run_streaming("<site><people/></site>")
+            assert pool.stats.active_runs == 1
+            del run
+            gc.collect()  # the run<->generator cycle needs the collector
+            stats = pool.stats
+            assert stats.active_runs == 0
+            assert stats.runs_abandoned == 1
+            # The slot is free again: fresh checkouts work.
+            assert pool.run("<site><people/></site>").output
+
+    def test_dropped_unstarted_session_run_unblocks_other_threads(self):
+        import gc
+
+        doc = "<bib><book><title>T</title></book></bib>"
+        session = QuerySession(INTRO_QUERY)
+        run = session.run_streaming(doc)
+        del run
+        gc.collect()
+        outputs: list[str] = []
+        thread = threading.Thread(
+            target=lambda: outputs.append(session.run(doc).output)
+        )
+        thread.start()
+        thread.join()
+        assert outputs and "<title>T</title>" in outputs[0]
+
+    def test_buffers_are_recycled_not_hoarded(self):
+        docs = serving_documents(STRESS_DOCUMENTS)
+        with SessionPool(Q1, max_workers=STRESS_WORKERS) as pool:
+            list(pool.map(docs))
+            stats = pool.stats
+        # Never more buffers than could be live at once.
+        assert stats.buffers_created <= STRESS_WORKERS + 1
+
+
+class TestSessionThreadGuard:
+    """Satellite regression: the latent single-slot race now raises."""
+
+    def test_second_thread_streaming_raises_runtime_error(self):
+        doc = "<bib><book><title>T</title></book></bib>"
+        session = QuerySession(INTRO_QUERY)
+        stream = session.run_streaming(doc)
+        next(stream)  # checkout is live on this thread
+        caught: list[BaseException] = []
+
+        def second_client():
+            try:
+                session.run_streaming(doc)
+            except BaseException as error:  # noqa: BLE001 - assert below
+                caught.append(error)
+
+        thread = threading.Thread(target=second_client)
+        thread.start()
+        thread.join()
+        assert len(caught) == 1
+        assert isinstance(caught[0], RuntimeError)
+        assert "SessionPool" in str(caught[0])
+        # The first run is untouched by the rejected attempt.
+        rest = StringSink()
+        for token in stream:
+            rest.write(token)
+        assert stream.result is not None
+
+    def test_same_thread_interleaving_still_allowed(self):
+        doc_a = "<bib><book><title>A</title></book></bib>"
+        doc_b = "<bib><book><title>B</title></book></bib>"
+        session = QuerySession(INTRO_QUERY)
+        stream_a = session.run_streaming(doc_a)
+        stream_b = session.run_streaming(doc_b)  # same thread: fine
+        list(stream_a)
+        list(stream_b)
+        assert session.runs_completed == 2
+
+    def test_sequential_cross_thread_use_is_fine(self):
+        doc = "<bib><book><title>T</title></book></bib>"
+        session = QuerySession(INTRO_QUERY)
+        expected = session.run(doc).output
+        outputs: list[str] = []
+
+        def client():
+            outputs.append(session.run(doc).output)
+
+        for _ in range(3):  # one at a time, different threads
+            thread = threading.Thread(target=client)
+            thread.start()
+            thread.join()
+        assert outputs == [expected] * 3

@@ -1,0 +1,100 @@
+"""Run-isolation under sharing: interleaved pool runs equal solo runs.
+
+PR 1 established the run-isolation invariant for one session on one
+thread; the pool now shares the compiled query and the lazy-DFA transition
+table between *all* of its runs.  These properties drive two
+:class:`~repro.engine.session.StreamingRun` instances from the same
+long-lived pool token-by-token under a hypothesis-chosen interleaving
+schedule and assert each run's output is byte-identical to its solo-run
+output — i.e. the shared static state is observationally invisible.
+
+The pools are module-lived on purpose: every example warms the same DFA
+table further, so later examples run against heavily shared state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import QuerySession, SessionPool
+from repro.xmlio import StringSink
+
+from tests.properties.strategies import documents
+
+FAST = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: Queries chosen to stress the shared matcher: descendant axes intern
+#: document-shape-dependent DFA states, ``[1]`` steps force off-DFA
+#: computes, and the child/descendant clash exercises the promotion guard.
+QUERIES = [
+    "<out>{for $a in //a return <hit>{for $b in $a//b return $b}</hit>}</out>",
+    "<out>{for $x in /r/* return if (exists $x/c) then $x else ()}</out>",
+    "<out>{for $a in /r/a return (for $b in //b return <b/>)}</out>",
+]
+
+_POOLS = {query: SessionPool(query, max_workers=2) for query in QUERIES}
+_SOLO = {query: QuerySession(query) for query in QUERIES}
+
+
+def _solo_output(query: str, document: str) -> str:
+    return _SOLO[query].run(document).output
+
+
+def _interleave(query: str, doc_a: str, doc_b: str, schedule: list[bool]):
+    """Drive two pool runs token-by-token per ``schedule``, then drain."""
+    pool = _POOLS[query]
+    runs = [pool.run_streaming(doc_a), pool.run_streaming(doc_b)]
+    sinks = [StringSink(), StringSink()]
+    done = [False, False]
+    for pick_b in schedule:
+        index = 1 if pick_b else 0
+        if done[index]:
+            continue
+        try:
+            sinks[index].write(next(runs[index]))
+        except StopIteration:
+            done[index] = True
+    for index in (0, 1):
+        if not done[index]:
+            for token in runs[index]:
+                sinks[index].write(token)
+    return sinks[0].getvalue(), sinks[1].getvalue()
+
+
+class TestInterleavedPoolRuns:
+    @FAST
+    @given(
+        query=st.sampled_from(QUERIES),
+        doc_a=documents(),
+        doc_b=documents(),
+        schedule=st.lists(st.booleans(), min_size=0, max_size=60),
+    )
+    def test_each_run_equals_its_solo_output(
+        self, query, doc_a, doc_b, schedule
+    ):
+        out_a, out_b = _interleave(query, doc_a, doc_b, schedule)
+        assert out_a == _solo_output(query, doc_a)
+        assert out_b == _solo_output(query, doc_b)
+
+    @FAST
+    @given(document=documents(), schedule=st.lists(st.booleans(), max_size=40))
+    def test_same_document_twice_interleaved(self, document, schedule):
+        """The degenerate case: a run must not see its twin's state even
+        when both traverse identical inputs through identical DFA paths."""
+        query = QUERIES[0]
+        out_a, out_b = _interleave(query, document, document, schedule)
+        expected = _solo_output(query, document)
+        assert out_a == expected
+        assert out_b == expected
+
+    def test_pools_stayed_clean(self):
+        """After all examples: nothing live, nothing left checked out."""
+        for pool in _POOLS.values():
+            stats = pool.stats
+            assert stats.active_runs == 0
+            assert stats.live_nodes == 0 and stats.live_bytes == 0

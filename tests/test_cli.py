@@ -122,3 +122,53 @@ class TestDtdCommand:
         out = capsys.readouterr().out
         assert "<!ELEMENT site" in out
         assert "ATTLIST" not in out
+
+
+class TestServeBatch:
+    @pytest.fixture
+    def batch(self, tmp_path):
+        query = tmp_path / "q.xq"
+        query.write_text("<out>{for $b in /bib/book return $b/title}</out>")
+        docs = []
+        for i in range(6):
+            doc = tmp_path / f"d{i}.xml"
+            doc.write_text(f"<bib><book><title>T{i}</title></book></bib>")
+            docs.append(doc)
+        return query, docs
+
+    def test_outputs_in_document_order(self, batch, capsys):
+        query, docs = batch
+        argv = ["serve-batch", str(query)] + [str(d) for d in docs]
+        assert main(argv + ["--workers", "3"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert lines == [f"<out><title>T{i}</title></out>" for i in range(6)]
+
+    def test_matches_sequential_run_output(self, batch, capsys):
+        query, docs = batch
+        assert main(["run", str(query)] + [str(d) for d in docs]) == 0
+        sequential = capsys.readouterr().out
+        argv = ["serve-batch", str(query)] + [str(d) for d in docs]
+        assert main(argv + ["--workers", "4", "--chunksize", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_stats_report_aggregate_hwm(self, batch, capsys):
+        query, docs = batch
+        argv = ["serve-batch", str(query)] + [str(d) for d in docs]
+        assert main(argv + ["--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "aggregate hwm" in err
+        assert "docs/s" in err
+        assert f"{docs[0]}: hwm" in err
+
+    def test_rejects_bad_worker_count(self, batch, capsys):
+        query, docs = batch
+        argv = ["serve-batch", str(query), str(docs[0]), "--workers", "0"]
+        assert main(argv) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_rejects_bad_chunksize(self, batch, capsys):
+        query, docs = batch
+        argv = ["serve-batch", str(query), str(docs[0]), "--chunksize", "0"]
+        assert main(argv) == 2
+        assert "--chunksize" in capsys.readouterr().err

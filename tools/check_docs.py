@@ -34,6 +34,7 @@ REQUIRED_DOCS = [
     "README.md",
     "docs/ARCHITECTURE.md",
     "docs/CLI.md",
+    "docs/CONCURRENCY.md",
     "docs/PERFORMANCE.md",
     "examples/README.md",
 ]
