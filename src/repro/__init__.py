@@ -25,7 +25,8 @@ The package layers (bottom-up): :mod:`repro.xmlio` (streams, trees, sinks),
 :mod:`repro.xquery` (the XQ fragment), :mod:`repro.analysis` (projection
 trees, roles, signOff insertion), :mod:`repro.stream` (preprojection),
 :mod:`repro.buffer` (active garbage collection), :mod:`repro.engine` (the
-GCX engine, query sessions, and the concurrent
+GCX engine, query sessions, the multi-query
+:class:`~repro.engine.multi.MultiQuerySession`, and the concurrent
 :class:`~repro.engine.pool.SessionPool`), :mod:`repro.baselines` (competitor
 strategies), :mod:`repro.xmark` (benchmark data and queries) and
 :mod:`repro.bench` (the Table 1 harness).  See README.md and
@@ -51,6 +52,8 @@ from repro.buffer import BufferCostModel, BufferStats
 from repro.engine import (
     EngineOptions,
     GCXEngine,
+    MultiQuerySession,
+    MultiRunStats,
     PoolResult,
     PoolStats,
     QuerySession,
@@ -68,13 +71,15 @@ from repro.xmlio import (
 )
 from repro.xquery import parse_query, unparse
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "GCXEngine",
     "EngineOptions",
     "RunResult",
     "QuerySession",
+    "MultiQuerySession",
+    "MultiRunStats",
     "SessionPool",
     "PoolResult",
     "PoolStats",

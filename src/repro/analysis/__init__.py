@@ -19,6 +19,11 @@ from repro.analysis.redundancy import (
     pattern_contains,
 )
 from repro.analysis.roles import Role, RoleSet, UndefinedRoleRemoval
+from repro.analysis.union_tree import (
+    UnionNode,
+    UnionProjection,
+    build_union_projection,
+)
 from repro.analysis.signoff import insert_signoffs, su_q
 from repro.analysis.straight import StraightInfo, compute_straight
 
@@ -38,6 +43,9 @@ __all__ = [
     "Role",
     "RoleSet",
     "UndefinedRoleRemoval",
+    "UnionNode",
+    "UnionProjection",
+    "build_union_projection",
     "insert_signoffs",
     "su_q",
     "StraightInfo",

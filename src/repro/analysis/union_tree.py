@@ -1,0 +1,192 @@
+"""Union projection trees: the shared static analysis across N queries.
+
+The paper derives one projection tree per query (Section 4); the
+multi-query engine needs to know how N such trees relate to *one* shared
+document scan.  :func:`build_union_projection` merges per-query
+:class:`~repro.analysis.projection_tree.ProjectionTree`s into a single
+:class:`UnionProjection` by unifying equal location steps along equal
+paths from the root.  Every union node carries
+
+* a **membership bitmask** — bit ``i`` is set when query ``i`` contributed
+  a projection-tree node at this position, the static form of the
+  per-token routing mask the shared dispatcher maintains dynamically
+  (:mod:`repro.stream.shared`), and
+* a **merged signoff table** — the ``(query, role)`` pairs whose signOff
+  statements release this position, one entry per contributing per-query
+  node that carries a role.  The shared-pass release rule follows
+  directly: a document region matched here leaves the shared scan only
+  when *every* query in the mask has signed off its roles (dynamically:
+  when every lane has either parked the subtree as irrelevant or retired
+  after executing all its signOffs).
+
+The union is a *routing* artifact, not an evaluation artifact: roles stay
+per-query (two queries' roles are never unified, their buffers stay
+disjoint), so merging is purely structural and needs no cross-query
+semantics.  Shared prefixes — e.g. every XMark query starting with
+``/site`` — merge into single union nodes whose masks show exactly how
+much static work the shared pass amortizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.analysis.projection_tree import ProjectionTree, PTNode
+from repro.analysis.roles import Role
+from repro.xquery.paths import Step
+
+__all__ = ["UnionNode", "UnionProjection", "build_union_projection"]
+
+
+@dataclass(eq=False)
+class UnionNode:
+    """One merged step position of the union projection tree."""
+
+    step: Step | None  # None only for the root "/"
+    mask: int  # query-membership bitmask
+    parent: "UnionNode | None" = None
+    children: list["UnionNode"] = field(default_factory=list)
+    #: The per-query projection-tree nodes merged here, as
+    #: ``(query_index, node)`` pairs in query order.
+    sources: list[tuple[int, PTNode]] = field(default_factory=list)
+    #: The merged signoff table entries of this position: ``(query_index,
+    #: role)`` for every source node that carries a role.  The position is
+    #: fully released only when every listed role has been signed off.
+    releases: list[tuple[int, Role]] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        return self.step is None
+
+    @property
+    def shared(self) -> bool:
+        """Is this position used by more than one query?"""
+        return self.mask & (self.mask - 1) != 0
+
+    def queries(self) -> list[int]:
+        """The query indexes in this node's membership mask."""
+        return [i for i in range(self.mask.bit_length()) if self.mask >> i & 1]
+
+    def iter_subtree(self) -> Iterator["UnionNode"]:
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def __repr__(self) -> str:
+        label = "/" if self.step is None else str(self.step)
+        return f"UnionNode({label} mask={self.mask:#b})"
+
+
+class UnionProjection:
+    """The merged projection trees of N queries plus the routing masks."""
+
+    def __init__(self, root: UnionNode, trees: Sequence[ProjectionTree]) -> None:
+        self.root = root
+        self.trees = tuple(trees)
+
+    @property
+    def query_count(self) -> int:
+        return len(self.trees)
+
+    @property
+    def full_mask(self) -> int:
+        """The mask with every query's bit set."""
+        return (1 << len(self.trees)) - 1
+
+    def all_nodes(self) -> Iterator[UnionNode]:
+        yield from self.root.iter_subtree()
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.all_nodes())
+
+    def shared_node_count(self) -> int:
+        """Positions used by more than one query — the amortized static work."""
+        return sum(1 for node in self.all_nodes() if node.shared)
+
+    def separate_node_count(self) -> int:
+        """Sum of the per-query tree sizes (what N separate passes match)."""
+        return sum(tree.node_count() for tree in self.trees)
+
+    def release_table(self) -> list[tuple[UnionNode, list[tuple[int, Role]]]]:
+        """The merged signoff table: every node with the roles releasing it."""
+        return [
+            (node, list(node.releases))
+            for node in self.all_nodes()
+            if node.releases
+        ]
+
+    def format(self, names: Sequence[str] | None = None) -> str:
+        """Render the union tree with membership masks and release roles.
+
+        ``names`` labels the mask bits (defaults to ``q0..qN-1``); shared
+        nodes therefore read like ``people {Q1,Q8,Q20}``.
+        """
+        labels = list(names) if names is not None else [
+            f"q{i}" for i in range(self.query_count)
+        ]
+
+        def mask_str(node: UnionNode) -> str:
+            members = ",".join(labels[i] for i in node.queries())
+            suffix = ""
+            if node.releases:
+                roles = ",".join(
+                    f"{labels[i]}:{role.name}" for i, role in node.releases
+                )
+                suffix = f" signoff[{roles}]"
+            return "{" + members + "}" + suffix
+
+        lines: list[str] = [f"/ {{{','.join(labels)}}}"]
+
+        def walk(node: UnionNode, depth: int) -> None:
+            for child in node.children:
+                lines.append(
+                    "  " * depth + f"{child.step} {mask_str(child)}"
+                )
+                walk(child, depth + 1)
+
+        walk(self.root, 1)
+        return "\n".join(lines)
+
+
+def build_union_projection(
+    trees: Sequence[ProjectionTree],
+) -> UnionProjection:
+    """Merge per-query projection trees into one union tree with masks.
+
+    Children are unified by their location step (axis, node test, ``[1]``
+    flag): two per-query nodes merge exactly when their whole step paths
+    from the root are equal.  Masks, sources and the merged signoff table
+    follow from which queries contributed to each merged position.
+    """
+    if not trees:
+        raise ValueError("build_union_projection needs at least one tree")
+    root = UnionNode(step=None, mask=(1 << len(trees)) - 1)
+    for index, tree in enumerate(trees):
+        root.sources.append((index, tree.root))
+
+    def merge(union: UnionNode, sources: list[tuple[int, PTNode]]) -> None:
+        by_step: dict[Step, list[tuple[int, PTNode]]] = {}
+        for index, node in sources:
+            for child in node.children:
+                assert child.step is not None  # only roots are step-less
+                by_step.setdefault(child.step, []).append((index, child))
+        for step, merged in by_step.items():
+            mask = 0
+            releases: list[tuple[int, Role]] = []
+            for index, node in merged:
+                mask |= 1 << index
+                if node.role is not None:
+                    releases.append((index, node.role))
+            child = UnionNode(
+                step=step,
+                mask=mask,
+                parent=union,
+                sources=merged,
+                releases=releases,
+            )
+            union.children.append(child)
+            merge(child, merged)
+
+    merge(root, root.sources)
+    return UnionProjection(root, trees)

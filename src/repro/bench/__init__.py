@@ -22,6 +22,12 @@ from repro.bench.baseline import (
     run_quick_suite,
     save_baseline,
 )
+from repro.bench.multiquery import (
+    MULTIQUERY_MIX,
+    MultiQueryReport,
+    format_multiquery_report,
+    run_multiquery_benchmark,
+)
 from repro.bench.harness import (
     DEFAULT_ENGINES,
     HarnessConfig,
@@ -47,6 +53,10 @@ __all__ = [
     "format_table1",
     "shape_report",
     "latency_report",
+    "MULTIQUERY_MIX",
+    "MultiQueryReport",
+    "run_multiquery_benchmark",
+    "format_multiquery_report",
     "ABLATION_CONFIGS",
     "AblationCell",
     "run_ablations",

@@ -33,6 +33,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.bench.concurrency import run_concurrency_benchmark
+from repro.bench.multiquery import run_multiquery_benchmark
 from repro.engine.session import QuerySession
 from repro.stream.preprojector import StreamPreprojector
 from repro.buffer.buffer import BufferTree
@@ -59,7 +60,16 @@ SCHEMA_VERSION = 1
 #: Absolute floors enforced by the gate regardless of the baseline values.
 #: ``tokenizer_speedup`` is the PR 3 acceptance criterion: the chunk-scanning
 #: tokenizer must stay at least twice as fast as the frozen reference.
-FLOORS: dict[str, float] = {"tokenizer_speedup": 2.0}
+#: ``multiquery_speedup_k8`` is the multi-query acceptance criterion: one
+#: shared scan must serve the K=8 standing mix at least twice as fast as K
+#: sequential warm sessions.  ``multiquery_single_scan`` is the shared-pass
+#: invariant — 1.0 exactly when the pass read one document scan of tokens
+#: (not K); any extra read drops it to 0.0 and fails the gate on any host.
+FLOORS: dict[str, float] = {
+    "tokenizer_speedup": 2.0,
+    "multiquery_speedup_k8": 2.0,
+    "multiquery_single_scan": 1.0,
+}
 
 
 @dataclass(frozen=True)
@@ -248,6 +258,23 @@ def run_quick_suite(
         "buffer_recycle_rate",
         result.stats.nodes_recycled / max(result.stats.nodes_created, 1),
         "ratio",
+    )
+
+    # -- multi-query: one shared scan vs K sequential warm sessions -----
+    # Both the speedup and the single-scan invariant are same-host ratios/
+    # counts, so they gate machine-independently (hard floors above).
+    multi_report = run_multiquery_benchmark(document, repeats=repeats)
+    add("multiquery_speedup_k8", multi_report.speedup, "x")
+    add(
+        "multiquery_single_scan",
+        1.0 if multi_report.single_scan else 0.0,
+        "bool",
+    )
+    add(
+        "multiquery_route_share",
+        multi_report.route_share,
+        "ratio",
+        higher_is_better=False,
     )
 
     # -- concurrent serving: SessionPool vs cold per-request engines ----

@@ -1,0 +1,192 @@
+"""Multi-query benchmark: one shared scan vs K sequential session runs.
+
+The serving scenario is the ROADMAP's "many standing queries, same
+stream": K compiled queries must be answered over the same document.  Two
+ways to do it:
+
+* **sequential** — one warm :class:`~repro.engine.session.QuerySession`
+  run per query: K full tokenizer scans, K full projection passes;
+* **shared** — one :class:`~repro.engine.multi.MultiQuerySession` pass:
+  the document is tokenized *once* and the bitmask dispatcher routes each
+  token only to the queries whose region it lies in.
+
+``speedup`` is the sequential total over the shared-pass time.  Both
+sides use warm sessions (compilation amortized), so the entire gain is
+what the tentpole claims: scan amortization plus routing — per-query
+*evaluation* work does not shrink, which bounds the speedup well below
+K.  The report also carries the **single-scan invariant**: the shared
+pass's token count must equal one plain tokenizer scan of the document,
+not K of them; the benchmark gate fails machine-independently if it ever
+does not.
+
+The K=8 mix is the golden XMark queries minus Q8 plus two more standing
+queries (Europe items, open-auction reserves).  Q8's nested-loop join is
+quadratic in the document and dominates both sides of the ratio — it
+measures join evaluation, not the shared scan, so it stays out of the
+mix; its shared-pass *correctness* is still covered by the differential
+golden suite (tests/engine/test_multiquery.py).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.engine.multi import MultiQuerySession
+from repro.engine.session import QuerySession
+from repro.xmark.queries import XMARK_QUERIES
+from repro.xmlio.lexer import tokenize
+
+__all__ = [
+    "MULTIQUERY_MIX",
+    "MultiQueryReport",
+    "run_multiquery_benchmark",
+    "format_multiquery_report",
+]
+
+#: Two extra standing queries completing the K=8 serving mix (same
+#: adaptation rules as Section 7: single-step for-loops, no attributes).
+EUROPE_ITEMS_QUERY = """
+<eu-items>{
+  for $s in /site return
+  for $r in $s/regions return
+  for $e in $r/europe return
+  for $i in $e/item return
+    <item>{$i/name/text()}</item>
+}</eu-items>
+"""
+
+OPEN_AUCTION_RESERVES_QUERY = """
+<reserves>{
+  for $s in /site return
+  for $oa in $s/open_auctions return
+  for $a in $oa/open_auction return
+    <r>{$a/reserve/text()}</r>
+}</reserves>
+"""
+
+#: The benchmarked standing set, in evaluation order.
+MULTIQUERY_MIX: dict[str, str] = {
+    **{
+        name: XMARK_QUERIES[name].adapted
+        for name in ("Q1", "Q6", "Q13", "Q15", "Q17", "Q20")
+    },
+    "QEuropeItems": EUROPE_ITEMS_QUERY,
+    "QOpenReserves": OPEN_AUCTION_RESERVES_QUERY,
+}
+
+
+@dataclass(frozen=True)
+class MultiQueryReport:
+    """The measurement of one shared pass against its sequential baseline."""
+
+    query_count: int
+    doc_bytes: int
+    document_tokens: int
+    sequential_seconds: float
+    shared_seconds: float
+    shared_tokens_read: int
+    dispatched_tokens: int
+    peak_live_nodes: int
+    peak_live_bytes: int
+
+    @property
+    def speedup(self) -> float:
+        """Sequential total over shared-pass time (the gated ratio)."""
+        return self.sequential_seconds / self.shared_seconds
+
+    @property
+    def single_scan(self) -> bool:
+        """Did the shared pass read exactly one document scan of tokens?"""
+        return self.shared_tokens_read == self.document_tokens
+
+    @property
+    def route_share(self) -> float:
+        """Lane dispatches as a share of feeding every token to every query."""
+        return self.dispatched_tokens / (
+            self.document_tokens * self.query_count
+        )
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_multiquery_benchmark(
+    document: str,
+    queries: dict[str, str] | None = None,
+    repeats: int = 3,
+) -> MultiQueryReport:
+    """Measure K warm sequential runs vs one shared pass over ``document``.
+
+    Outputs are cross-checked first — byte-for-byte, query by query — so
+    the benchmark can never pass on diverging results.
+    """
+    queries = queries if queries is not None else MULTIQUERY_MIX
+    sessions = {name: QuerySession(text) for name, text in queries.items()}
+    multi = MultiQuerySession(queries)
+
+    expected = {
+        name: session.run(document).output  # also warms matcher + buffers
+        for name, session in sessions.items()
+    }
+    shared_results = multi.run(document)
+    for name, result in shared_results.items():
+        if result.output != expected[name]:
+            raise AssertionError(
+                f"shared pass diverged from the sequential run on {name}"
+            )
+
+    def run_sequential() -> None:
+        for session in sessions.values():
+            session.run(document)
+
+    def run_shared() -> None:
+        for _pair in multi.run_streaming(document):
+            pass
+
+    sequential_seconds = _best_of(run_sequential, repeats)
+    shared_seconds = _best_of(run_shared, repeats)
+
+    # One instrumented pass for the scan/routing telemetry (deterministic
+    # across passes, so it does not need to be the timed one).
+    stream = multi.run_streaming(document)
+    for _pair in stream:
+        pass
+    stats = stream.stats
+    document_tokens = sum(1 for _token in tokenize(document))
+    return MultiQueryReport(
+        query_count=len(queries),
+        doc_bytes=len(document),
+        document_tokens=document_tokens,
+        sequential_seconds=sequential_seconds,
+        shared_seconds=shared_seconds,
+        shared_tokens_read=stats.tokens_read,
+        dispatched_tokens=stats.dispatched_tokens,
+        peak_live_nodes=stats.peak_live_nodes,
+        peak_live_bytes=stats.peak_live_bytes,
+    )
+
+
+def format_multiquery_report(report: MultiQueryReport) -> str:
+    """A small human-readable summary of one measurement."""
+    scan = "one scan" if report.single_scan else "MULTIPLE SCANS"
+    return "\n".join(
+        [
+            f"multi-query benchmark: {report.query_count} standing queries "
+            f"over a {report.doc_bytes:,} byte XMark document",
+            f"  sequential (K warm sessions): {report.sequential_seconds:.3f}s",
+            f"  shared pass:                  {report.shared_seconds:.3f}s "
+            f"({report.speedup:.2f}x)",
+            f"  tokens: {report.shared_tokens_read} read ({scan}); "
+            f"{report.dispatched_tokens} lane dispatches "
+            f"({report.route_share:.1%} of broadcast)",
+            f"  aggregate hwm: {report.peak_live_nodes} nodes / "
+            f"{report.peak_live_bytes} bytes",
+        ]
+    )

@@ -3,6 +3,7 @@
 Subcommands (see docs/CLI.md for sample output)::
 
     gcx run QUERY.xq DOC.xml [DOC.xml ...]         evaluate a query
+    gcx run-multi Q.xq [Q.xq ...] -d DOC.xml       N queries, one shared scan
     gcx serve-batch QUERY.xq DOC.xml [...]         concurrent pool evaluation
     gcx analyze QUERY.xq                           show the static analysis
     gcx table1 [--sizes 256k,1m] [--engines ...]   reproduce Table 1
@@ -95,6 +96,34 @@ def main(argv: list[str] | None = None) -> int:
         help="print per-document and pool-wide aggregate stats to stderr",
     )
 
+    multi_p = sub.add_parser(
+        "run-multi",
+        help="evaluate many queries over each document in one shared scan",
+    )
+    multi_p.add_argument(
+        "query",
+        nargs="+",
+        help="query files; all are compiled once and evaluated together",
+    )
+    multi_p.add_argument(
+        "-d",
+        "--doc",
+        action="append",
+        required=True,
+        help="XML document file (repeatable); each is tokenized exactly "
+        "once for all queries",
+    )
+    multi_p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print shared-pass routing and buffer stats to stderr",
+    )
+    multi_p.add_argument(
+        "--union",
+        action="store_true",
+        help="print the union projection tree (membership masks) first",
+    )
+
     ana_p = sub.add_parser("analyze", help="show projection tree and rewriting")
     ana_p.add_argument("query", help="query file, or '-' for stdin")
     ana_p.add_argument("--no-early-updates", action="store_true")
@@ -123,6 +152,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "serve-batch":
         return _cmd_serve_batch(args)
+    if args.command == "run-multi":
+        return _cmd_run_multi(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "table1":
@@ -246,6 +277,49 @@ def _cmd_serve_batch(args) -> int:
     return 0
 
 
+def _cmd_run_multi(args) -> int:
+    """Multi-query shared-scan evaluation: N queries, one pass per document.
+
+    Every document is tokenized exactly once; the shared dispatcher routes
+    each token to the queries whose membership bitmask still includes it.
+    Results are printed grouped per document, one ``== name ==`` section
+    per query, in query order.
+    """
+    from pathlib import Path
+
+    from repro.engine.multi import MultiQuerySession
+
+    names: list[str] = []
+    queries: dict[str, str] = {}
+    for path in args.query:
+        name = Path(path).stem
+        if name in queries:
+            print(f"ERROR: duplicate query name {name!r}", file=sys.stderr)
+            return 2
+        names.append(name)
+        queries[name] = _read(path)
+    session = MultiQuerySession(queries)
+    if args.union:
+        print("== union projection tree ==")
+        print(session.format_union())
+    from repro.xmlio.serialize import StringSink
+
+    for doc_path in args.doc:
+        stream = session.run_streaming(Path(doc_path))
+        sinks = {name: StringSink() for name in names}
+        for name, token in stream:
+            sinks[name].write(token)
+        if len(args.doc) > 1:
+            print(f"# {doc_path}")
+        for name in names:
+            sinks[name].close()
+            print(f"== {name} ==")
+            print(sinks[name].getvalue())
+        if args.stats:
+            print(f"{doc_path}: {stream.stats.summary()}", file=sys.stderr)
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     options = CompileOptions(
         early_updates=not args.no_early_updates,
@@ -277,9 +351,13 @@ def _cmd_table1(args) -> int:
         seed=args.seed,
         cell_budget_seconds=args.budget,
     )
+
     def progress(cell):
-        print(f"  {cell.query} {cell.engine} {cell.doc_bytes}B -> {cell.cell}",
-              file=sys.stderr)
+        print(
+            f"  {cell.query} {cell.engine} {cell.doc_bytes}B -> {cell.cell}",
+            file=sys.stderr,
+        )
+
     measurements = run_table1(config, progress=progress)
     print(format_table1(measurements))
     print(shape_report(measurements))

@@ -3,13 +3,15 @@
 Layer map (Figure 11): :mod:`repro.engine.evaluator` interprets the
 rewritten query, pulling input on demand and yielding output tokens;
 :mod:`repro.engine.session` packages compile-once/run-many sessions with
-incremental output; :mod:`repro.engine.pool` serves one compiled query to
-many concurrent clients; :mod:`repro.engine.gcx` is the user-facing
-engine.
+incremental output; :mod:`repro.engine.multi` evaluates N compiled
+queries in a single shared document scan; :mod:`repro.engine.pool` serves
+compiled queries to many concurrent clients; :mod:`repro.engine.gcx` is
+the user-facing engine.
 """
 
 from repro.engine.evaluator import EvaluationError, Evaluator
 from repro.engine.gcx import GCXEngine
+from repro.engine.multi import MultiQuerySession, MultiRunStats, MultiStreamingRun
 from repro.engine.pool import PoolResult, PoolStats, SessionPool
 from repro.engine.session import (
     EngineOptions,
@@ -26,6 +28,9 @@ __all__ = [
     "EngineOptions",
     "RunResult",
     "QuerySession",
+    "MultiQuerySession",
+    "MultiRunStats",
+    "MultiStreamingRun",
     "SessionPool",
     "PoolResult",
     "PoolStats",

@@ -1,0 +1,460 @@
+"""The multi-query shared-stream engine: N queries, one document scan.
+
+A :class:`~repro.engine.pool.SessionPool` amortizes *compilation* across
+requests, but serving K standing queries over the same document still
+costs K full parses — on a single core the dominant cost.
+:class:`MultiQuerySession` kills that: it evaluates N compiled queries in
+a *single* token pass.  The document is tokenized exactly once; a
+:class:`~repro.stream.shared.SharedPreprojector` routes each surviving
+token to the subset of per-query lanes whose membership bitmask still
+includes it (the dynamic form of the union projection tree's static
+masks, :mod:`repro.analysis.union_tree`).
+
+Everything per-query is reused from the single-query engine, unchanged:
+
+* each query gets its own :class:`~repro.engine.session.QuerySession`
+  (compile-once artifacts, warm lazy-DFA matcher, recycled buffers),
+* each in-flight evaluation is an ordinary
+  :class:`~repro.engine.session.StreamingRun` owned by its session, so
+  the release-guard machinery applies verbatim — a crashed or abandoned
+  multi-run cannot leak a single buffer checkout,
+* strict safety (:func:`~repro.engine.session.check_safety`) holds per
+  query: role accounting balances lane by lane.
+
+Single-query evaluation is literally the N=1 case of this path: a
+:class:`~repro.stream.preprojector.StreamPreprojector` is one pump
+driving one :class:`~repro.stream.preprojector.ProjectionLane`; this
+module drives N lanes from one pump.
+
+A shared-pass aggregate accountant (via the
+:attr:`~repro.buffer.stats.BufferStats.accountant` hook) observes every
+lane's buffer, so :class:`MultiRunStats` reports the *combined* residency
+peak of the whole pass — the multi-query analogue of the paper's per-run
+buffer high watermark.
+
+Like :class:`~repro.engine.session.QuerySession`, a multi session is a
+single-client object; use :meth:`~repro.engine.pool.SessionPool.map_multi`
+to fan a multi-query workload over pool workers.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.analysis.compile import CompiledQuery
+from repro.analysis.union_tree import UnionProjection, build_union_projection
+from repro.engine.evaluator import Evaluator
+from repro.engine.session import (
+    EngineOptions,
+    QuerySession,
+    RunResult,
+    StreamingRun,
+    document_tokens,
+)
+from repro.stream.preprojector import ProjectionLane
+from repro.stream.shared import SharedPreprojector
+from repro.xmlio.serialize import StringSink, TokenSink
+from repro.xmlio.tokens import Token
+from repro.xquery.ast import Query
+
+__all__ = ["MultiQuerySession", "MultiRunStats", "MultiStreamingRun"]
+
+
+@dataclass(frozen=True)
+class MultiRunStats:
+    """Telemetry of one shared pass over one document.
+
+    ``tokens_read`` is the single-scan count — the number of tokens read
+    from the input, *not* multiplied by the number of queries; the
+    benchmark gate asserts it equals one document scan.  ``lane_tokens``
+    is each query's routed share of that scan, so
+    ``sum(lane_tokens.values())`` against ``tokens_read * query_count``
+    quantifies what the bitmask routing saved.
+    """
+
+    query_count: int
+    tokens_read: int
+    lane_tokens: dict[str, int]
+    peak_live_nodes: int
+    peak_live_bytes: int
+
+    @property
+    def dispatched_tokens(self) -> int:
+        """Per-lane token dispatches summed over all queries."""
+        return sum(self.lane_tokens.values())
+
+    @property
+    def routing_savings(self) -> int:
+        """Dispatches avoided vs. feeding every token to every query."""
+        return self.tokens_read * self.query_count - self.dispatched_tokens
+
+    def summary(self) -> str:
+        return (
+            f"{self.query_count} queries, one scan of {self.tokens_read} "
+            f"tokens; {self.dispatched_tokens} lane dispatches "
+            f"({self.routing_savings} saved by routing); aggregate hwm "
+            f"{self.peak_live_nodes} nodes / {self.peak_live_bytes} bytes"
+        )
+
+
+class _SharedPassAccountant:
+    """Aggregate live-residency accounting across all lanes of a session.
+
+    Attached (as :class:`~repro.buffer.stats.BufferAccountant`) to every
+    lane buffer the session checks out.  Residency released wholesale —
+    a run completing with buffered nodes left, or an abandoned run's
+    buffer being discarded — is settled through :meth:`settle`, keeping
+    the live aggregate honest across successive multi-runs.
+
+    A multi-run dropped without ``close()`` settles through the *pending*
+    queue instead: its GC finalizer may fire while this very lock is held
+    (the same hazard ``session._ReleaseGuard`` documents), so the GC path
+    only appends to ``pending`` — a GIL-atomic list — and the queued
+    amounts are reconciled from normal call contexts via :meth:`reap`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (nodes, bytes) settlements queued from GC contexts.
+        self.pending: list[tuple[int, int]] = []
+        self.live_nodes = 0
+        self.live_bytes = 0
+        self.peak_live_nodes = 0
+        self.peak_live_bytes = 0
+
+    def on_delta(self, nodes: int, cost: int) -> None:
+        with self._lock:
+            self.live_nodes += nodes
+            self.live_bytes += cost
+            if self.live_nodes > self.peak_live_nodes:
+                self.peak_live_nodes = self.live_nodes
+            if self.live_bytes > self.peak_live_bytes:
+                self.peak_live_bytes = self.live_bytes
+
+    def settle(self, nodes: int, cost: int) -> None:
+        """Subtract residency whose buffer left the pass in one piece."""
+        with self._lock:
+            self.live_nodes -= nodes
+            self.live_bytes -= cost
+
+    def reap(self) -> None:
+        """Apply settlements queued by GC'd multi-runs (normal context)."""
+        pending = self.pending
+        while pending:
+            try:
+                nodes, cost = pending.pop()
+            except IndexError:  # another thread reaped the last entry
+                break
+            self.settle(nodes, cost)
+
+
+def _queue_abandoned_settlement(
+    shared: SharedPreprojector,
+    runs: list[tuple[str, StreamingRun]],
+    results: dict[str, RunResult],
+    accountant: _SharedPassAccountant,
+) -> None:
+    """GC finalizer of a multi-run dropped without ``close()``.
+
+    The per-run release guards return the buffer checkouts on their own;
+    this settles the aggregate accounting for the lanes still open.  May
+    run inside the garbage collector, so it takes no locks: it detaches
+    each open lane's accountant (plain attribute store) and queues the
+    residual residency on the accountant's GIL-atomic pending list.
+    """
+    for index, (name, _run) in enumerate(runs):
+        if name in results:
+            continue  # completed runs settled at their StopIteration
+        stats = shared.lanes[index].buffer.stats
+        stats.accountant = None
+        accountant.pending.append((stats.live_nodes, stats.live_bytes))
+
+
+class MultiStreamingRun:
+    """One in-flight shared pass, consumed as ``(name, token)`` pairs.
+
+    Iterating drives every query's evaluator round-robin: each cycle
+    advances each live query by one output token (a pull by any of them
+    feeds all lanes, so queries whose data is already buffered drain it
+    before more input is read).  When a query's run completes, its
+    :class:`~repro.engine.session.RunResult` lands in :attr:`results` and
+    its lane is retired from the dispatch — the dynamic merged-signoff
+    release.  :meth:`close` abandons every still-open per-query run; each
+    run's release guard returns its checkout exactly once, crash or not.
+    """
+
+    def __init__(
+        self,
+        shared: SharedPreprojector,
+        runs: list[tuple[str, StreamingRun]],
+        accountant: _SharedPassAccountant,
+    ) -> None:
+        self._shared = shared
+        self._runs = runs
+        self._accountant = accountant
+        #: RunResult per query name, filled in as each run completes.
+        self.results: dict[str, RunResult] = {}
+        self._closed = False
+        self._gen = self._generate()
+        # Safety net for multi-runs dropped without close(): the per-run
+        # guards free the checkouts themselves, but the aggregate
+        # accounting of the still-open lanes must settle too, or every
+        # later pass starts from a falsely elevated live base.  The
+        # finalizer reads `results` as it is at collection time.
+        self._finalizer = weakref.finalize(
+            self,
+            _queue_abandoned_settlement,
+            shared,
+            runs,
+            self.results,
+            accountant,
+        )
+        self._finalizer.atexit = False
+
+    # -- iteration ------------------------------------------------------
+
+    def __iter__(self) -> "MultiStreamingRun":
+        return self
+
+    def __next__(self) -> tuple[str, Token]:
+        return next(self._gen)
+
+    def _generate(self) -> Iterator[tuple[str, Token]]:
+        live: deque[tuple[int, str, StreamingRun]] = deque(
+            (index, name, run) for index, (name, run) in enumerate(self._runs)
+        )
+        while live:
+            index, name, run = live.popleft()
+            try:
+                token = next(run)
+            except StopIteration:
+                # The run executed its last signOff and finalized: retire
+                # the lane so no further input is matched on its behalf
+                # (its buffer already went back to its session).
+                self.results[name] = result = run.result
+                self._shared.retire(index)
+                self._accountant.settle(
+                    result.stats.live_nodes, result.stats.live_bytes
+                )
+                continue
+            except BaseException:
+                # One query poisoned the pass: abandon the others so their
+                # checkouts go home, then surface the original error.
+                # (Only the runs — this generator is currently executing
+                # and cannot close itself; it dies by raising.)
+                self._abandon_open_runs()
+                raise
+            live.append((index, name, run))
+            yield (name, token)
+
+    def close(self) -> None:
+        """Abandon every per-query run that has not completed."""
+        self._abandon_open_runs()
+        self._gen.close()
+
+    def _abandon_open_runs(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()  # settled synchronously below
+        for index, (name, run) in enumerate(self._runs):
+            if name in self.results:
+                continue
+            buffer = self._shared.lanes[index].buffer
+            stats = buffer.stats
+            self._accountant.settle(stats.live_nodes, stats.live_bytes)
+            stats.accountant = None  # the buffer is leaving the pass
+            self._shared.retire(index)
+            run.close()
+
+    # -- telemetry ------------------------------------------------------
+
+    @property
+    def stats(self) -> MultiRunStats:
+        """A snapshot of the shared-pass telemetry (stable once drained)."""
+        self._accountant.reap()
+        lane_tokens: dict[str, int] = {}
+        for index, (name, run) in enumerate(self._runs):
+            result = self.results.get(name)
+            stats = (
+                result.stats
+                if result is not None
+                else self._shared.lanes[index].buffer.stats
+            )
+            lane_tokens[name] = stats.tokens_read
+        return MultiRunStats(
+            query_count=len(self._runs),
+            tokens_read=self._shared.tokens_read,
+            lane_tokens=lane_tokens,
+            peak_live_nodes=self._accountant.peak_live_nodes,
+            peak_live_bytes=self._accountant.peak_live_bytes,
+        )
+
+
+class MultiQuerySession:
+    """N compiled queries evaluated over each document in a single scan.
+
+    Construction compiles every query exactly once (or adopts
+    pre-:class:`~repro.analysis.compile.CompiledQuery` artifacts) and
+    derives the union projection tree; every :meth:`run` /
+    :meth:`run_streaming` afterwards spins up only the dynamic half — N
+    lanes behind one tokenizer.  Queries are given as a mapping from name
+    to query (text, AST, or compiled), or as a plain sequence (named
+    ``q0..qN-1``).
+
+    Like :class:`~repro.engine.session.QuerySession`, a multi session is
+    single-client: runs are driven from one thread at a time.
+    """
+
+    def __init__(
+        self,
+        queries: Mapping[str, Query | str | CompiledQuery]
+        | Sequence[Query | str | CompiledQuery],
+        options: EngineOptions | None = None,
+    ) -> None:
+        self.options = options or EngineOptions()
+        if isinstance(queries, Mapping):
+            named = list(queries.items())
+        else:
+            named = [(f"q{i}", query) for i, query in enumerate(queries)]
+        if not named:
+            raise ValueError("MultiQuerySession needs at least one query")
+        if len({name for name, _query in named}) != len(named):
+            raise ValueError("query names must be unique")
+        self.names: tuple[str, ...] = tuple(name for name, _query in named)
+        self.sessions: dict[str, QuerySession] = {
+            name: QuerySession(query, self.options) for name, query in named
+        }
+        #: The merged static analysis: membership bitmasks + signoff table.
+        self.union: UnionProjection = build_union_projection(
+            [
+                self.sessions[name].compiled.projection_tree
+                for name in self.names
+            ]
+        )
+        self._accountant = _SharedPassAccountant()
+        #: Completed shared passes (every query ran to completion).
+        self.runs_completed = 0
+
+    @property
+    def query_count(self) -> int:
+        return len(self.names)
+
+    def compiled(self, name: str) -> CompiledQuery:
+        """The static artifacts of one member query."""
+        return self.sessions[name].compiled
+
+    def format_union(self) -> str:
+        """The union projection tree rendered with query-name masks."""
+        return self.union.format(self.names)
+
+    # -- evaluation -----------------------------------------------------
+
+    def run_streaming(
+        self, document: str | Path | Iterator[Token]
+    ) -> MultiStreamingRun:
+        """Start one shared pass; iterate the result to drive it.
+
+        ``document`` may be text, a :class:`~pathlib.Path` (chunked file
+        tokenization with bounded memory), or any token iterator; it is
+        tokenized exactly once regardless of the number of queries.
+        """
+        tokens = document_tokens(document)
+        options = self.options
+        self._accountant.reap()  # settle GC-abandoned passes first
+        # Check out (buffer, matcher) per query up front; until a run's
+        # release guard exists the checkout is ours to return on failure.
+        checkouts: list[tuple[QuerySession, object, object]] = []
+        runs: list[tuple[str, StreamingRun]] = []
+        try:
+            for name in self.names:
+                session = self.sessions[name]
+                buffer, matcher = session._begin_streaming_run()
+                checkouts.append((session, buffer, matcher))
+                buffer.stats.accountant = self._accountant
+            lanes = [
+                ProjectionLane(
+                    session.compiled.projection_tree,
+                    buffer,
+                    aggregate_roles=options.aggregate_roles,
+                    matcher=matcher,
+                )
+                for session, buffer, matcher in checkouts
+            ]
+            shared = SharedPreprojector(tokens, lanes)
+            for index, name in enumerate(self.names):
+                session, buffer, _matcher = checkouts[index]
+                view = shared.view(index)
+                evaluator = Evaluator(
+                    session.compiled.rewritten,
+                    buffer,
+                    view,
+                    None,
+                    aggregate_roles=options.aggregate_roles,
+                    eager_leaf_bindings=options.eager_leaf_bindings,
+                )
+                runs.append((name, StreamingRun(session, buffer, view, evaluator)))
+        except BaseException:
+            # Runs already constructed own their releases; checkouts past
+            # that point must be handed back here or their sessions wedge.
+            for session, buffer, _matcher in checkouts[len(runs):]:
+                buffer.stats.accountant = None
+                session._on_run_closed(buffer)
+            for _name, run in runs:
+                run.close()
+            raise
+        return MultiStreamingRun(shared, runs, self._accountant)
+
+    def run(
+        self,
+        document: str | Path | Iterator[Token],
+        *,
+        sinks: Mapping[str, TokenSink] | None = None,
+    ) -> dict[str, RunResult]:
+        """Evaluate all queries over ``document``, buffered, in one scan.
+
+        Returns one :class:`~repro.engine.session.RunResult` per query
+        name, in query order.  With the default sinks each result's
+        ``output`` holds that query's serialized text; caller-provided
+        sinks receive their query's tokens instead (and ``output`` stays
+        empty), mirroring :meth:`QuerySession.run`.
+        """
+        stream = self.run_streaming(document)
+        own_sinks: dict[str, StringSink] = {}
+        outs: dict[str, TokenSink] = {}
+        for name in self.names:
+            if sinks is not None and name in sinks:
+                outs[name] = sinks[name]
+            else:
+                outs[name] = own_sinks[name] = StringSink()
+        for name, token in stream:
+            outs[name].write(token)
+        self.runs_completed += 1
+        results = {name: stream.results[name] for name in self.names}
+        for name, sink in own_sinks.items():
+            sink.close()
+            results[name].output = sink.getvalue()
+        # Note on timing: each result's elapsed_seconds spans that run's
+        # first next() to its finalize.  Under the interleaved drive the
+        # spans overlap, so they attribute the *pass*, not the query —
+        # time the run_streaming drain for the pass wall-clock.
+        return results
+
+    # -- telemetry ------------------------------------------------------
+
+    @property
+    def peak_live_nodes(self) -> int:
+        """Aggregate buffered-node peak across all lanes, all passes."""
+        self._accountant.reap()
+        return self._accountant.peak_live_nodes
+
+    @property
+    def peak_live_bytes(self) -> int:
+        """Aggregate modelled-byte peak across all lanes, all passes."""
+        self._accountant.reap()
+        return self._accountant.peak_live_bytes

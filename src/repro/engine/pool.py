@@ -58,7 +58,7 @@ from dataclasses import dataclass
 from functools import partial
 from itertools import islice
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.analysis.compile import CompiledQuery, compile_query
 from repro.buffer.buffer import BufferTree
@@ -451,11 +451,6 @@ class SessionPool:
         several documents per task — worth using when the documents are
         small enough that per-task dispatch overhead would dominate.
         """
-        if chunksize < 1:
-            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
-        window = window if window is not None else 2 * self.max_workers
-        if window < 1:
-            raise ValueError(f"window must be >= 1, got {window}")
         executor = self._ensure_executor()
         if self.executor_kind == "process":
             serve = _process_serve_chunk
@@ -480,7 +475,102 @@ class SessionPool:
                 )
             return future
 
-        def generate() -> Iterator[PoolResult]:
+        return self._windowed(documents, chunksize, window, submit_chunk)
+
+    def map_multi(
+        self,
+        documents: Iterable[str | Path],
+        queries: Mapping[str, str | CompiledQuery]
+        | Sequence[str | CompiledQuery],
+        *,
+        chunksize: int = 1,
+        window: int | None = None,
+    ) -> Iterator[dict[str, PoolResult]]:
+        """Ordered, backpressured *multi-query* evaluation of many documents.
+
+        Every document is evaluated against all ``queries`` in a single
+        token pass (the :class:`~repro.engine.multi.MultiQuerySession`
+        engine); the pool contributes its executor, window backpressure
+        and ordered delivery.  Yields one ``{name: PoolResult}`` dict per
+        document, in input order.  The queries are compiled exactly once
+        here; each worker thread then keeps its own warm
+        ``MultiQuerySession`` over the shared compiled artifacts (a multi
+        session is single-client, so sessions are thread-local rather
+        than shared).
+
+        The pool's own compiled query is *not* implicitly included —
+        ``queries`` is the complete standing set.  Run counting feeds the
+        pool statistics (one run per query per document); the live buffer
+        aggregates are tracked per multi-session, not pool-wide.  Thread
+        executors only: process workers would re-compile per process,
+        which :meth:`map` with one query already covers.
+        """
+        from repro.engine.multi import MultiQuerySession
+
+        if self.executor_kind == "process":
+            raise RuntimeError(
+                "map_multi requires a thread executor: the shared compiled "
+                "artifacts live in this process"
+            )
+        if isinstance(queries, Mapping):
+            named = list(queries.items())
+        else:
+            named = [(f"q{i}", query) for i, query in enumerate(queries)]
+        compiled: dict[str, CompiledQuery] = {
+            name: (
+                query
+                if isinstance(query, CompiledQuery)
+                else compile_query(query, self.options.compile_options())
+            )
+            for name, query in named
+        }
+        executor = self._ensure_executor()
+        local = threading.local()
+
+        def serve_chunk(chunk: list[str | Path]) -> list[dict[str, PoolResult]]:
+            session: MultiQuerySession | None = getattr(local, "session", None)
+            if session is None:
+                session = MultiQuerySession(compiled, self.options)
+                local.session = session
+            served = []
+            for document in chunk:
+                results = session.run(document)
+                served.append(
+                    {
+                        name: PoolResult.from_run(result)
+                        for name, result in results.items()
+                    }
+                )
+            return served
+
+        def submit_chunk(chunk: list[str | Path]) -> Future:
+            with self._lock:
+                if self._closed or self._closing:
+                    raise RuntimeError("SessionPool is closed")
+            self._accountant.remote_runs_started(len(chunk) * len(compiled))
+            future = executor.submit(serve_chunk, chunk)
+            future.add_done_callback(
+                partial(self._count_remote, len(chunk) * len(compiled))
+            )
+            return future
+
+        return self._windowed(documents, chunksize, window, submit_chunk)
+
+    def _windowed(
+        self,
+        documents: Iterable[str | Path],
+        chunksize: int,
+        window: int | None,
+        submit_chunk: Callable[[list[str | Path]], Future],
+    ) -> Iterator:
+        """The shared ordered/backpressured chunk pump of map and map_multi."""
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        window = window if window is not None else 2 * self.max_workers
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+
+        def generate() -> Iterator:
             source = iter(documents)
             pending: deque[Future] = deque()
             exhausted = False

@@ -54,8 +54,24 @@ __all__ = [
     "StreamingRun",
     "QuerySession",
     "build_streaming_run",
+    "document_tokens",
     "drain_streaming_run",
 ]
+
+
+def document_tokens(document: str | Path | Iterator[Token]) -> Iterator[Token]:
+    """Normalize a document argument into a token stream.
+
+    Text is tokenized in memory, a :class:`~pathlib.Path` through the
+    chunked file tokenizer with bounded memory, and any other iterator is
+    passed through untouched.
+    """
+    if isinstance(document, str):
+        return tokenize(document)
+    if isinstance(document, Path):
+        return tokenize_file(document)
+    return document
+
 
 class RunOwner(Protocol):
     """What a :class:`StreamingRun` needs from whoever started it.
@@ -402,6 +418,29 @@ class QuerySession:
         the session's checkout bookkeeping is single-client by design —
         use :class:`~repro.engine.pool.SessionPool` for concurrent serving.
         """
+        buffer, matcher = self._begin_streaming_run()
+        try:
+            return build_streaming_run(
+                self, document, buffer, matcher, on_event=on_event
+            )
+        except BaseException:
+            # The run's release guard does not exist yet (it is the last
+            # thing StreamingRun.__init__ creates), so a construction
+            # failure must hand the checkout back here or the in-flight
+            # accounting would wedge every other thread forever.
+            self._on_run_closed(buffer)
+            raise
+
+    def _begin_streaming_run(self) -> tuple[BufferTree, StreamMatcher]:
+        """Check out (buffer, matcher) for one new streaming run.
+
+        The in-flight accounting half of :meth:`run_streaming`, shared
+        with the multi-query engine (which wires its own preprojection
+        before constructing the :class:`StreamingRun`).  The caller owns
+        the checkout until a run's release guard exists: a construction
+        failure in between must hand it back through
+        :meth:`_on_run_closed` or the session wedges.
+        """
         reap_dropped_runs(self)  # settle abandoned runs before the lock
         ident = threading.get_ident()
         with self._lock:
@@ -416,17 +455,7 @@ class QuerySession:
             self._active_streams += 1
             buffer = self._acquire_buffer_locked()
             matcher = self._acquire_matcher_locked()
-        try:
-            return build_streaming_run(
-                self, document, buffer, matcher, on_event=on_event
-            )
-        except BaseException:
-            # The run's release guard does not exist yet (it is the last
-            # thing StreamingRun.__init__ creates), so a construction
-            # failure must hand the checkout back here or the in-flight
-            # accounting would wedge every other thread forever.
-            self._on_run_closed(buffer)
-            raise
+        return buffer, matcher
 
     # -- run-owner callbacks (invoked by StreamingRun exactly once) -----
 
@@ -501,12 +530,7 @@ def build_streaming_run(
     per-run state lives in the preprojector's frame stack), and the
     returned :class:`StreamingRun` reports back to ``owner`` exactly once.
     """
-    if isinstance(document, str):
-        tokens = tokenize(document)
-    elif isinstance(document, Path):
-        tokens = tokenize_file(document)
-    else:
-        tokens = document
+    tokens = document_tokens(document)
     preprojector = StreamPreprojector(
         tokens,
         owner.compiled.projection_tree,

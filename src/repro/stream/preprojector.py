@@ -10,6 +10,15 @@ Besides matching, the preprojector applies *pending cancellations*: role
 instances whose signOff already executed (while the region was unfinished)
 are subtracted at arrival, so post-scope arrivals do not retain roles
 forever (see docs/ARCHITECTURE.md).
+
+Since the multi-query engine, the per-query state machine lives in
+:class:`ProjectionLane` — the match-frame stack, open-element bookkeeping,
+buffering decisions and cancellation handling for *one* query.
+:class:`StreamPreprojector` is the N=1 composition: one token pump driving
+one lane.  The shared-stream dispatcher
+(:class:`~repro.stream.shared.SharedPreprojector`) drives N lanes from the
+same pump, which is what makes single-query evaluation literally the N=1
+case of the shared path.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from repro.stream.matcher import MatchFrame, StreamMatcher, Transition
 from repro.xmlio.tokens import EndTag, StartTag, Text, Token
 from repro.xquery.paths import Axis, Path, Step
 
-__all__ = ["StreamPreprojector"]
+__all__ = ["ProjectionLane", "StreamPreprojector"]
 
 
 @dataclass
@@ -38,19 +47,26 @@ class _OpenElement:
     attach: BufferNode  # nearest buffered ancestor
 
 
-class StreamPreprojector:
-    """Incremental projection of a token stream into the buffer."""
+class ProjectionLane:
+    """Projection of one query's view of a token stream into its buffer.
+
+    A lane owns all per-query dynamic state — the matcher frame stack, the
+    open-element stack, consumed-``[1]`` counts and pending-cancellation
+    application — but *not* the token source: the caller feeds it events
+    through :meth:`open`, :meth:`close`, :meth:`text` and
+    :meth:`finish_stream`.  One lane behind one tokenizer is the classic
+    single-query preprojector; N lanes behind one tokenizer is the shared
+    multi-query pass.
+    """
 
     def __init__(
         self,
-        tokens: Iterator[Token],
         tree: ProjectionTree,
         buffer: BufferTree,
         *,
         aggregate_roles: bool = True,
         matcher: StreamMatcher | None = None,
     ) -> None:
-        self._tokens = tokens
         self.buffer = buffer
         # A caller may pass a warm matcher (compile-once/run-many sessions
         # do): its lazily built transition table carries over, so repeated
@@ -80,38 +96,17 @@ class StreamPreprojector:
         self._frames: list[MatchFrame] = [root_frame]
         self._consumed_frames = 0
 
-    # ------------------------------------------------------------------
-
-    def pull(self) -> bool:
-        """Process one input token.  Returns False when input is exhausted."""
-        if self.exhausted:
-            return False
-        token = next(self._tokens, None)
-        if token is None:
-            self.exhausted = True
-            self.buffer.finish_document()
-            return False
-        self.buffer.stats.tokens_read += 1
-        if isinstance(token, StartTag):
-            self._open(token.tag)
-        elif isinstance(token, EndTag):
-            self._close()
-        elif isinstance(token, Text):
-            self._text(token.content)
-        return True
-
-    def run_to_completion(self) -> None:
-        """Project the whole input (the Galax-style, non-incremental mode)."""
-        while self.pull():
-            pass
-
     @property
     def depth(self) -> int:
         return len(self._stack) - 1
 
     # ------------------------------------------------------------------
+    # stream events
+    # ------------------------------------------------------------------
 
-    def _open(self, tag: str) -> None:
+    def open(self, tag: str) -> None:
+        """An opening tag was read for this lane."""
+        self.buffer.stats.tokens_read += 1
         frames = self._frames
         transition = self.matcher.match_token(
             frames, tag=tag, is_text=False, any_consumed=self._consumed_frames > 0
@@ -139,7 +134,9 @@ class StreamPreprojector:
             )
         )
 
-    def _close(self) -> None:
+    def close(self) -> None:
+        """The closing tag of the lane's deepest open element was read."""
+        self.buffer.stats.tokens_read += 1
         entry = self._stack.pop()
         frame = self._frames.pop()
         if frame.consumed:
@@ -147,7 +144,9 @@ class StreamPreprojector:
         if entry.buffer_node is not None:
             self.buffer.finish(entry.buffer_node)
 
-    def _text(self, content: str) -> None:
+    def text(self, content: str) -> None:
+        """A text token was read for this lane."""
+        self.buffer.stats.tokens_read += 1
         frames = self._frames
         transition = self.matcher.match_token(
             frames, tag=None, is_text=True, any_consumed=self._consumed_frames > 0
@@ -164,6 +163,33 @@ class StreamPreprojector:
             parent_entry,
             lambda attach: self.buffer.new_text(attach, content),
         )
+
+    def finish_stream(self) -> None:
+        """The shared input ended: the lane's document node is finished."""
+        self.exhausted = True
+        self.buffer.finish_document()
+
+    # ------------------------------------------------------------------
+    # routing support (the shared dispatcher's skip decision)
+    # ------------------------------------------------------------------
+
+    def subtree_dead(self) -> bool:
+        """Can the subtree of the just-opened element be withheld entirely?
+
+        True when the element was not preserved and its frame carries no
+        exact or cumulative matches: every per-query effect — child/
+        descendant contributions, role assignment, the promotion guard,
+        aggregate coverage — derives from those multisets, so nothing in
+        the subtree can ever concern this lane.  (Not-preserved implies
+        not covered by an aggregate scope, which is what licenses dropping
+        the descendants too.)  The caller must then also withhold the
+        matching close event *except* the one that pops this element.
+        """
+        entry = self._stack[-1]
+        if entry.buffer_node is not None:
+            return False
+        frame = entry.frame
+        return not frame.matches and not frame.cumulative
 
     # ------------------------------------------------------------------
 
@@ -240,6 +266,71 @@ class StreamPreprojector:
         if cancelled_total:
             self.buffer.stats.on_cancelled(cancelled_total)
         return normal, aggregate, cancelled_total
+
+
+class StreamPreprojector:
+    """Incremental projection of a token stream into the buffer.
+
+    The N=1 composition of the shared-stream architecture: one token pump
+    (this class) driving one :class:`ProjectionLane`.  All matching,
+    buffering and cancellation behaviour lives in the lane; the public
+    surface (``pull``, ``run_to_completion``, ``exhausted``, ``depth``,
+    ``matcher``, ``buffer``) is unchanged from the single-query engine.
+    """
+
+    def __init__(
+        self,
+        tokens: Iterator[Token],
+        tree: ProjectionTree,
+        buffer: BufferTree,
+        *,
+        aggregate_roles: bool = True,
+        matcher: StreamMatcher | None = None,
+    ) -> None:
+        self._tokens = tokens
+        self._lane = ProjectionLane(
+            tree, buffer, aggregate_roles=aggregate_roles, matcher=matcher
+        )
+
+    @property
+    def buffer(self) -> BufferTree:
+        return self._lane.buffer
+
+    @property
+    def matcher(self) -> StreamMatcher:
+        return self._lane.matcher
+
+    @property
+    def exhausted(self) -> bool:
+        return self._lane.exhausted
+
+    @property
+    def depth(self) -> int:
+        return self._lane.depth
+
+    # ------------------------------------------------------------------
+
+    def pull(self) -> bool:
+        """Process one input token.  Returns False when input is exhausted."""
+        lane = self._lane
+        if lane.exhausted:
+            return False
+        token = next(self._tokens, None)
+        if token is None:
+            lane.finish_stream()
+            return False
+        if isinstance(token, StartTag):
+            lane.open(token.tag)
+        elif isinstance(token, EndTag):
+            lane.close()
+        elif isinstance(token, Text):
+            lane.text(token.content)
+        return True
+
+    def run_to_completion(self) -> None:
+        """Project the whole input (the Galax-style, non-incremental mode)."""
+        while self.pull():
+            pass
 
 
 def _count_embeddings(path: Path, sequence: list[str | None], is_text: bool) -> int:

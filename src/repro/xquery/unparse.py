@@ -147,7 +147,10 @@ def _pretty(expr: Expr, depth: int, indent: int) -> str:
     if isinstance(expr, IfThenElse):
         then_branch = _pretty(expr.then_branch, depth + 1, indent)
         if isinstance(expr.else_branch, Empty):
-            return f"{pad}if ({unparse_condition(expr.cond)}) then\n{then_branch}\n{pad}else ()"
+            return (
+                f"{pad}if ({unparse_condition(expr.cond)}) then\n"
+                f"{then_branch}\n{pad}else ()"
+            )
         else_branch = _pretty(expr.else_branch, depth + 1, indent)
         return (
             f"{pad}if ({unparse_condition(expr.cond)}) then\n{then_branch}\n"

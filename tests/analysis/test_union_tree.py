@@ -1,0 +1,115 @@
+"""Union projection trees: merging, masks, and the merged signoff table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_union_projection, compile_query
+from repro.xmark.queries import XMARK_QUERIES
+
+
+def union_of(*texts: str):
+    trees = [compile_query(text).projection_tree for text in texts]
+    return build_union_projection(trees)
+
+
+class TestMerging:
+    def test_identical_queries_merge_completely(self):
+        query = "<o>{for $a in /r/a return $a/b}</o>"
+        union = union_of(query, query)
+        # Every union node is shared by both queries...
+        assert all(node.mask == 0b11 for node in union.all_nodes())
+        # ...so the union is no larger than one query's tree.
+        assert union.node_count() == union.trees[0].node_count()
+        assert union.shared_node_count() == union.node_count()
+
+    def test_disjoint_queries_share_only_the_root_path(self):
+        union = union_of(
+            "<o>{for $a in /r/a return $a}</o>",
+            "<o>{for $b in /r/b return $b}</o>",
+        )
+        shared = [node for node in union.all_nodes() if node.shared]
+        # The root and the common /r step (both queries loop from /r).
+        assert all(node.step is None or str(node.step) == "r" for node in shared)
+        assert union.node_count() < union.separate_node_count()
+
+    def test_steps_differing_only_in_first_flag_stay_separate(self):
+        union = union_of(
+            "<o>{for $a in /r/a return if (exists $a/b) then <h/> else ()}</o>",
+            "<o>{for $a in /r/a return $a/b}</o>",
+        )
+        b_steps = [
+            node
+            for node in union.all_nodes()
+            if node.step is not None and str(node.step.test) == "b"
+        ]
+        firsts = {node.step.first for node in b_steps}
+        # The existence check consumes b[1]; the output path does not —
+        # they must not merge, or routing would conflate their semantics.
+        assert firsts == {True, False}
+
+    def test_masks_cover_each_query_exactly(self):
+        names = ["Q1", "Q6", "Q13"]
+        union = union_of(*(XMARK_QUERIES[name].adapted for name in names))
+        assert union.query_count == 3
+        assert union.full_mask == 0b111
+        assert union.root.mask == 0b111
+        for index, tree in enumerate(union.trees):
+            contributed = [
+                node
+                for node in union.all_nodes()
+                if any(qi == index for qi, _src in node.sources)
+            ]
+            # Every non-root node of the per-query tree appears exactly once
+            # among the union sources of that query.
+            assert len(contributed) == tree.node_count()
+
+    def test_empty_input_is_rejected(self):
+        with pytest.raises(ValueError, match="at least one tree"):
+            build_union_projection([])
+
+
+class TestSignoffTable:
+    def test_release_entries_match_per_query_roles(self):
+        union = union_of(
+            XMARK_QUERIES["Q1"].adapted, XMARK_QUERIES["Q13"].adapted
+        )
+        table = union.release_table()
+        # Every (query, role) pair appears exactly once across the table.
+        seen = [(qi, role.name) for _node, entries in table for qi, role in entries]
+        assert len(seen) == len(set(seen))
+        per_query = [
+            sum(1 for qi, _name in seen if qi == index) for index in range(2)
+        ]
+        for index, tree in enumerate(union.trees):
+            displayed_roles = sum(
+                1 for node in tree.all_nodes() if node.role is not None
+            )
+            assert per_query[index] == displayed_roles
+
+    def test_shared_positions_list_all_interested_queries(self):
+        """The merged release rule: /site is held until *both* sign off."""
+        union = union_of(
+            XMARK_QUERIES["Q1"].adapted, XMARK_QUERIES["Q6"].adapted
+        )
+        site = next(
+            node
+            for node in union.all_nodes()
+            if node.step is not None and str(node.step) == "site"
+        )
+        assert site.mask == 0b11
+        assert sorted(qi for qi, _role in site.releases) == [0, 1]
+
+
+class TestRendering:
+    def test_format_labels_masks_with_query_names(self):
+        union = union_of(
+            XMARK_QUERIES["Q1"].adapted, XMARK_QUERIES["Q6"].adapted
+        )
+        rendered = union.format(["Q1", "Q6"])
+        assert "site {Q1,Q6}" in rendered
+        assert "signoff[" in rendered
+
+    def test_format_defaults_to_positional_labels(self):
+        union = union_of("<o>{for $a in /r/a return $a}</o>")
+        assert "q0" in union.format()

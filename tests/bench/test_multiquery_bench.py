@@ -1,0 +1,55 @@
+"""The multi-query benchmark: report invariants and gate wiring."""
+
+from __future__ import annotations
+
+from repro.bench.baseline import FLOORS
+from repro.bench.multiquery import (
+    MULTIQUERY_MIX,
+    format_multiquery_report,
+    run_multiquery_benchmark,
+)
+
+
+class TestReport:
+    def test_report_invariants_on_a_small_document(self, xmark_doc_small):
+        report = run_multiquery_benchmark(
+            xmark_doc_small, repeats=1
+        )
+        assert report.query_count == len(MULTIQUERY_MIX) == 8
+        assert report.single_scan  # the gated invariant
+        assert report.shared_tokens_read == report.document_tokens
+        assert 0.0 < report.route_share < 1.0
+        assert report.speedup > 0
+        assert report.peak_live_nodes > 0
+
+    def test_cross_check_runs_before_timing(self, xmark_doc_small):
+        """The benchmark is its own oracle: divergence must raise."""
+        # Run with a single benign query to keep this fast; the oracle
+        # path (sequential outputs vs shared outputs) executes either way.
+        report = run_multiquery_benchmark(
+            xmark_doc_small,
+            queries={"Q1": MULTIQUERY_MIX["Q1"]},
+            repeats=1,
+        )
+        assert report.query_count == 1
+
+    def test_format_mentions_the_scan_invariant(self, xmark_doc_small):
+        report = run_multiquery_benchmark(
+            xmark_doc_small, queries={"Q1": MULTIQUERY_MIX["Q1"]}, repeats=1
+        )
+        rendered = format_multiquery_report(report)
+        assert "one scan" in rendered
+        assert "standing queries" in rendered
+
+
+class TestGateWiring:
+    def test_hard_floors_cover_the_acceptance_criteria(self):
+        assert FLOORS["multiquery_speedup_k8"] == 2.0
+        assert FLOORS["multiquery_single_scan"] == 1.0
+
+    def test_mix_excludes_the_quadratic_join(self):
+        """Q8 dominates both sides of the ratio; it must stay out of the
+        timed mix (its shared-pass correctness is covered by the golden
+        differential suite instead)."""
+        assert "Q8" not in MULTIQUERY_MIX
+        assert len(MULTIQUERY_MIX) == 8

@@ -274,6 +274,58 @@ class TestMapSemantics:
                 list(pool.map(["<site/>"], window=0))
 
 
+class TestMapMulti:
+    QUERIES = {
+        "Q1": Q1,
+        "Q17": XMARK_QUERIES["Q17"].adapted,
+        "Q20": XMARK_QUERIES["Q20"].adapted,
+    }
+
+    def test_map_multi_is_ordered_and_correct(self):
+        docs = serving_documents(12)
+        sequential = {
+            name: QuerySession(text) for name, text in self.QUERIES.items()
+        }
+        with SessionPool(Q1, max_workers=STRESS_WORKERS) as pool:
+            rows = list(pool.map_multi(docs, self.QUERIES, chunksize=2))
+        assert len(rows) == len(docs)
+        for doc, row in zip(docs, rows):
+            assert set(row) == set(self.QUERIES)
+            for name, session in sequential.items():
+                assert row[name].output == session.run(doc).output
+
+    def test_map_multi_counts_runs_per_query(self):
+        docs = serving_documents(6)
+        with SessionPool(Q1, max_workers=2) as pool:
+            list(pool.map_multi(docs, self.QUERIES))
+            stats = pool.stats
+        assert stats.runs_started == len(docs) * len(self.QUERIES)
+        assert stats.runs_completed == stats.runs_started
+
+    def test_map_multi_accepts_sequences_and_compiled(self):
+        from repro.analysis import compile_query
+
+        compiled = compile_query(Q1)
+        docs = serving_documents(3)
+        with SessionPool(Q1, max_workers=2) as pool:
+            rows = list(pool.map_multi(docs, [compiled]))
+        sequential = QuerySession(Q1)
+        assert [row["q0"].output for row in rows] == [
+            sequential.run(doc).output for doc in docs
+        ]
+
+    def test_map_multi_rejects_process_executor(self):
+        with SessionPool(Q1, executor="process", max_workers=2) as pool:
+            with pytest.raises(RuntimeError, match="thread executor"):
+                pool.map_multi(["<site/>"], self.QUERIES)
+
+    def test_map_multi_after_close_raises(self):
+        pool = SessionPool(Q1, max_workers=2)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            list(pool.map_multi(["<site/>"], self.QUERIES))
+
+
 class TestProcessExecutor:
     def test_process_pool_matches_sequential(self):
         docs = serving_documents(6)

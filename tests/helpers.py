@@ -121,7 +121,8 @@ CORPUS: list[tuple[str, str, str]] = [
     ),
     (
         "boolean-logic",
-        '<out>{for $x in /r/i return if ((exists $x/a and exists $x/b) or not(exists $x/c)) '
+        "<out>{for $x in /r/i return "
+        "if ((exists $x/a and exists $x/b) or not(exists $x/c)) "
         "then <t/> else <f/>}</out>",
         "<r><i><a/><b/></i><i><c/></i><i><a/><c/></i><i/></r>",
     ),

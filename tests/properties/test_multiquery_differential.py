@@ -1,0 +1,112 @@
+"""Multi-query differential properties: shared pass == sequential runs.
+
+The multi-query engine's contract is purely observational: evaluating N
+queries in one shared scan must be byte-identical, query by query, to N
+independent single-query sessions (and therefore, by Theorem 1, to the
+DOM oracle).  Two generators drive it:
+
+* random *subsets and orderings* of the adapted XMark queries over the
+  committed golden document — realistic standing-query mixes, including
+  the Q8 join, stressing the union tree and the bitmask routing on real
+  benchmark shapes;
+* random synthetic (queries, document) pairs from the grammar-directed
+  strategies — descendant axes, ``[1]`` consumption and promotion-guard
+  clashes under arbitrary tree shapes, where a routing bug would show up
+  as a missing or extra token in exactly one lane.
+
+Both also assert the single-scan invariant: however many queries ride
+along, the shared pass reads the document's token stream exactly once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import MultiQuerySession, QuerySession
+from repro.xmark.queries import XMARK_QUERIES
+from repro.xmlio.lexer import tokenize
+
+from tests.properties.strategies import documents, queries
+
+FAST = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+GOLDEN_DOC = (
+    Path(__file__).parent.parent / "engine" / "goldens" / "document.xml"
+).read_text(encoding="utf-8")
+
+#: Sequential-run oracles, compiled once per process (the property then
+#: re-runs warm sessions, exactly like a serving deployment would).
+_XMARK_SESSIONS = {
+    name: QuerySession(query.adapted) for name, query in XMARK_QUERIES.items()
+}
+
+
+class TestXMarkSubsets:
+    @FAST
+    @given(
+        names=st.lists(
+            st.sampled_from(sorted(XMARK_QUERIES)),
+            min_size=1,
+            max_size=len(XMARK_QUERIES),
+            unique=True,
+        )
+    )
+    def test_random_subset_matches_sequential_runs(self, names):
+        session = MultiQuerySession(
+            {name: XMARK_QUERIES[name].adapted for name in names}
+        )
+        stream = session.run_streaming(GOLDEN_DOC)
+        from repro.xmlio import StringSink
+
+        sinks = {name: StringSink() for name in names}
+        for name, token in stream:
+            sinks[name].write(token)
+        for name in names:
+            sinks[name].close()
+            assert (
+                sinks[name].getvalue()
+                == _XMARK_SESSIONS[name].run(GOLDEN_DOC).output
+            ), name
+        assert stream.stats.tokens_read == sum(
+            1 for _token in tokenize(GOLDEN_DOC)
+        )
+
+
+class TestSyntheticQueries:
+    @FAST
+    @given(
+        query_texts=st.lists(queries(max_depth=2), min_size=1, max_size=3),
+        document=documents(),
+    )
+    def test_random_queries_match_sequential_runs(self, query_texts, document):
+        named = {f"q{i}": text for i, text in enumerate(query_texts)}
+        results = MultiQuerySession(named).run(document)
+        for name, text in named.items():
+            assert results[name].output == QuerySession(text).run(document).output
+
+    @FAST
+    @given(
+        query_texts=st.lists(queries(max_depth=2), min_size=2, max_size=4),
+        document=documents(max_depth=5),
+    )
+    def test_single_scan_on_deep_documents(self, query_texts, document):
+        named = {f"q{i}": text for i, text in enumerate(query_texts)}
+        session = MultiQuerySession(named)
+        stream = session.run_streaming(document)
+        for _pair in stream:
+            pass
+        # Demand-driven runs may stop early (queries that never pull read
+        # nothing) — the invariant is that the shared pass never reads
+        # *more* than one scan, however many queries ride along.
+        assert stream.stats.tokens_read <= sum(
+            1 for _token in tokenize(document)
+        )
+        for name, result in stream.results.items():
+            assert result.stats.role_accounting_balanced(), name

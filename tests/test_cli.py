@@ -172,3 +172,74 @@ class TestServeBatch:
         argv = ["serve-batch", str(query), str(docs[0]), "--chunksize", "0"]
         assert main(argv) == 2
         assert "--chunksize" in capsys.readouterr().err
+
+
+class TestRunMulti:
+    @pytest.fixture
+    def multi(self, tmp_path):
+        names = tmp_path / "names.xq"
+        names.write_text(
+            "<names>{for $b in /bib/book return $b/title/text()}</names>"
+        )
+        count = tmp_path / "isbns.xq"
+        count.write_text(
+            "<isbns>{for $b in /bib/book return $b/isbn/text()}</isbns>"
+        )
+        doc = tmp_path / "d.xml"
+        doc.write_text(
+            "<bib><book><title>T1</title><isbn>111</isbn></book>"
+            "<book><title>T2</title><isbn>222</isbn></book></bib>"
+        )
+        return names, count, doc
+
+    def test_sections_per_query_in_order(self, multi, capsys):
+        names, isbns, doc = multi
+        assert main(["run-multi", str(names), str(isbns), "-d", str(doc)]) == 0
+        out = capsys.readouterr().out
+        assert out.index("== names ==") < out.index("== isbns ==")
+        assert "<names>T1T2</names>" in out
+        assert "<isbns>111222</isbns>" in out
+
+    def test_matches_single_query_runs(self, multi, capsys):
+        names, isbns, doc = multi
+        assert main(["run", str(names), str(doc)]) == 0
+        expected_names = capsys.readouterr().out.strip()
+        assert main(["run-multi", str(names), str(isbns), "-d", str(doc)]) == 0
+        assert expected_names in capsys.readouterr().out
+
+    def test_stats_report_one_scan(self, multi, capsys):
+        names, isbns, doc = multi
+        argv = ["run-multi", str(names), str(isbns), "-d", str(doc), "--stats"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "one scan" in err
+        assert "saved by routing" in err
+
+    def test_union_flag_prints_masks(self, multi, capsys):
+        names, isbns, doc = multi
+        argv = ["run-multi", str(names), str(isbns), "-d", str(doc), "--union"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "union projection tree" in out
+        assert "{names,isbns}" in out
+
+    def test_multiple_documents_are_labelled(self, multi, capsys):
+        names, isbns, doc = multi
+        other = doc.parent / "d2.xml"
+        other.write_text("<bib><book><title>U</title><isbn>3</isbn></book></bib>")
+        argv = ["run-multi", str(names), str(isbns), "-d", str(doc), "-d", str(other)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"# {doc}" in out
+        assert f"# {other}" in out
+        assert "<names>U</names>" in out
+
+    def test_duplicate_query_names_rejected(self, multi, tmp_path, capsys):
+        names, _isbns, doc = multi
+        clash_dir = tmp_path / "other"
+        clash_dir.mkdir()
+        clash = clash_dir / "names.xq"
+        clash.write_text("<x>{()}</x>")
+        argv = ["run-multi", str(names), str(clash), "-d", str(doc)]
+        assert main(argv) == 2
+        assert "duplicate" in capsys.readouterr().err

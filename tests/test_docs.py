@@ -32,6 +32,7 @@ class TestDocFilesExist:
         """Any `gcx <word>` in the docs must be a real CLI subcommand."""
         known = {
             "run",
+            "run-multi",
             "serve-batch",
             "analyze",
             "table1",

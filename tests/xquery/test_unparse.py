@@ -15,15 +15,15 @@ ROUNDTRIP_CASES = [
     "($a, $b, $c)",
     "for $x in $y/a return $x",
     "for $x in $root/bib return for $y in $x/* return $y",
-    'if (exists($x/price)) then $x else ()',
+    "if (exists($x/price)) then $x else ()",
     'if ($x/id = "p0") then $x/name else ()',
     "if (not(exists($x/a))) then <t/> else <f/>",
-    'if ((exists($x/a) and exists($x/b)) or true()) then $x else ()',
+    "if ((exists($x/a) and exists($x/b)) or true()) then $x else ()",
     "signOff($x, r3)",
     "signOff($x/price[1], r4)",
     "signOff($x/dos::node(), r5)",
     "signOff($b/title/dos::node(), r7)",
-    'if ($a/k <= $b/k) then <m/> else ()',
+    "if ($a/k <= $b/k) then <m/> else ()",
 ]
 
 

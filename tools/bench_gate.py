@@ -100,6 +100,7 @@ def main() -> int:
     else:
         print(f"running quick benchmark suite ({args.doc_bytes} byte document)...")
         fresh = run_quick_suite(target_bytes=args.doc_bytes, seed=args.seed)
+
         def floor_margin(run: dict) -> float:
             return min(
                 (
@@ -122,6 +123,7 @@ def main() -> int:
                 fresh = retry
         for metric in fresh.values():
             print(f"  {metric.name}: {metric.value:.4g} {metric.unit}")
+
     def persist(target: Path) -> None:
         if args.fresh is not None:
             # Copy the recording verbatim: re-saving would stamp it with

@@ -35,6 +35,7 @@ REQUIRED_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/CLI.md",
     "docs/CONCURRENCY.md",
+    "docs/MULTIQUERY.md",
     "docs/PERFORMANCE.md",
     "examples/README.md",
 ]
@@ -119,7 +120,16 @@ def _known_subcommands() -> set[str]:
     sys.path.insert(0, str(SRC))
     from repro.cli import main  # noqa: F401  (import validates the module)
 
-    return {"run", "analyze", "table1", "xmark", "ablations", "dtd"}
+    return {
+        "run",
+        "run-multi",
+        "serve-batch",
+        "analyze",
+        "table1",
+        "xmark",
+        "ablations",
+        "dtd",
+    }
 
 
 def main() -> int:
