@@ -71,7 +71,7 @@ from repro.xmlio import (
 )
 from repro.xquery import parse_query, unparse
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "GCXEngine",

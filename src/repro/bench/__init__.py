@@ -28,6 +28,12 @@ from repro.bench.multiquery import (
     format_multiquery_report,
     run_multiquery_benchmark,
 )
+from repro.bench.serving import (
+    ServingPoint,
+    ServingReport,
+    format_serving_report,
+    run_serving_benchmark,
+)
 from repro.bench.harness import (
     DEFAULT_ENGINES,
     HarnessConfig,
@@ -57,6 +63,10 @@ __all__ = [
     "MultiQueryReport",
     "run_multiquery_benchmark",
     "format_multiquery_report",
+    "ServingPoint",
+    "ServingReport",
+    "run_serving_benchmark",
+    "format_serving_report",
     "ABLATION_CONFIGS",
     "AblationCell",
     "run_ablations",

@@ -34,6 +34,7 @@ from pathlib import Path
 
 from repro.bench.concurrency import run_concurrency_benchmark
 from repro.bench.multiquery import run_multiquery_benchmark
+from repro.bench.serving import run_serving_benchmark
 from repro.engine.session import QuerySession
 from repro.stream.preprojector import StreamPreprojector
 from repro.buffer.buffer import BufferTree
@@ -300,6 +301,26 @@ def run_quick_suite(
         "pool_aggregate_hwm_nodes_4w",
         float(four.peak_live_nodes),
         "nodes",
+        higher_is_better=False,
+        machine_dependent=True,
+    )
+
+    # -- network serving: gcx serve over real sockets -------------------
+    # The full serving path (framing, thread-to-loop bridge, real TCP) at
+    # the 4-client point; docs/s is tracked, p99 TTFB loosely gated —
+    # both machine-dependent, so foreign hosts warn instead of failing.
+    serving = run_serving_benchmark(client_counts=(4,), docs_per_client=16)
+    served = serving.point(4)
+    add(
+        "serving_docs_per_s",
+        served.docs_per_second,
+        "docs/s",
+        machine_dependent=True,
+    )
+    add(
+        "serving_p99_ttfb_ms",
+        served.ttfb_p99_ms,
+        "ms",
         higher_is_better=False,
         machine_dependent=True,
     )

@@ -5,6 +5,7 @@ Subcommands (see docs/CLI.md for sample output)::
     gcx run QUERY.xq DOC.xml [DOC.xml ...]         evaluate a query
     gcx run-multi Q.xq [Q.xq ...] -d DOC.xml       N queries, one shared scan
     gcx serve-batch QUERY.xq DOC.xml [...]         concurrent pool evaluation
+    gcx serve [--port N] [--workers N]             network query server
     gcx analyze QUERY.xq                           show the static analysis
     gcx table1 [--sizes 256k,1m] [--engines ...]   reproduce Table 1
     gcx xmark SCALE [--seed N] [-o FILE]           generate a document
@@ -96,6 +97,47 @@ def main(argv: list[str] | None = None) -> int:
         help="print per-document and pool-wide aggregate stats to stderr",
     )
 
+    net_p = sub.add_parser(
+        "serve",
+        help="serve standing queries over the NDJSON line protocol "
+        "(docs/SERVING.md); drains gracefully on SIGTERM",
+    )
+    net_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    net_p.add_argument(
+        "--port",
+        type=int,
+        default=7733,
+        help="bind port; 0 picks an ephemeral port (default 7733)",
+    )
+    net_p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="evaluation threads shared by all connections (default 4)",
+    )
+    net_p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request wall-clock ceiling in seconds; 0 disables "
+        "(default 30)",
+    )
+    net_p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=0.0,
+        help="ceiling on completing one frame line, in seconds (slow-loris "
+        "guard); 0 disables (default 0)",
+    )
+    net_p.add_argument(
+        "--max-doc-bytes",
+        type=int,
+        default=None,
+        help="per-document size ceiling in bytes (default 8 MiB)",
+    )
+
     multi_p = sub.add_parser(
         "run-multi",
         help="evaluate many queries over each document in one shared scan",
@@ -152,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "serve-batch":
         return _cmd_serve_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "run-multi":
         return _cmd_run_multi(args)
     if args.command == "analyze":
@@ -275,6 +319,37 @@ def _cmd_serve_batch(args) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """The network front-end: standing queries over NDJSON frames.
+
+    Blocks until SIGTERM/SIGINT, then drains gracefully: in-flight
+    passes finish, idle connections get a ``bye`` frame, and every
+    standing query's pool is closed with its checkouts settled.
+    """
+    from repro.serve import ServeConfig, run_server
+
+    if args.workers < 1:
+        print("ERROR: --workers must be >= 1", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        eval_workers=args.workers,
+        request_timeout=args.timeout if args.timeout > 0 else None,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        **(
+            {"max_document_bytes": args.max_doc_bytes}
+            if args.max_doc_bytes is not None
+            else {}
+        ),
+    )
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr, flush=True)
+
+    return run_server(config, log=log)
 
 
 def _cmd_run_multi(args) -> int:

@@ -138,6 +138,11 @@ class PoolStats:
     peak_live_nodes: int
     peak_live_bytes: int
     buffers_created: int
+    #: Buffers currently held by in-flight (or leaked) runs — the number
+    #: the serving layer's RunOwner invariant drives to zero after every
+    #: fault.  The snapshot reaps abandoned runs first, so a run whose
+    #: guard was discarded no longer counts here.
+    outstanding_checkouts: int = 0
 
     def summary(self) -> str:
         if self.executor == "process":
@@ -294,6 +299,9 @@ class SessionPool:
         # id from ever aliasing a recycled address, so a leaked checkout
         # stays a diagnosable leak instead of a spurious violation.
         self._lock = threading.Lock()
+        # Rides the same lock; notified whenever the checkout registry
+        # empties, so wait_idle() can block instead of spinning.
+        self._drain_cond = threading.Condition(self._lock)
         self._idle_buffers: list[BufferTree] = []
         self._checked_out: dict[int, tuple[int, BufferTree]] = {}
         # Abandoned runs queue their release guards here from GC-safe
@@ -343,6 +351,7 @@ class SessionPool:
                 peak_live_nodes=acct.peak_live_nodes,
                 peak_live_bytes=acct.peak_live_bytes,
                 buffers_created=self._buffers_created,
+                outstanding_checkouts=len(self._checked_out),
             )
 
     # -- lifecycle ------------------------------------------------------
@@ -363,8 +372,54 @@ class SessionPool:
             self._executor = None
         if executor is not None:
             executor.shutdown(wait=True)
+            if self.executor_kind == "process":
+                # Remote run counters are recorded by future callbacks,
+                # which may lag shutdown by an instant; settle them so the
+                # counters are exact once close() returns, as documented.
+                # Bounded: with the executor drained and _closing set, no
+                # new remote runs can start.
+                acct = self._accountant
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    with acct._lock:
+                        settled = (
+                            acct.runs_completed + acct.runs_abandoned
+                            >= acct.runs_started
+                        )
+                    if settled:
+                        break
+                    time.sleep(0.001)
         with self._lock:
             self._closed = True
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no buffer is checked out; ``True`` when idle.
+
+        The serving layer's drain hook: after the front-end stops feeding
+        a pool, this waits for the in-flight runs to settle — including
+        abandoned ones, whose guards release through ``_dropped_runs``
+        (reaped here, since a discarded guard sends no notification).
+        Blocking, so an asyncio caller runs it via ``run_in_executor``.
+        Returns ``False`` if ``timeout`` elapsed with checkouts still
+        outstanding.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            reap_dropped_runs(self)
+            with self._drain_cond:
+                if not self._checked_out:
+                    return True
+                # Cap each wait: abandoned-run releases arrive through the
+                # reap above, not through a notify.
+                wait = 0.05
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    wait = min(wait, remaining)
+                self._drain_cond.wait(wait)
 
     def __enter__(self) -> "SessionPool":
         return self
@@ -640,8 +695,10 @@ class SessionPool:
     def _release_buffer(self, buffer: BufferTree, *, completed: bool) -> None:
         stats = buffer.stats
         stats.accountant = None  # no further deltas from this run
-        with self._lock:
+        with self._drain_cond:
             entry = self._checked_out.pop(id(buffer), None)
+            if not self._checked_out:
+                self._drain_cond.notify_all()
         if entry is None:
             raise RuntimeError(
                 "buffer release violation: buffer was not checked out"

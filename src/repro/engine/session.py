@@ -446,10 +446,13 @@ class QuerySession:
         with self._lock:
             if self._active_streams and self._stream_owner != ident:
                 raise RuntimeError(
-                    "QuerySession has a streaming run in flight on another "
-                    "thread; a session's matcher/buffer checkout is "
-                    "single-client.  Use repro.engine.pool.SessionPool for "
-                    "concurrent evaluation."
+                    "QuerySession has a streaming run in flight on thread "
+                    f"{self._stream_owner} (this is thread {ident}); a "
+                    "session's matcher/buffer checkout is single-client.  "
+                    "For concurrent evaluation share one "
+                    "repro.engine.pool.SessionPool across threads, or serve "
+                    "clients over the network with `gcx serve` "
+                    "(repro.serve)."
                 )
             self._stream_owner = ident
             self._active_streams += 1

@@ -1,0 +1,767 @@
+"""The asyncio streaming query server behind ``gcx serve``.
+
+One :class:`QueryServer` owns a registry of *standing queries*: each
+distinct query text (keyed by its whitespace-normalized form) gets one
+:class:`~repro.engine.pool.SessionPool`, compiled exactly once and shared
+by every connection that registers it.  Evaluation passes run on a small
+thread pool — the engine is synchronous by design — and their output is
+bridged back onto the event loop through a bounded queue, one fragment at
+a time, so the paper's incremental-output property survives the network
+hop: the first result frame leaves the socket while the document is still
+being consumed.
+
+Backpressure holds end to end, in both directions:
+
+* *client -> server*: a connection handles one frame at a time and does
+  not read from its socket while a pass is in flight, so TCP flow
+  control pushes back on a fast producer; the stream reader's byte limit
+  (``max_frame_bytes``) bounds what one unfinished line can buffer.
+* *engine -> client*: the fragment bridge queue is bounded; when the
+  client reads slowly, ``drain()`` slows the connection coroutine, the
+  queue fills, and the evaluator thread blocks on its next emit — the
+  pass advances at the pace of the slowest consumer instead of buffering
+  the result.
+
+Faults are structured, not fatal: malformed XML, a query that fails to
+compile, an oversized document, or a per-request timeout each produce an
+``error`` frame and leave the connection serving.  Every abort path runs
+through :class:`~repro.engine.session.StreamingRun`'s release guard, so
+a pass that dies — disconnect, timeout, poison document — returns its
+buffer checkout to the pool exactly once (the RunOwner invariant the
+fault-injection suite asserts).
+
+Shutdown is a graceful drain: stop accepting, let in-flight passes
+finish (bounded by ``drain_timeout``), tell idle connections ``bye``,
+then close every pool — reusing ``SessionPool.close()`` semantics — and
+verify nothing is left checked out via ``SessionPool.wait_idle``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Iterator
+
+from repro.engine.pool import SessionPool
+from repro.engine.session import StreamingRun
+from repro.serve.protocol import (
+    E_BAD_FIELD,
+    E_DOCUMENT,
+    E_DRAINING,
+    E_FRAME_TOO_LARGE,
+    E_IDLE_TIMEOUT,
+    E_INTERNAL,
+    E_QUERY,
+    E_STATE,
+    E_TIMEOUT,
+    E_TOO_LARGE,
+    E_UNKNOWN_QUERY,
+    MAX_DOCUMENT_BYTES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_client_frame,
+    encode_frame,
+)
+from repro.serve.stats import ServerStats
+from repro.xmlio.lexer import XMLSyntaxError, tokenize
+from repro.xmlio.tokens import Token
+
+__all__ = ["ServeConfig", "QueryServer", "normalize_query_key", "run_server"]
+
+
+def normalize_query_key(query_text: str) -> str:
+    """The standing-query cache key: query text with whitespace collapsed.
+
+    Two registrations that differ only in layout (indentation, line
+    breaks) share one compiled pool; anything semantic stays distinct.
+    """
+    return " ".join(query_text.split())
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one :class:`QueryServer` (defaults suit the tests/CLI)."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (the fixture's mode); the bound port is
+    #: readable as ``QueryServer.port`` after ``start()``.
+    port: int = 0
+    #: Evaluation threads — concurrent passes across all connections.
+    eval_workers: int = 4
+    #: Wall-clock ceiling per pass; ``None`` disables the timeout.
+    request_timeout: float | None = 30.0
+    #: Ceiling on completing one frame line (slow-loris guard); ``None``
+    #: (the default) trusts clients to finish their lines eventually.
+    idle_timeout: float | None = None
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    max_document_bytes: int = MAX_DOCUMENT_BYTES
+    #: Fragment-bridge queue depth per pass (engine -> client backpressure).
+    bridge_depth: int = 64
+    #: How long a graceful drain waits for in-flight passes before
+    #: force-cancelling them.
+    drain_timeout: float = 10.0
+
+
+class _PassCancelled(Exception):
+    """Raised inside the evaluation thread when the consumer cancelled."""
+
+
+class _PassFailed(Exception):
+    """Wraps an engine-side exception reported through the bridge."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+class _EvalBridge:
+    """The thread->loop fragment conduit of one pass.
+
+    The evaluation thread calls :meth:`send`; items land in a *bounded*
+    ``asyncio.Queue`` consumed by the connection coroutine.  A full queue
+    blocks the evaluation thread (that is the backpressure), checking the
+    cancel event every ``_POLL`` seconds so an abandoned consumer —
+    disconnect, timeout, forced drain — unblocks the thread promptly and
+    lets the pass die through the run's release guard.
+    """
+
+    _POLL = 0.1
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        queue: "asyncio.Queue[tuple[str, Any]]",
+        cancel: threading.Event,
+    ) -> None:
+        self._loop = loop
+        self._queue = queue
+        self._cancel = cancel
+
+    def check_cancelled(self) -> None:
+        if self._cancel.is_set():
+            raise _PassCancelled()
+
+    def send(self, item: tuple[str, Any]) -> None:
+        self.check_cancelled()
+        future = asyncio.run_coroutine_threadsafe(
+            self._queue.put(item), self._loop
+        )
+        while True:
+            try:
+                future.result(self._POLL)
+                return
+            except concurrent.futures.TimeoutError:
+                if self._cancel.is_set():
+                    future.cancel()
+                    raise _PassCancelled()
+            except concurrent.futures.CancelledError:
+                raise _PassCancelled()
+
+    def report_error(self, exc: BaseException) -> None:
+        """Best effort: a dead consumer must not mask the original error."""
+        with contextlib.suppress(Exception):
+            self.send(("error", exc))
+
+
+def _run_pass(pool: SessionPool, document: str, bridge: _EvalBridge) -> None:
+    """One evaluation pass, executed on an evaluation thread.
+
+    Every exit path settles the pool checkout exactly once: exhaustion
+    releases it through the run's normal completion, and every
+    abort (cancel, malformed input, engine error) goes through
+    ``StreamingRun.close()`` whose release guard discards it.
+    """
+
+    def guarded_tokens() -> Iterator[Token]:
+        # The cancel check rides the input stream, so a pass that emits
+        # no output for a long stretch (no matches yet) still notices a
+        # timeout or disconnect within one token.
+        for token in tokenize(document):
+            bridge.check_cancelled()
+            yield token
+
+    stream: StreamingRun | None = None
+    try:
+        stream = pool.run_streaming(guarded_tokens())
+        for fragment in stream.serialized():
+            bridge.send(("frag", fragment))
+        bridge.send(("done", stream.result))
+    except _PassCancelled:
+        if stream is not None:
+            stream.close()
+    except BaseException as exc:
+        if stream is not None:
+            stream.close()
+        bridge.report_error(exc)
+
+
+class _Connection:
+    """One client connection: frame loop, upload state, pass execution."""
+
+    def __init__(
+        self,
+        server: "QueryServer",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.task: "asyncio.Task | None" = None
+        self._queries: dict[str, SessionPool] = {}
+        # Chunked-upload state: None when idle, (alias, parts) during an
+        # upload.  _doc_bytes enforces max_document_bytes incrementally so
+        # an oversized stream is rejected as soon as it crosses the line.
+        self._upload: tuple[str, list[str]] | None = None
+        self._upload_bytes = 0
+        self._closing = False
+        # The in-flight pass's cancel event, if any — the force-cancel
+        # hook a timed-out drain uses to kill stragglers.
+        self._active_cancel: threading.Event | None = None
+
+    # -- outbound -------------------------------------------------------
+
+    async def _send(self, frame: dict[str, Any]) -> None:
+        data = encode_frame(frame)
+        self.writer.write(data)
+        self.server.stats.frame_out(len(data))
+        await self.writer.drain()
+
+    async def _send_error(self, error: ProtocolError) -> None:
+        await self._send(error.frame())
+
+    # -- inbound --------------------------------------------------------
+
+    async def _read_line(self) -> bytes | None:
+        """One frame line, or ``None`` when the connection is over.
+
+        Races the read against the server's drain event (an idle
+        connection must notice shutdown without a frame arriving) and,
+        when configured, the idle timeout — which bounds the time to
+        *complete* a frame once its first byte has arrived, so a
+        slow-loris client dribbling bytes forever is cut off while a
+        standing-query client sitting quietly between documents is not.
+        """
+        read = asyncio.ensure_future(self.reader.readline())
+        drain = asyncio.ensure_future(self.server.drain_event.wait())
+        try:
+            while True:
+                done, _pending = await asyncio.wait(
+                    {read, drain},
+                    timeout=self.server.config.idle_timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if done:
+                    break
+                # Window expired.  A quiet connection (no partial line
+                # buffered) is merely idle — keep waiting; buffered bytes
+                # with no newline in sight is the slow loris.
+                if self.reader._buffer:  # noqa: SLF001 - no public probe
+                    await self._best_effort_error(
+                        ProtocolError(
+                            E_IDLE_TIMEOUT,
+                            "frame not completed within "
+                            f"{self.server.config.idle_timeout}s",
+                            fatal=True,
+                        )
+                    )
+                    return None
+            if read in done:
+                try:
+                    line = read.result()
+                except ValueError:
+                    # The stream limit tripped mid-line; framing is lost
+                    # for good, so this one is fatal.
+                    await self._best_effort_error(
+                        ProtocolError(
+                            E_FRAME_TOO_LARGE,
+                            "frame exceeds "
+                            f"{self.server.config.max_frame_bytes} bytes",
+                            fatal=True,
+                        )
+                    )
+                    return None
+                except OSError:
+                    return None  # connection reset mid-read
+                if not line:
+                    return None  # clean EOF
+                if not line.endswith(b"\n"):
+                    # EOF mid-line: a truncated final frame.  The peer is
+                    # gone; there is nobody to answer.
+                    return None
+                return line
+            assert drain in done
+            await self._best_effort_bye("draining")
+            return None
+        finally:
+            for task in (read, drain):
+                task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await read
+
+    async def _best_effort_error(self, error: ProtocolError) -> None:
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._send_error(error)
+
+    async def _best_effort_bye(self, reason: str) -> None:
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._send({"type": "bye", "reason": reason})
+
+    # -- the frame loop --------------------------------------------------
+
+    async def run(self) -> None:
+        while not self._closing:
+            line = await self._read_line()
+            if line is None:
+                break
+            self.server.stats.frame_in(len(line))
+            try:
+                frame = decode_client_frame(line)
+            except ProtocolError as error:
+                await self._best_effort_error(error)
+                if error.fatal:
+                    break
+                continue
+            try:
+                await self._dispatch(frame)
+            except ProtocolError as error:
+                await self._send_error(error)
+                if error.fatal:
+                    break
+            if self.server.draining and not self._closing:
+                await self._best_effort_bye("draining")
+                break
+
+    async def _dispatch(self, frame: dict[str, Any]) -> None:
+        op = frame["op"]
+        if op == "ping":
+            await self._send({"type": "pong"})
+        elif op == "stats":
+            await self._send(
+                {"type": "stats", "stats": self.server.stats.snapshot()}
+            )
+        elif op == "quit":
+            self._closing = True
+            await self._best_effort_bye("quit")
+        elif op == "register":
+            await self._op_register(frame)
+        elif op == "unregister":
+            await self._op_unregister(frame)
+        elif op == "eval":
+            self._require_idle(op)
+            document = frame["doc"]
+            self._check_document_size(len(document.encode("utf-8")))
+            await self._evaluate(frame["id"], self._pool_for(frame["id"]), document)
+        elif op == "begin":
+            self._require_idle(op)
+            self._pool_for(frame["id"])  # validate now, not at end
+            self._upload = (frame["id"], [])
+            self._upload_bytes = 0
+        elif op == "chunk":
+            if self._upload is None:
+                raise ProtocolError(E_STATE, "chunk outside begin/end")
+            data = frame["data"]
+            self._upload_bytes += len(data.encode("utf-8"))
+            try:
+                self._check_document_size(self._upload_bytes)
+            except ProtocolError:
+                self._reset_upload()
+                raise
+            self._upload[1].append(data)
+        elif op == "end":
+            if self._upload is None:
+                raise ProtocolError(E_STATE, "end outside begin/end")
+            alias, parts = self._upload
+            self._reset_upload()
+            await self._evaluate(alias, self._pool_for(alias), "".join(parts))
+        elif op == "cancel":
+            self._reset_upload()
+            await self._send({"type": "cancelled"})
+        else:  # pragma: no cover - decode_client_frame guarantees the op
+            raise ProtocolError(E_BAD_FIELD, f"unhandled op {op!r}")
+
+    # -- op helpers ------------------------------------------------------
+
+    def _require_idle(self, op: str) -> None:
+        if self._upload is not None:
+            raise ProtocolError(
+                E_STATE,
+                f"op {op!r} is illegal during a chunked upload "
+                "(finish with 'end' or abort with 'cancel')",
+            )
+
+    def _reset_upload(self) -> None:
+        self._upload = None
+        self._upload_bytes = 0
+
+    def _check_document_size(self, nbytes: int) -> None:
+        limit = self.server.config.max_document_bytes
+        if nbytes > limit:
+            raise ProtocolError(
+                E_TOO_LARGE,
+                f"document of {nbytes} bytes exceeds the limit of {limit}",
+            )
+
+    def _pool_for(self, alias: str) -> SessionPool:
+        pool = self._queries.get(alias)
+        if pool is None:
+            raise ProtocolError(
+                E_UNKNOWN_QUERY,
+                f"no query registered as {alias!r} on this connection",
+            )
+        return pool
+
+    async def _op_register(self, frame: dict[str, Any]) -> None:
+        self._require_idle("register")
+        alias, query = frame["id"], frame["query"]
+        pool, cached = self.server.get_pool(query)
+        self._queries[alias] = pool
+        self.server.stats.query_registered(cached=cached)
+        await self._send({"type": "registered", "id": alias, "cached": cached})
+
+    async def _op_unregister(self, frame: dict[str, Any]) -> None:
+        alias = frame["id"]
+        if self._queries.pop(alias, None) is None:
+            raise ProtocolError(
+                E_UNKNOWN_QUERY,
+                f"no query registered as {alias!r} on this connection",
+            )
+        await self._send({"type": "unregistered", "id": alias})
+
+    # -- pass execution --------------------------------------------------
+
+    async def _evaluate(
+        self, alias: str, pool: SessionPool, document: str
+    ) -> None:
+        """Run one pass, forwarding fragments as sequenced result frames.
+
+        The connection does not return to its read loop until the pass is
+        settled — that is the read-pause half of the backpressure model.
+        """
+        config = self.server.config
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue[tuple[str, Any]]" = asyncio.Queue(
+            maxsize=config.bridge_depth
+        )
+        cancel = threading.Event()
+        bridge = _EvalBridge(loop, queue, cancel)
+        self._active_cancel = cancel
+        started = time.perf_counter()
+        deadline = (
+            started + config.request_timeout
+            if config.request_timeout is not None
+            else None
+        )
+        future = loop.run_in_executor(
+            self.server.executor, _run_pass, pool, document, bridge
+        )
+        seq = 0
+        ok = False
+        try:
+            while True:
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        raise asyncio.TimeoutError
+                    item = await asyncio.wait_for(queue.get(), remaining)
+                else:
+                    item = await queue.get()
+                kind, payload = item
+                if kind == "frag":
+                    seq += 1
+                    if seq == 1:
+                        self.server.stats.observe_ttfb(
+                            time.perf_counter() - started
+                        )
+                    await self._send(
+                        {
+                            "type": "result",
+                            "id": alias,
+                            "seq": seq,
+                            "fragment": payload,
+                        }
+                    )
+                elif kind == "done":
+                    result = payload
+                    await self._send(
+                        {
+                            "type": "done",
+                            "id": alias,
+                            "fragments": seq,
+                            "hwm_nodes": result.stats.hwm_nodes,
+                            "hwm_bytes": result.stats.hwm_bytes_modelled,
+                            "tokens_read": result.stats.tokens_read,
+                            "elapsed_ms": round(
+                                (time.perf_counter() - started) * 1_000.0, 3
+                            ),
+                        }
+                    )
+                    ok = True
+                    return
+                else:  # "error"
+                    raise _PassFailed(payload)
+        except asyncio.TimeoutError:
+            cancel.set()
+            await self._best_effort_error(
+                ProtocolError(
+                    E_TIMEOUT,
+                    f"pass exceeded the request timeout of "
+                    f"{config.request_timeout}s",
+                )
+            )
+        except _PassFailed as failure:
+            cause = failure.cause
+            code = E_DOCUMENT if isinstance(cause, XMLSyntaxError) else E_INTERNAL
+            await self._best_effort_error(
+                ProtocolError(code, f"{type(cause).__name__}: {cause}")
+            )
+        finally:
+            self._active_cancel = None
+            self.server.stats.pass_finished(ok=ok)
+            if not future.done():
+                cancel.set()
+            # Unblock a producer stuck on the full queue, then wait for
+            # the thread: the pass MUST be settled (checkout released)
+            # before this connection reads its next frame.
+            while not future.done():
+                while True:
+                    try:
+                        queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                await asyncio.sleep(0.005)
+            with contextlib.suppress(Exception):
+                await future
+
+    def force_cancel(self) -> None:
+        """Kill the in-flight pass, if any (timed-out drain only)."""
+        cancel = self._active_cancel
+        if cancel is not None:
+            cancel.set()
+
+
+class QueryServer:
+    """The ``gcx serve`` front-end: standing queries over NDJSON frames.
+
+    Lifecycle: construct with a :class:`ServeConfig`, ``await start()``
+    inside a running event loop, then either let connections arrive or
+    ``await shutdown()`` for a graceful drain.  The CLI wraps this in
+    :func:`run_server`, which adds signal handling.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.stats = ServerStats()
+        self._pools: dict[str, SessionPool] = {}
+        self._connections: set[_Connection] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self._bound_port = 0
+        self.executor: ThreadPoolExecutor | None = None
+        self.drain_event: asyncio.Event | None = None
+        self.draining = False
+        self._shutdown_task: "asyncio.Task | None" = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        assert self._server is None, "start() called twice"
+        self.drain_event = asyncio.Event()
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.config.eval_workers,
+            thread_name_prefix="gcx-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_frame_bytes,
+        )
+        # Remember the resolved port: the listener socket (and with it
+        # getsockname) disappears once the drain closes the server, but
+        # late callers still deserve the address for their error paths.
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 after ``start()``)."""
+        assert self._server is not None, "server not started"
+        return self._bound_port
+
+    async def shutdown(self, drain_timeout: float | None = None) -> None:
+        """Graceful drain: finish in-flight passes, then close every pool.
+
+        Reuses ``SessionPool.close()`` semantics per standing query, and
+        settles outstanding checkouts through ``SessionPool.wait_idle``
+        (run off-loop — it blocks) before closing.  Idempotent: every
+        call awaits the one real drain, so no caller can observe a
+        "shut down" server whose drain is still in flight.
+        """
+        if self._server is None:
+            return
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.ensure_future(
+                self._shutdown(drain_timeout)
+            )
+        # Shield: cancelling one impatient awaiter must not abort the
+        # drain itself for everyone else.
+        await asyncio.shield(self._shutdown_task)
+
+    async def _shutdown(self, drain_timeout: float | None) -> None:
+        timeout = (
+            drain_timeout if drain_timeout is not None else self.config.drain_timeout
+        )
+        self.draining = True
+        self._server.close()
+        assert self.drain_event is not None
+        self.drain_event.set()
+        tasks = {
+            conn.task for conn in list(self._connections) if conn.task is not None
+        }
+        if tasks:
+            _done, pending = await asyncio.wait(tasks, timeout=timeout)
+            if pending:
+                # Drain window exhausted: force-cancel the stragglers'
+                # passes (their release guards still settle the pool
+                # checkouts) and give them a moment to unwind.
+                for conn in list(self._connections):
+                    conn.force_cancel()
+                _done, pending = await asyncio.wait(pending, timeout=2.0)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+        await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        for pool in self._pools.values():
+            await loop.run_in_executor(None, partial(pool.wait_idle, 2.0))
+            pool.close()
+        if self.executor is not None:
+            self.executor.shutdown(wait=False)
+
+    # -- standing queries -----------------------------------------------
+
+    def get_pool(self, query_text: str) -> tuple[SessionPool, bool]:
+        """The standing-query pool for ``query_text`` (compiling on miss).
+
+        Returns ``(pool, cached)``; raises :class:`ProtocolError` with
+        code ``query-error`` when the query does not compile (parse
+        error, unsupported construct) — non-fatal, the connection keeps
+        serving.
+        """
+        key = normalize_query_key(query_text)
+        pool = self._pools.get(key)
+        if pool is not None:
+            return pool, True
+        try:
+            pool = SessionPool(
+                query_text, max_workers=self.config.eval_workers
+            )
+        except Exception as error:
+            raise ProtocolError(
+                E_QUERY, f"{type(error).__name__}: {error}"
+            ) from error
+        self._pools[key] = pool
+        return pool, False
+
+    @property
+    def standing_queries(self) -> int:
+        return len(self._pools)
+
+    def pools(self) -> list[SessionPool]:
+        """The standing-query pools (test/bench introspection)."""
+        return list(self._pools.values())
+
+    def outstanding_checkouts(self) -> int:
+        """Buffer checkouts currently held across all standing queries.
+
+        Zero whenever no pass is in flight — the invariant every fault
+        path must restore (each ``stats`` read also reaps abandoned
+        runs, so a just-released checkout settles here).
+        """
+        return sum(pool.stats.outstanding_checkouts for pool in self.pools())
+
+    # -- connections ----------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(self, reader, writer)
+        if self.draining:
+            with contextlib.suppress(ConnectionError, OSError):
+                conn_bye = ProtocolError(
+                    E_DRAINING, "server is draining", fatal=True
+                )
+                await conn._send_error(conn_bye)
+            writer.close()
+            return
+        conn.task = asyncio.current_task()
+        self._connections.add(conn)
+        self.stats.connection_opened()
+        try:
+            await conn.run()
+        except (ConnectionError, OSError):
+            pass  # peer vanished mid-frame; nothing left to say
+        finally:
+            self._connections.discard(conn)
+            self.stats.connection_closed()
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+
+def run_server(
+    config: ServeConfig | None = None,
+    *,
+    on_ready: Callable[[QueryServer, asyncio.Event, asyncio.AbstractEventLoop], None]
+    | None = None,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Run a :class:`QueryServer` until SIGTERM/SIGINT, then drain.
+
+    The blocking entry point behind ``gcx serve``.  ``on_ready`` is
+    called once the socket is bound with ``(server, stop_event, loop)``
+    — the test suite uses it to learn the ephemeral port and to trigger
+    shutdown programmatically (``loop.call_soon_threadsafe(stop.set)``).
+    Returns the process exit status (0 on a clean drain).
+    """
+    return asyncio.run(_serve_main(config or ServeConfig(), on_ready, log))
+
+
+async def _serve_main(
+    config: ServeConfig,
+    on_ready: Callable[..., None] | None,
+    log: Callable[[str], None] | None,
+) -> int:
+    server = QueryServer(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            # Non-main thread or a platform without signal support: the
+            # embedder (tests, another loop) must trigger ``stop`` itself.
+            pass
+    if log is not None:
+        log(f"gcx serve: listening on {server.host}:{server.port}")
+    if on_ready is not None:
+        on_ready(server, stop, loop)
+    await stop.wait()
+    if log is not None:
+        log("gcx serve: draining...")
+    await server.shutdown()
+    if log is not None:
+        log(f"gcx serve: drained; {server.stats.summary()}")
+    return 0

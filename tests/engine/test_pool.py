@@ -463,6 +463,66 @@ class TestLifecycle:
         assert stats.buffers_created <= STRESS_WORKERS + 1
 
 
+class TestDrainHooks:
+    """The serving layer's async-friendly drain hooks on the pool."""
+
+    def test_outstanding_checkouts_tracks_run_lifecycle(self):
+        with SessionPool(Q1, max_workers=2) as pool:
+            assert pool.stats.outstanding_checkouts == 0
+            run = pool.run_streaming("<site><people/></site>")
+            assert pool.stats.outstanding_checkouts == 1
+            list(run)  # exhaust -> released through the guard
+            assert pool.stats.outstanding_checkouts == 0
+
+    def test_outstanding_checkouts_counts_abandoned_runs_until_reaped(self):
+        import gc
+
+        with SessionPool(Q1, max_workers=2) as pool:
+            run = pool.run_streaming("<site><people/></site>")
+            next(run)
+            run.close()  # abandoned: discarded via _dropped_runs
+            del run
+            gc.collect()
+            # The stats snapshot reaps first, so the leak is settled here.
+            assert pool.stats.outstanding_checkouts == 0
+
+    def test_wait_idle_immediate_when_nothing_is_checked_out(self):
+        with SessionPool(Q1, max_workers=2) as pool:
+            assert pool.wait_idle(timeout=0.0) is True
+
+    def test_wait_idle_times_out_while_a_run_is_in_flight(self):
+        with SessionPool(Q1, max_workers=2) as pool:
+            run = pool.run_streaming("<site><people/></site>")
+            next(run)
+            assert pool.wait_idle(timeout=0.05) is False
+            list(run)
+            assert pool.wait_idle(timeout=0.0) is True
+
+    def test_wait_idle_unblocks_when_another_thread_finishes(self):
+        with SessionPool(Q1, max_workers=2) as pool:
+            run = pool.run_streaming("<site><people/></site>")
+            next(run)
+            release = threading.Timer(0.05, lambda: list(run))
+            release.start()
+            try:
+                assert pool.wait_idle(timeout=5.0) is True
+            finally:
+                release.join()
+
+    def test_wait_idle_sees_runs_released_by_garbage_collection(self):
+        """An abandoned run releases through _dropped_runs (no notify);
+        wait_idle must still converge by reaping between waits."""
+        import gc
+
+        with SessionPool(Q1, max_workers=2) as pool:
+            run = pool.run_streaming("<site><people/></site>")
+            next(run)
+            run.close()
+            del run
+            gc.collect()
+            assert pool.wait_idle(timeout=2.0) is True
+
+
 class TestSessionThreadGuard:
     """Satellite regression: the latent single-slot race now raises."""
 
@@ -489,6 +549,35 @@ class TestSessionThreadGuard:
         rest = StringSink()
         for token in stream:
             rest.write(token)
+        assert stream.result is not None
+
+    def test_cross_thread_error_message_contract(self):
+        """Satellite regression: the message names the owning and the
+        calling thread and points at both remediations — SessionPool for
+        in-process sharing and ``gcx serve`` for network clients."""
+        doc = "<bib><book><title>T</title></book></bib>"
+        session = QuerySession(INTRO_QUERY)
+        stream = session.run_streaming(doc)
+        next(stream)
+        owner_ident = threading.get_ident()
+        caught: list[tuple[RuntimeError, int]] = []
+
+        def second_client():
+            try:
+                session.run_streaming(doc)
+            except RuntimeError as error:
+                caught.append((error, threading.get_ident()))
+
+        thread = threading.Thread(target=second_client)
+        thread.start()
+        thread.join()
+        ((error, caller_ident),) = caught
+        message = str(error)
+        assert str(owner_ident) in message
+        assert str(caller_ident) in message
+        assert "repro.engine.pool.SessionPool" in message
+        assert "gcx serve" in message
+        list(stream)  # the owning run still completes untouched
         assert stream.result is not None
 
     def test_same_thread_interleaving_still_allowed(self):

@@ -1,0 +1,271 @@
+"""Fault injection: every abort path releases its checkout exactly once.
+
+Each test injects one fault from the inventory — hard disconnects (RST)
+mid-stream and mid-upload, malformed XML mid-document, a query that does
+not compile, oversized documents (inline and chunked), truncated and
+over-limit frames, a slow-loris writer, a request timeout, and a drain
+with a pass in flight — and then asserts the same postcondition through
+:meth:`ServerFixture.assert_clean`: the standing queries' pools report
+zero outstanding checkouts and zero active runs (the RunOwner invariant),
+and wherever the fault is non-fatal, the connection is still serving.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve.testing import ServerFixture
+
+QUERY = "<out>{ for $x in /a/b return <hit>{ $x/c }</hit> }</out>"
+
+
+def make_document(matches: int) -> str:
+    """A document with ``matches`` hits -> ~4x that many result frames."""
+    body = "".join(f"<b><c>v{i}</c></b>" for i in range(matches))
+    return f"<a>{body}</a>"
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    with ServerFixture(eval_workers=2, bridge_depth=4) as fixture:
+        yield fixture
+
+
+class TestDisconnectFaults:
+    def test_client_disconnect_mid_result_stream(self, fixture):
+        """An RST while fragments are in flight kills the pass, not the
+        server; the abandoned run's checkout is discarded, not leaked."""
+        with fixture.client() as client:
+            client.register("q", QUERY)
+            client.send_frame(
+                {"op": "eval", "id": "q", "doc": make_document(2_000)}
+            )
+            first = client.recv_frame()
+            assert first["type"] == "result"  # the pass is mid-stream
+            client.faults.abort()
+        fixture.assert_clean()
+        with fixture.client() as client:  # the server took no damage
+            assert client.ping() == {"type": "pong"}
+
+    def test_client_disconnect_mid_chunked_upload(self, fixture):
+        with fixture.client() as client:
+            client.register("q", QUERY)
+            client.send_frame({"op": "begin", "id": "q"})
+            client.send_frame({"op": "chunk", "data": "<a><b><c>1"})
+            client.faults.abort()
+        fixture.assert_clean()
+
+    def test_truncated_frame_then_eof(self, fixture):
+        """A frame cut off mid-line (EOF, no newline) closes quietly."""
+        with fixture.client() as client:
+            client.register("q", QUERY)
+            client.faults.send_truncated(
+                b'{"op": "eval", "id": "q", "doc": "<a>', keep=20
+            )
+            assert client.recv_frame() is None  # server closed, no reply
+        fixture.assert_clean()
+
+
+class TestBadInputFaults:
+    def test_malformed_xml_mid_document_is_survivable(self, fixture):
+        with fixture.client() as client:
+            client.register("q", QUERY)
+            fragments, final = client.eval_collect(
+                "q", "<a><b><c>1</c></b><b><c>2</c>"
+            )
+            assert final["type"] == "error"
+            assert final["code"] == "document-error"
+            assert final["fatal"] is False
+            # The connection survives and the next pass is correct.
+            assert client.ping() == {"type": "pong"}
+            fragments, final = client.eval_collect("q", make_document(2))
+            assert final["type"] == "done"
+            assert "".join(fragments) == (
+                "<out><hit><c>v0</c></hit><hit><c>v1</c></hit></out>"
+            )
+        fixture.assert_clean()
+
+    def test_query_compile_error_is_survivable(self, fixture):
+        with fixture.client() as client:
+            client.send_frame(
+                {"op": "register", "id": "bad", "query": "for $x in ((("}
+            )
+            reply = client.recv_frame()
+            assert reply["type"] == "error"
+            assert reply["code"] == "query-error"
+            assert reply["fatal"] is False
+            # A failed registration leaves no standing query behind.
+            client.send_frame({"op": "eval", "id": "bad", "doc": "<a/>"})
+            assert client.recv_frame()["code"] == "unknown-query"
+            assert client.register("good", QUERY)["type"] == "registered"
+        fixture.assert_clean()
+
+    def test_garbage_frame_is_survivable(self, fixture):
+        with fixture.client() as client:
+            client.send_raw(b"this is not json\n")
+            reply = client.recv_frame()
+            assert reply["type"] == "error"
+            assert reply["code"] == "bad-frame"
+            assert client.ping() == {"type": "pong"}
+        fixture.assert_clean()
+
+
+class TestSizeLimits:
+    def test_oversized_inline_document_rejected(self):
+        with ServerFixture(max_document_bytes=2_000) as fixture:
+            with fixture.client() as client:
+                client.register("q", QUERY)
+                client.send_frame(
+                    {"op": "eval", "id": "q", "doc": make_document(500)}
+                )
+                reply = client.recv_frame()
+                assert reply["type"] == "error"
+                assert reply["code"] == "too-large"
+                assert reply["fatal"] is False
+                # Small documents still go through afterwards.
+                _fragments, final = client.eval_collect("q", make_document(1))
+                assert final["type"] == "done"
+            fixture.assert_clean()
+
+    def test_oversized_chunked_upload_rejected_mid_stream(self):
+        """The limit trips at the chunk that crosses it, not at end."""
+        with ServerFixture(max_document_bytes=200) as fixture:
+            with fixture.client() as client:
+                client.register("q", QUERY)
+                client.send_frame({"op": "begin", "id": "q"})
+                chunk = "<b><c>x</c></b>" * 10  # 150 B
+                client.send_frame({"op": "chunk", "data": chunk})
+                client.send_frame({"op": "chunk", "data": chunk})  # crosses
+                reply = client.recv_frame()
+                assert reply["code"] == "too-large"
+                # The upload state was reset: 'end' is now out of place.
+                client.send_frame({"op": "end"})
+                assert client.recv_frame()["code"] == "protocol-state"
+                assert client.ping() == {"type": "pong"}
+            fixture.assert_clean()
+
+    def test_over_limit_frame_is_fatal(self):
+        """Blowing the line limit loses framing for good: error + close."""
+        with ServerFixture(max_frame_bytes=1_024) as fixture:
+            with fixture.client() as client:
+                client.send_raw(b'{"op": "ping", "pad": "' + b"x" * 4_096)
+                reply = client.recv_frame()
+                assert reply["type"] == "error"
+                assert reply["code"] == "frame-too-large"
+                assert reply["fatal"] is True
+                assert client.recv_frame() is None  # server closed
+            fixture.assert_clean()
+
+
+class TestSlowClients:
+    def test_slow_loris_completes_without_idle_timeout(self, fixture):
+        with fixture.client() as client:
+            client.faults.send_slow(b'{"op": "ping"}\n', delay=0.01)
+            assert client.recv_frame() == {"type": "pong"}
+        fixture.assert_clean()
+
+    def test_idle_timeout_cuts_the_dribbler_not_the_neighbour(self):
+        with ServerFixture(idle_timeout=0.3) as fixture:
+            with fixture.client() as loris, fixture.client() as honest:
+                honest.register("q", QUERY)
+                # > 0.3 s to finish the line at 1 B / 25 ms.
+                loris.faults.send_slow(
+                    b'{"op": "ping"}\n'[:14], chunk_size=1, delay=0.025
+                )
+                reply = loris.recv_frame()
+                assert reply["type"] == "error"
+                assert reply["code"] == "idle-timeout"
+                assert loris.recv_frame() is None
+                # The honest neighbour was never disturbed.
+                _fragments, final = honest.eval_collect("q", make_document(2))
+                assert final["type"] == "done"
+            fixture.assert_clean()
+
+    def test_request_timeout_aborts_the_pass_and_survives(self):
+        """A zero budget times out deterministically before any output;
+        the cancelled pass discards its checkout through the guard."""
+        with ServerFixture(request_timeout=0.0) as fixture:
+            with fixture.client() as client:
+                client.register("q", QUERY)
+                client.send_frame(
+                    {"op": "eval", "id": "q", "doc": make_document(50)}
+                )
+                reply = client.recv_frame()
+                assert reply["type"] == "error"
+                assert reply["code"] == "timeout"
+                assert reply["fatal"] is False
+                assert client.ping() == {"type": "pong"}
+            fixture.assert_clean()
+
+
+class TestDrain:
+    def test_drain_with_pass_in_flight_finishes_it(self):
+        fixture = ServerFixture(eval_workers=2, bridge_depth=4)
+        fixture.start()
+        try:
+            with fixture.client() as client:
+                client.register("q", QUERY)
+                client.send_frame(
+                    {"op": "eval", "id": "q", "doc": make_document(2_000)}
+                )
+                assert client.recv_frame()["type"] == "result"  # in flight
+                shutdown = fixture.submit(fixture.server.shutdown())
+                fragments, final = client.collect_pass()
+                assert final["type"] == "done"  # the pass was NOT cut off
+                # +1: the first result frame was read before collect_pass.
+                assert len(fragments) + 1 == final["fragments"]
+                # After the pass, the drain says goodbye instead of
+                # reading further frames.
+                assert client.recv_frame() == {
+                    "type": "bye",
+                    "reason": "draining",
+                }
+                assert client.recv_frame() is None
+                shutdown.result(timeout=20.0)
+            assert fixture.outstanding_checkouts() == 0
+            assert fixture.active_runs() == 0
+            # Every standing pool was closed with SessionPool.close().
+            for pool in fixture.server.pools():
+                assert pool._closed
+        finally:
+            fixture.stop()
+
+    def test_drain_wakes_idle_connections(self):
+        fixture = ServerFixture()
+        fixture.start()
+        try:
+            with fixture.client() as client:
+                assert client.ping() == {"type": "pong"}
+                shutdown = fixture.submit(fixture.server.shutdown())
+                # No frame sent: the drain event alone must wake the
+                # blocked read and say goodbye.
+                assert client.recv_frame() == {
+                    "type": "bye",
+                    "reason": "draining",
+                }
+                assert client.recv_frame() is None
+                shutdown.result(timeout=20.0)
+        finally:
+            fixture.stop()
+
+
+class TestCheckoutAccountingUnderFaultStorm:
+    def test_repeated_mixed_faults_never_accumulate_checkouts(self, fixture):
+        """A storm of interleaved good passes and faults ends clean."""
+        for round_number in range(5):
+            with fixture.client() as client:
+                client.register("q", QUERY)
+                _fragments, final = client.eval_collect("q", make_document(3))
+                assert final["type"] == "done"
+                _fragments, final = client.eval_collect("q", "<a><b><c>")
+                assert final["code"] == "document-error"
+                client.send_frame(
+                    {"op": "eval", "id": "q", "doc": make_document(500)}
+                )
+                assert client.recv_frame()["type"] == "result"
+                client.faults.abort()
+            fixture.assert_clean()
+        stats = fixture.server.stats
+        assert stats.docs_failed >= 5

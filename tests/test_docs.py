@@ -27,12 +27,15 @@ class TestDocFilesExist:
     def test_required_docs_present(self):
         assert check_docs.check_docs_exist() == []
 
-    @pytest.mark.parametrize("name", ["README.md", "docs/CLI.md"])
+    @pytest.mark.parametrize(
+        "name", ["README.md", "docs/CLI.md", "docs/SERVING.md"]
+    )
     def test_docs_mention_only_real_subcommands(self, name):
         """Any `gcx <word>` in the docs must be a real CLI subcommand."""
         known = {
             "run",
             "run-multi",
+            "serve",
             "serve-batch",
             "analyze",
             "table1",
