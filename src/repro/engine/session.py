@@ -59,14 +59,18 @@ __all__ = [
 ]
 
 
-def document_tokens(document: str | Path | Iterator[Token]) -> Iterator[Token]:
+def document_tokens(
+    document: "str | bytes | bytearray | memoryview | Path | Iterator[Token]",
+) -> Iterator[Token]:
     """Normalize a document argument into a token stream.
 
-    Text is tokenized in memory, a :class:`~pathlib.Path` through the
-    chunked file tokenizer with bounded memory, and any other iterator is
-    passed through untouched.
+    Text is tokenized in memory (``str`` is encoded once; raw UTF-8
+    ``bytes``/``bytearray``/``memoryview`` feed the bytes-domain lexer
+    directly, skipping even that), a :class:`~pathlib.Path` through the
+    mmap/chunked file tokenizer with bounded memory, and any other
+    iterator is passed through untouched.
     """
-    if isinstance(document, str):
+    if isinstance(document, (str, bytes, bytearray, memoryview)):
         return tokenize(document)
     if isinstance(document, Path):
         return tokenize_file(document)

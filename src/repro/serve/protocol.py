@@ -18,6 +18,14 @@ Client frames carry an ``op`` field::
     {"op": "cancel"}                     abort an in-progress upload
     {"op": "ping"} | {"op": "stats"} | {"op": "quit"}
 
+Document payloads (``doc`` and ``chunk`` ``data``) arrive as JSON
+strings but are UTF-8-encoded exactly once at receipt and stay ``bytes``
+from there on: size limits count encoded bytes, chunked uploads
+accumulate and join byte parts, and the joined document feeds the
+bytes-domain lexer directly.  A JSON string boundary can never split a
+code point, so per-chunk encoding concatenates to the same byte stream
+as encoding the whole document at once.
+
 Server frames carry a ``type`` field: ``registered``, ``unregistered``,
 ``result`` (one output fragment, sequenced per pass), ``done`` (end of a
 pass, with its run statistics), ``error`` (structured, with a stable

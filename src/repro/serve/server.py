@@ -170,7 +170,9 @@ class _EvalBridge:
             self.send(("error", exc))
 
 
-def _run_pass(pool: SessionPool, document: str, bridge: _EvalBridge) -> None:
+def _run_pass(
+    pool: SessionPool, document: "str | bytes", bridge: _EvalBridge
+) -> None:
     """One evaluation pass, executed on an evaluation thread.
 
     Every exit path settles the pool checkout exactly once: exhaustion
@@ -219,7 +221,10 @@ class _Connection:
         # Chunked-upload state: None when idle, (alias, parts) during an
         # upload.  _doc_bytes enforces max_document_bytes incrementally so
         # an oversized stream is rejected as soon as it crosses the line.
-        self._upload: tuple[str, list[str]] | None = None
+        # Chunk payloads are UTF-8-encoded once at receipt and
+        # accumulated as bytes: the joined upload feeds the bytes-domain
+        # lexer directly, so chunked documents are never re-encoded.
+        self._upload: tuple[str, list[bytes]] | None = None
         self._upload_bytes = 0
         self._closing = False
         # The in-flight pass's cancel event, if any — the force-cancel
@@ -356,8 +361,10 @@ class _Connection:
             await self._op_unregister(frame)
         elif op == "eval":
             self._require_idle(op)
-            document = frame["doc"]
-            self._check_document_size(len(document.encode("utf-8")))
+            # Encode once: the same bytes serve the size check and the
+            # lexer (which scans raw UTF-8 end to end).
+            document = frame["doc"].encode("utf-8")
+            self._check_document_size(len(document))
             await self._evaluate(frame["id"], self._pool_for(frame["id"]), document)
         elif op == "begin":
             self._require_idle(op)
@@ -367,8 +374,11 @@ class _Connection:
         elif op == "chunk":
             if self._upload is None:
                 raise ProtocolError(E_STATE, "chunk outside begin/end")
-            data = frame["data"]
-            self._upload_bytes += len(data.encode("utf-8"))
+            # A JSON string boundary can never split a code point, so
+            # encoding chunk by chunk concatenates to the same UTF-8 as
+            # encoding the joined document once.
+            data = frame["data"].encode("utf-8")
+            self._upload_bytes += len(data)
             try:
                 self._check_document_size(self._upload_bytes)
             except ProtocolError:
@@ -380,7 +390,7 @@ class _Connection:
                 raise ProtocolError(E_STATE, "end outside begin/end")
             alias, parts = self._upload
             self._reset_upload()
-            await self._evaluate(alias, self._pool_for(alias), "".join(parts))
+            await self._evaluate(alias, self._pool_for(alias), b"".join(parts))
         elif op == "cancel":
             self._reset_upload()
             await self._send({"type": "cancelled"})
@@ -438,7 +448,7 @@ class _Connection:
     # -- pass execution --------------------------------------------------
 
     async def _evaluate(
-        self, alias: str, pool: SessionPool, document: str
+        self, alias: str, pool: SessionPool, document: "str | bytes"
     ) -> None:
         """Run one pass, forwarding fragments as sequenced result frames.
 

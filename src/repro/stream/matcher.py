@@ -102,6 +102,10 @@ class StreamMatcher:
     the transition table maps ``(state_id, tag)`` — with ``tag=None``
     standing for character data — straight to the memoized
     :class:`Transition`.
+
+    Tag strings arriving from the bytes-domain lexer are ``sys.intern``-ed
+    (one decode per distinct spelling per document), so the ``(state_id,
+    tag)`` keys share one cached hash and pointer-compare on lookup.
     """
 
     def __init__(self, tree: ProjectionTree, *, aggregate_roles: bool = True) -> None:

@@ -144,8 +144,15 @@ class ProjectionLane:
         if entry.buffer_node is not None:
             self.buffer.finish(entry.buffer_node)
 
-    def text(self, content: str) -> None:
-        """A text token was read for this lane."""
+    def text(self, token: "Text | str") -> None:
+        """A text token (or its content) was read for this lane.
+
+        Passing the token itself keeps decode-on-demand intact: a
+        :class:`~repro.xmlio.tokens.LazyText`'s UTF-8 decode runs inside
+        the buffer factory below, i.e. only when the projection actually
+        preserves the node.  Text the matcher discards — and every node in
+        a parked lane's withheld subtree — stays an undecoded byte span.
+        """
         self.buffer.stats.tokens_read += 1
         frames = self._frames
         transition = self.matcher.match_token(
@@ -161,7 +168,10 @@ class ProjectionLane:
             normal,
             aggregate,
             parent_entry,
-            lambda attach: self.buffer.new_text(attach, content),
+            lambda attach: self.buffer.new_text(
+                attach,
+                token.content if isinstance(token, Text) else token,
+            ),
         )
 
     def finish_stream(self) -> None:
@@ -324,7 +334,7 @@ class StreamPreprojector:
         elif isinstance(token, EndTag):
             lane.close()
         elif isinstance(token, Text):
-            lane.text(token.content)
+            lane.text(token)
         return True
 
     def run_to_completion(self) -> None:

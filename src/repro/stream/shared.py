@@ -148,9 +148,11 @@ class SharedPreprojector:
                         active.append(index)
             self._depth -= 1
         elif isinstance(token, Text):
-            content = token.content
+            # Hand lanes the token, not ``token.content``: decoding a
+            # LazyText here would charge every skipped subtree for a str
+            # conversion its lanes never asked for.
             for index in active:
-                lanes[index].text(content)
+                lanes[index].text(token)
         return True
 
     def run_to_completion(self) -> None:

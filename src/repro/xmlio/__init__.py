@@ -16,7 +16,15 @@ from repro.xmlio.serialize import (
     serialize_stream,
     serialize_tokens,
 )
-from repro.xmlio.tokens import EndTag, StartTag, Text, Token
+from repro.xmlio.tokens import (
+    EndTag,
+    LazyCData,
+    LazyText,
+    StartTag,
+    Text,
+    Token,
+    text_decode_count,
+)
 from repro.xmlio.tree import (
     DocumentNode,
     ElementNode,
@@ -34,6 +42,9 @@ __all__ = [
     "StartTag",
     "EndTag",
     "Text",
+    "LazyText",
+    "LazyCData",
+    "text_decode_count",
     "XMLTokenizer",
     "XMLSyntaxError",
     "tokenize",

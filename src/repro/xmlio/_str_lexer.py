@@ -1,0 +1,467 @@
+"""The PR-3 str-domain batch lexer, frozen as the bytes-rewrite baseline.
+
+This is the chunk-scanning ``str`` tokenizer exactly as it shipped before
+the bytes-domain rewrite of :mod:`repro.xmlio.lexer`.  It exists for two
+reasons:
+
+1. the machine-independent ``tokenizer_bytes_vs_str_speedup`` benchmark in
+   :mod:`repro.bench.baseline` measures the bytes hot path against this
+   implementation, run in the same process on the same document;
+2. it doubles as a second differential oracle: it shares the batch-scanning
+   shape of the live lexer (unlike the token-at-a-time
+   :mod:`repro.xmlio._reference_lexer`), so a bug in the *batching* logic
+   that both the bytes lexer and the char-stepping reference somehow agree
+   on would still be caught.
+
+Do not modify this module except to track changes in the shared token
+vocabulary; it must keep emitting eager :class:`~repro.xmlio.tokens.Text`
+tokens and ``str``-domain offsets.  It must not be used by the engine;
+import :mod:`repro.xmlio.lexer` instead.
+"""
+
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xmlio.lexer import XMLSyntaxError
+from repro.xmlio.tokens import EndTag, StartTag, Text, Token, unescape_text
+
+__all__ = ["StrXMLTokenizer", "str_tokenize"]
+
+_WHITESPACE = " \t\r\n"
+
+#: Maximum number of tokens scanned ahead per batch.  Large enough to
+#: amortize the per-batch setup, small enough that time-to-first-token and
+#: the file lexer's resident window stay bounded.
+BATCH_TOKENS = 256
+
+#: Character budget sentinel for in-memory scanning (effectively unbounded).
+_NO_BUDGET = 1 << 62
+
+
+class StrXMLTokenizer:
+    """Incrementally tokenize an XML document held in a string.
+
+    The tokenizer checks well-formedness of tag nesting as it goes and
+    raises :class:`XMLSyntaxError` on mismatched or dangling tags.  Errors
+    surface in stream order: tokens scanned before the offending construct
+    are delivered first, exactly like the pre-batching implementation.
+
+    Parameters
+    ----------
+    text:
+        The document text.
+    strip_whitespace:
+        When true (the default), text tokens consisting purely of whitespace
+        between elements are dropped.  XMark documents carry no meaningful
+        inter-element whitespace, and the paper's data model has no notion of
+        ignorable whitespace either.
+    convert_attributes:
+        When true (the default), attributes are emitted as leading
+        subelements in document order: ``<a x="1">`` becomes
+        ``<a><x>1</x>...``.  This mirrors the paper's benchmark adaptation.
+    """
+
+    def __init__(
+        self,
+        text: str,
+        *,
+        strip_whitespace: bool = True,
+        convert_attributes: bool = True,
+    ) -> None:
+        self._text = text
+        self._pos = 0
+        self._offset = 0  # characters discarded by compaction (file mode)
+        self._strip_whitespace = strip_whitespace
+        self._convert_attributes = convert_attributes
+        self._open_tags: list[str] = []
+        self._seen_root = False
+        self._done = False
+        # Batch machinery: tokens are scanned BATCH_TOKENS at a time into
+        # ``_out`` and served by index.  ``_batch_chars`` caps how far one
+        # batch may advance (the file subclass sets it to the chunk size so
+        # compaction keeps up with scanning).
+        self._out: list[Token] = []
+        self._out_pos = 0
+        self._batch_chars = _NO_BUDGET
+        self._error: XMLSyntaxError | None = None
+        # Interning tables: one token object per distinct tag name.
+        self._start_tags: dict[str, StartTag] = {}
+        self._end_tags: dict[str, EndTag] = {}
+
+    def _refill(self) -> bool:
+        """Ask for more input.  The in-memory tokenizer has none; the
+        file-backed subclass appends the next chunk and returns True."""
+        return False
+
+    def _before_batch(self) -> None:
+        """Hook run before scanning a batch (the file subclass compacts)."""
+
+    def __iter__(self) -> Iterator[Token]:
+        return self
+
+    def __next__(self) -> Token:
+        # Inline the batch fast path: one bounds check and a list index.
+        out = self._out
+        pos = self._out_pos
+        if pos < len(out):
+            self._out_pos = pos + 1
+            return out[pos]
+        token = self.next_token()
+        if token is None:
+            raise StopIteration
+        return token
+
+    def next_token(self) -> Token | None:
+        """Return the next token, or ``None`` when the stream is exhausted."""
+        out = self._out
+        pos = self._out_pos
+        if pos < len(out):
+            self._out_pos = pos + 1
+            return out[pos]
+        while True:
+            if not self._fill():
+                if self._error is not None:
+                    raise self._error
+                self._finish_checks()
+                return None
+            if self._out:
+                self._out_pos = 1
+                return self._out[0]
+
+    # ------------------------------------------------------------------
+    # scanning machinery
+    # ------------------------------------------------------------------
+
+    def _fill(self) -> bool:
+        """Scan the next batch of tokens into ``_out``.
+
+        Returns False when the stream is exhausted (or a deferred syntax
+        error is pending); True when the batch may hold tokens — possibly
+        zero, when the character budget was spent on skipped constructs.
+        """
+        if self._error is not None:
+            return False
+        self._before_batch()
+        out = self._out
+        out.clear()
+        self._out_pos = 0
+        append = out.append
+        text = self._text
+        n = len(text)
+        pos = self._pos
+        limit = pos + self._batch_chars
+        offset = self._offset
+        strip_ws = self._strip_whitespace
+        open_tags = self._open_tags
+        start_tags = self._start_tags
+        end_tags = self._end_tags
+        progressed = False
+        try:
+            while len(out) < BATCH_TOKENS and pos <= limit:
+                if pos >= n:
+                    self._pos = pos
+                    if not self._refill():
+                        break
+                    text = self._text
+                    n = len(text)
+                    continue
+                progressed = True
+                if text[pos] != "<":
+                    # -- character data run ------------------------------
+                    end = text.find("<", pos)
+                    if end == -1:
+                        self._pos = pos
+                        while end == -1:
+                            # Resume the search where the old text ended:
+                            # rescanning from ``pos`` would make one long
+                            # text run quadratic in the number of refills.
+                            old_length = len(text)
+                            if not self._refill():
+                                break
+                            text = self._text
+                            end = text.find("<", old_length)
+                        n = len(text)
+                        if end == -1:
+                            end = n
+                    raw = text[pos:end]
+                    start = pos
+                    pos = end
+                    if raw.isspace():
+                        if strip_ws:
+                            continue
+                        append(Text(raw))
+                        continue
+                    if not open_tags:
+                        raise XMLSyntaxError(
+                            "character data outside the root element",
+                            start + offset,
+                        )
+                    if "&" in raw:
+                        raw = unescape_text(raw)
+                    append(Text(raw))
+                    continue
+                # -- markup: make the construct kind decidable even when a
+                # chunk boundary splits the prefix (longest is <![CDATA[).
+                if n - pos < 9:
+                    self._pos = pos
+                    while n - pos < 9 and self._refill():
+                        text = self._text
+                        n = len(text)
+                second = text[pos + 1] if pos + 1 < n else ""
+                if second == "/":
+                    # -- end tag -----------------------------------------
+                    end = text.find(">", pos)
+                    if end == -1:
+                        self._pos = pos
+                        end = self._find(">", pos)
+                        if end == -1:
+                            raise XMLSyntaxError(
+                                "unterminated end tag", pos + offset
+                            )
+                        text = self._text
+                        n = len(text)
+                    name = text[pos + 2 : end].strip()
+                    if not name:
+                        raise XMLSyntaxError("empty end tag", pos + offset)
+                    if not open_tags:
+                        raise XMLSyntaxError(
+                            f"closing tag </{name}> with no open element",
+                            pos + offset,
+                        )
+                    expected = open_tags.pop()
+                    if expected != name:
+                        raise XMLSyntaxError(
+                            f"mismatched closing tag </{name}>, "
+                            f"expected </{expected}>",
+                            pos + offset,
+                        )
+                    pos = end + 1
+                    token = end_tags.get(name)
+                    if token is None:
+                        token = end_tags[name] = EndTag(name)
+                    append(token)
+                    continue
+                if second == "!" or second == "?":
+                    self._pos = pos
+                    if text.startswith("<!--", pos):
+                        end = self._find("-->", pos)
+                        if end == -1:
+                            raise XMLSyntaxError(
+                                "unterminated construct, expected '-->'",
+                                pos + offset,
+                            )
+                        text = self._text
+                        n = len(text)
+                        pos = end + 3
+                        continue
+                    if text.startswith("<![CDATA[", pos):
+                        end = self._find("]]>", pos)
+                        if end == -1:
+                            raise XMLSyntaxError(
+                                "unterminated CDATA section", pos + offset
+                            )
+                        text = self._text
+                        n = len(text)
+                        content = text[pos + 9 : end]
+                        if not open_tags:
+                            raise XMLSyntaxError(
+                                "character data outside the root element",
+                                pos + offset,
+                            )
+                        pos = end + 3
+                        if strip_ws and not content.strip():
+                            continue
+                        append(Text(content))
+                        continue
+                    if second == "?":
+                        end = self._find("?>", pos)
+                        if end == -1:
+                            raise XMLSyntaxError(
+                                "unterminated construct, expected '?>'",
+                                pos + offset,
+                            )
+                        text = self._text
+                        n = len(text)
+                        pos = end + 2
+                        continue
+                    pos = self._skip_doctype(pos)
+                    text = self._text
+                    n = len(text)
+                    continue
+                # -- start tag -------------------------------------------
+                end = text.find(">", pos)
+                if end == -1:
+                    self._pos = pos
+                    end = self._find(">", pos)
+                    if end == -1:
+                        raise XMLSyntaxError(
+                            "unterminated start tag", pos + offset
+                        )
+                    text = self._text
+                    n = len(text)
+                body = text[pos + 1 : end]
+                if body.endswith("/"):
+                    self_closing = True
+                    body = body[:-1]
+                else:
+                    self_closing = False
+                if (
+                    " " in body
+                    or "\t" in body
+                    or "\n" in body
+                    or "\r" in body
+                ):
+                    name, attributes = self._parse_tag_body(body, pos)
+                else:
+                    if not body:
+                        raise XMLSyntaxError("empty start tag", pos + offset)
+                    name, attributes = body, ()
+                if self._seen_root and not open_tags:
+                    raise XMLSyntaxError(
+                        "document has more than one root element", pos + offset
+                    )
+                self._seen_root = True
+                pos = end + 1
+                token = start_tags.get(name)
+                if token is None:
+                    token = start_tags[name] = StartTag(name)
+                append(token)
+                if attributes and self._convert_attributes:
+                    for attr_name, attr_value in attributes:
+                        attr_start = start_tags.get(attr_name)
+                        if attr_start is None:
+                            attr_start = start_tags[attr_name] = StartTag(
+                                attr_name
+                            )
+                        attr_end = end_tags.get(attr_name)
+                        if attr_end is None:
+                            attr_end = end_tags[attr_name] = EndTag(attr_name)
+                        append(attr_start)
+                        if attr_value:
+                            append(Text(attr_value))
+                        append(attr_end)
+                if self_closing:
+                    token = end_tags.get(name)
+                    if token is None:
+                        token = end_tags[name] = EndTag(name)
+                    append(token)
+                else:
+                    open_tags.append(name)
+        except XMLSyntaxError as error:
+            # Deliver already-scanned tokens first, then the error — the
+            # stream behaves exactly like the token-at-a-time oracle.
+            self._error = error
+            self._pos = pos
+            return bool(out)
+        self._pos = pos
+        if out:
+            return True
+        # No tokens: either the stream ended, or the budget went into
+        # skipped constructs / stripped whitespace and scanning continues.
+        return progressed and (pos < len(self._text) or not self._at_eof())
+
+    def _at_eof(self) -> bool:
+        return not self._refill()
+
+    def _find(self, needle: str, start: int) -> int:
+        """``str.find`` that refills until the needle appears or input ends."""
+        end = self._text.find(needle, start)
+        while end == -1:
+            old_length = len(self._text)
+            if not self._refill():
+                return -1
+            # The needle may straddle the old chunk boundary.
+            rescan_from = max(start, old_length - len(needle) + 1)
+            end = self._text.find(needle, rescan_from)
+        return end
+
+    def _skip_doctype(self, pos: int) -> int:
+        # DOCTYPE may contain an internal subset in square brackets.
+        depth = 0
+        i = pos
+        while True:
+            while i >= len(self._text):
+                if not self._refill():
+                    raise XMLSyntaxError(
+                        "unterminated <!DOCTYPE ...> clause", pos + self._offset
+                    )
+            ch = self._text[i]
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                return i + 1
+            i += 1
+
+    def _parse_tag_body(
+        self, body: str, pos: int
+    ) -> tuple[str, list[tuple[str, str]]]:
+        body = body.strip()
+        if not body:
+            raise XMLSyntaxError("empty start tag", pos + self._offset)
+        i = 0
+        while i < len(body) and body[i] not in _WHITESPACE:
+            i += 1
+        name = body[:i]
+        attributes: list[tuple[str, str]] = []
+        while i < len(body):
+            while i < len(body) and body[i] in _WHITESPACE:
+                i += 1
+            if i >= len(body):
+                break
+            eq = body.find("=", i)
+            if eq == -1:
+                raise XMLSyntaxError(
+                    f"malformed attribute in <{name}>", pos + self._offset
+                )
+            attr_name = body[i:eq].strip()
+            j = eq + 1
+            while j < len(body) and body[j] in _WHITESPACE:
+                j += 1
+            if j >= len(body) or body[j] not in "\"'":
+                raise XMLSyntaxError(
+                    f"unquoted attribute value in <{name}>", pos + self._offset
+                )
+            quote = body[j]
+            close = body.find(quote, j + 1)
+            if close == -1:
+                raise XMLSyntaxError(
+                    f"unterminated attribute value in <{name}>", pos + self._offset
+                )
+            attributes.append((attr_name, unescape_text(body[j + 1 : close])))
+            i = close + 1
+        return name, attributes
+
+    def _finish_checks(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        # ``_pos`` is window-relative in chunked file mode; add the
+        # compacted-away prefix so positions stay document-absolute.
+        position = self._pos + self._offset
+        if self._open_tags:
+            raise XMLSyntaxError(
+                f"input exhausted with unclosed element <{self._open_tags[-1]}>",
+                position,
+            )
+        if not self._seen_root:
+            raise XMLSyntaxError("document has no root element", position)
+
+
+def str_tokenize(
+    text: str,
+    *,
+    strip_whitespace: bool = True,
+    convert_attributes: bool = True,
+) -> Iterator[Token]:
+    """Tokenize ``text`` into a stream of :class:`~repro.xmlio.tokens.Token`."""
+    return iter(
+        StrXMLTokenizer(
+            text,
+            strip_whitespace=strip_whitespace,
+            convert_attributes=convert_attributes,
+        )
+    )

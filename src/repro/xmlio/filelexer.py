@@ -1,29 +1,44 @@
-"""File-backed streaming tokenizer with bounded memory.
+"""File-backed streaming tokenizer: mmap scanning with a chunked fallback.
 
-:class:`XMLTokenizer` holds the whole document in a string; for a streaming
-engine that defeats the purpose when the input is a multi-gigabyte file.
-:class:`FileTokenizer` reads fixed-size chunks on demand (the ``_refill``
-hook) and periodically *compacts* the consumed prefix away, so the resident
-window stays proportional to the chunk size — the engine's end-to-end memory
-then really is the buffer high watermark plus O(chunk).
+:class:`XMLTokenizer` scans one contiguous byte buffer; for file input there
+are two ways to provide one:
+
+* **mmap** — :func:`tokenize_file` maps a *path* read-only and hands the map
+  straight to the in-memory scanner: ``bytes.find`` jumps run over the page
+  cache with zero copying, and resident memory is whatever the OS keeps
+  paged in, not the file size.  Token byte spans are sliced out of the map
+  as plain ``bytes``, so emitted tokens never pin the mapping.
+* **chunked reads** — :class:`FileTokenizer` wraps any open file object
+  (binary preferred; text mode is accepted and encoded chunk-by-chunk,
+  which is safe because a ``str`` chunk boundary can never split a code
+  point).  It reads fixed-size chunks on demand (the ``_refill`` hook) and
+  periodically *compacts* the consumed prefix away, so the resident window
+  stays proportional to the chunk size — this is the path for sockets,
+  pipes, and anything else that cannot be mapped.
 
 The interaction with the batch scanner (see :mod:`repro.xmlio.lexer`) is
-what keeps the window bounded: a batch may advance at most ``chunk_size``
-characters (``_batch_chars``), and the consumed prefix is compacted in the
-``_before_batch`` hook, between batches, when no scan positions point into
-the window.  The whole document is therefore never concatenated: at any
-moment the window holds at most one batch span plus one in-flight construct
-plus one read-ahead chunk.
+what keeps the chunked window bounded: a batch may advance at most
+``chunk_size`` bytes (``_batch_bytes``), and the consumed prefix is
+compacted in the ``_before_batch`` hook, between batches, when no scan
+positions point into the window.  Compaction also maintains the newline
+counts that make ``XMLSyntaxError.line``/``.column`` computable after the
+prefix is gone, while ``position`` stays a document-absolute byte offset.
 
-``tokenize_file`` accepts a path or any text-mode file object.
+When ``GCX_LEX_SHARDS`` requests it and the file is large enough,
+``tokenize_file`` hands the path to the process-sharded scan
+(:mod:`repro.xmlio.shard`) instead.
+
+``tokenize_file`` accepts a path or any open (binary or text) file object.
 """
 
 from __future__ import annotations
 
+import mmap
+import os
 from pathlib import Path
-from typing import Iterator, TextIO
+from typing import IO, Iterator
 
-from repro.xmlio.lexer import XMLTokenizer
+from repro.xmlio.lexer import XMLSyntaxError, XMLTokenizer
 from repro.xmlio.tokens import Token
 
 __all__ = ["FileTokenizer", "tokenize_file"]
@@ -36,14 +51,14 @@ class FileTokenizer(XMLTokenizer):
 
     def __init__(
         self,
-        stream: TextIO,
+        stream: IO,
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         strip_whitespace: bool = True,
         convert_attributes: bool = True,
     ) -> None:
         super().__init__(
-            "",
+            b"",
             strip_whitespace=strip_whitespace,
             convert_attributes=convert_attributes,
         )
@@ -51,7 +66,7 @@ class FileTokenizer(XMLTokenizer):
         self._chunk_size = max(chunk_size, 16)
         # Cap batch scanning at one chunk so compaction keeps pace and the
         # resident window stays O(chunk) regardless of document length.
-        self._batch_chars = self._chunk_size
+        self._batch_bytes = self._chunk_size
         self._eof = False
 
     def _refill(self) -> bool:
@@ -61,43 +76,88 @@ class FileTokenizer(XMLTokenizer):
         if not chunk:
             self._eof = True
             return False
-        self._text += chunk
+        if isinstance(chunk, str):
+            # Text-mode stream: encode per chunk.  A ``str`` boundary can
+            # never split a code point, so the concatenation is identical
+            # to encoding the whole document at once.
+            chunk = chunk.encode("utf-8")
+        self._data += chunk
         return True
 
     def _before_batch(self) -> None:
         # Compact between batches only: mid-batch scans hold local
         # positions into the window, which compaction would invalidate.
-        if self._pos > self._chunk_size:
-            self._offset += self._pos
-            self._text = self._text[self._pos :]
+        pos = self._pos
+        if pos > self._chunk_size:
+            discarded = self._data[:pos]
+            # Keep lazy line/column computable after the prefix is gone.
+            self._nl_before += discarded.count(b"\n")
+            last = discarded.rfind(b"\n")
+            if last != -1:
+                self._last_nl_abs = self._offset + last
+            self._offset += pos
+            self._data = self._data[pos:]
             self._pos = 0
 
     @property
     def window_size(self) -> int:
-        """Characters currently resident (for tests and diagnostics)."""
-        return len(self._text)
+        """Bytes currently resident (for tests and diagnostics)."""
+        return len(self._data)
 
 
 def tokenize_file(
-    source: str | Path | TextIO,
+    source: str | Path | IO,
     *,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     strip_whitespace: bool = True,
     convert_attributes: bool = True,
 ) -> Iterator[Token]:
-    """Tokenize an XML file (path or open text file) incrementally.
+    """Tokenize an XML file (path, or open binary/text file) incrementally.
 
-    When given a path the file is opened and closed by the iterator.
+    Paths are mmap-scanned (``chunk_size`` is then irrelevant: the OS pages
+    the file in and out as the scan advances); file objects go through the
+    chunked :class:`FileTokenizer`.  When given a path the underlying file
+    is opened and closed by the iterator.
     """
     if isinstance(source, (str, Path)):
+        if os.environ.get("GCX_LEX_SHARDS", "1") not in ("", "0", "1"):
+            from repro.xmlio import shard
+
+            sharded = shard.maybe_tokenize_file_sharded(
+                source,
+                strip_whitespace=strip_whitespace,
+                convert_attributes=convert_attributes,
+            )
+            if sharded is not None:
+                return sharded
+
         def generate() -> Iterator[Token]:
-            with open(source, "r", encoding="utf-8") as handle:
-                yield from FileTokenizer(
-                    handle,
-                    chunk_size=chunk_size,
-                    strip_whitespace=strip_whitespace,
-                    convert_attributes=convert_attributes,
-                )
+            with open(source, "rb") as handle:
+                try:
+                    mapped = mmap.mmap(
+                        handle.fileno(), 0, access=mmap.ACCESS_READ
+                    )
+                except (ValueError, OSError):
+                    # Empty or unmappable (e.g. a FIFO): chunked fallback.
+                    yield from FileTokenizer(
+                        handle,
+                        chunk_size=chunk_size,
+                        strip_whitespace=strip_whitespace,
+                        convert_attributes=convert_attributes,
+                    )
+                    return
+                with mapped:
+                    try:
+                        yield from XMLTokenizer(
+                            mapped,
+                            strip_whitespace=strip_whitespace,
+                            convert_attributes=convert_attributes,
+                        )
+                    except XMLSyntaxError as error:
+                        # Unwinding closes the map the error's window
+                        # points into; materialize line/column first.
+                        error.ensure_location()
+                        raise
 
         return generate()
     return iter(

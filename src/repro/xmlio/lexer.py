@@ -1,4 +1,4 @@
-"""A streaming XML tokenizer with a chunk-scanning hot path.
+"""A streaming XML tokenizer that scans raw UTF-8 bytes.
 
 The tokenizer is the lowest layer of the GCX architecture (Figure 11): the
 stream preprojector pulls tokens from it one at a time, so the tokenizer must
@@ -6,26 +6,44 @@ never materialize the whole document.  It is deliberately written from
 scratch (no ``xml.sax``) so the repository is self-contained and the token
 boundaries match the paper's stream model exactly.
 
-Hot-path design (see docs/PERFORMANCE.md)
------------------------------------------
-Instead of dispatching one Python method call per token, the scanner fills a
-*batch* of up to :data:`BATCH_TOKENS` tokens per internal call, advancing
-through the document with ``str.find`` jumps — character data, tag bodies and
-skipped constructs are located by substring search, never by per-character
-stepping.  ``next_token`` then serves tokens from the batch by index, which
-makes the per-token cost a list lookup.  Two further properties matter:
+Bytes-domain hot path (see docs/PERFORMANCE.md)
+-----------------------------------------------
+The scanner operates on **bytes end to end** — ``str`` input is encoded
+once up front, file input is mmap-mapped (:mod:`repro.xmlio.filelexer`) —
+and decoding is deferred to the consumers that actually need characters:
 
-* *token interning* — ``StartTag``/``EndTag`` objects are cached per tag
-  name, so a document with a small element vocabulary allocates a bounded
-  number of tag tokens no matter its length;
-* *bounded lookahead* — batches stop after ``_batch_chars`` scanned
-  characters, so the file-backed subclass (:mod:`repro.xmlio.filelexer`) can
-  compact its window between batches and keep memory proportional to the
-  chunk size, not the document.
+* *``bytes.find`` jumps* — character data, tag bodies and skipped
+  constructs are located by C-speed substring search over the raw buffer
+  (an ``mmap`` works directly: it supports ``find`` and slicing), never by
+  per-character stepping.  Every markup delimiter is ASCII, so a multi-byte
+  UTF-8 sequence can never be split by a token boundary.
+* *byte-interned tags* — ``StartTag``/``EndTag`` tokens are cached keyed by
+  the **undecoded** tag slice; a tag name is UTF-8-decoded (and
+  ``sys.intern``-ed, so the matcher's ``(state, tag)`` table keys share one
+  cached hash) exactly once per distinct spelling per document.
+* *decode-on-demand text* — character data is emitted as
+  :class:`~repro.xmlio.tokens.LazyText` carrying the raw byte span; UTF-8
+  decode and entity unescape run only when ``.content`` is first read,
+  i.e. only for nodes that survive projection.  Skipped subtrees never pay
+  ``str`` conversion at all (``text_decode_count`` proves it).
+* *batch scanning* — as before the rewrite, the scanner fills token
+  batches that ``next_token`` serves by index; a batch now stops after a
+  byte budget (:data:`BATCH_BYTES`, or the chunk size in file mode, so the
+  file-backed subclass can compact its window between batches) instead of
+  a token count, which removes a length check from the per-token loop.
+* *shard merge* — for large inputs the optional process-sharded scan
+  (:mod:`repro.xmlio.shard`) splits the document at tag boundaries, lexes
+  the shards in ``fragment`` mode in a process pool, and merges them with a
+  structural re-validation pass; any disagreement falls back to this
+  sequential scanner.
 
-The pre-optimization implementation is preserved verbatim in
-:mod:`repro.xmlio._reference_lexer`; differential tests assert both emit
-identical token streams, and the CI perf gate tracks the speedup.
+Positions (``XMLSyntaxError.position``) are document-absolute **byte**
+offsets; ``.line``/``.column`` are computed lazily from the offending
+window on first access.  The pre-batching implementation is preserved
+verbatim in :mod:`repro.xmlio._reference_lexer` and the pre-bytes batch
+lexer in :mod:`repro.xmlio._str_lexer`; differential tests assert all
+three emit identical token streams, and the CI perf gate tracks the
+speedups.
 
 Supported XML subset
 --------------------
@@ -38,37 +56,154 @@ Supported XML subset
 * CDATA sections, which become text.
 
 Namespaces are treated literally (a tag ``a:b`` is just the name ``a:b``).
+Input must be UTF-8; whitespace *inside markup* is ASCII whitespace (as the
+XML grammar's ``S`` production requires).
 """
 
 from __future__ import annotations
 
+import os
+import re
+from sys import intern
 from typing import Iterator
 
-from repro.xmlio.tokens import EndTag, StartTag, Text, Token, unescape_text
+from repro.xmlio.tokens import EndTag, LazyCData, LazyText, StartTag, Token
 
-__all__ = ["XMLSyntaxError", "XMLTokenizer", "tokenize", "BATCH_TOKENS"]
+__all__ = ["XMLSyntaxError", "XMLTokenizer", "tokenize", "BATCH_BYTES"]
 
-_WHITESPACE = " \t\r\n"
+#: Byte budget per scan batch for in-memory input: one internal scan
+#: call advances at most this far before handing the batch to the
+#: iterator.  Large enough to amortize the per-batch setup over thousands
+#: of tokens, small enough that time-to-first-token and the token batch
+#: stay bounded.  (The file-backed subclass overrides the budget with its
+#: chunk size so window compaction keeps pace with scanning.)
+BATCH_BYTES = 1 << 16
 
-#: Maximum number of tokens scanned ahead per batch.  Large enough to
-#: amortize the per-batch setup, small enough that time-to-first-token and
-#: the file lexer's resident window stay bounded.
-BATCH_TOKENS = 256
+_LT = 0x3C  # ``<``
+_SLASH = 0x2F  # ``/``
+_BANG = 0x21  # ``!``
+_QMARK = 0x3F  # ``?``
 
-#: Character budget sentinel for in-memory scanning (effectively unbounded).
-_NO_BUDGET = 1 << 62
+#: UTF-8 encodings of every code point ``str.strip()`` treats as
+#: whitespace.  ``bytes.isspace()`` only knows the ASCII six; this pattern
+#: covers the rest (NEL, NBSP, the U+2000 block, …) so whitespace-only
+#: classification matches the str-domain reference *without decoding*.
+_UNICODE_WS = re.compile(
+    rb"(?:[ \t\n\r\x0b\x0c\x1c-\x1f]"
+    rb"|\xc2[\x85\xa0]"
+    rb"|\xe1\x9a\x80"
+    rb"|\xe2\x80[\x80-\x8a\xa8\xa9\xaf]"
+    rb"|\xe2\x81\x9f"
+    rb"|\xe3\x80\x80)+\Z"
+).match
+
+
+#: One C-level scan for ASCII whitespace inside a tag body.  (``b" " in
+#: body`` looks cheaper but is ~6x slower than the str equivalent on
+#: CPython, which is exactly the kind of regression a bytes rewrite
+#: invites; a single compiled-pattern search beats four of them.)
+_WS_SEARCH = re.compile(rb"[ \t\r\n]").search
+
+
+#: Slot-descriptor store for ``LazyText._raw``: the hot loop builds text
+#: tokens as ``__new__`` + one descriptor call, bypassing both the
+#: constructor frame and the frozen-dataclass ``__setattr__`` dispatch.
+_SET_RAW = LazyText._raw.__set__
+
+
+def _tag_entry(name_key: bytes) -> "tuple[StartTag, tuple]":
+    """Intern one distinct tag spelling: build its table entry once.
+
+    The entry pairs the shared :class:`StartTag` with its *closer*
+    ``(b"name>", len, EndTag, "name")`` — the end-tag fast path compares
+    upcoming bytes against ``closer[0]`` of the innermost open element, so
+    one ``bytes.__eq__`` both resolves the token and proves the match.
+    """
+    tag = intern(name_key.decode("utf-8"))
+    return (
+        StartTag(tag),
+        (name_key + b">", len(name_key) + 1, EndTag(tag), tag),
+    )
+
+
+def _ws_only(raw: bytes) -> bool:
+    """True when ``raw`` decodes to whitespace-only text (without decoding).
+
+    Mirrors the reference lexer's ``content.strip() == ""`` check in the
+    bytes domain.  Shared with the shard merger's structural validation.
+    """
+    if not raw:
+        return True
+    first = raw[0]
+    if first >= 33 and first < 0xC2:
+        return False  # common case: text starts with a printable ASCII byte
+    return raw.isspace() or _UNICODE_WS(raw) is not None
 
 
 class XMLSyntaxError(ValueError):
-    """Raised when the input is not well-formed within the supported subset."""
+    """Raised when the input is not well-formed within the supported subset.
+
+    ``position`` is the document-absolute **byte** offset of the offending
+    construct (for pure-ASCII documents this coincides with the character
+    offset the pre-bytes lexers reported).  ``line`` and ``column`` (both
+    1-based; the column counts bytes) are computed lazily from the window
+    the lexer attached at raise time — ``None`` when no window is available
+    (e.g. errors raised by the frozen reference lexer).
+    """
 
     def __init__(self, message: str, position: int) -> None:
         super().__init__(f"{message} (at offset {position})")
+        self._message = message
         self.position = position
+        self._window: bytes | None = None
+        self._window_offset = 0
+        self._nl_before = 0
+        self._last_nl_abs = -1
+        self._line: int | None = None
+        self._column: int | None = None
+        self._located = False
+
+    def __reduce__(self):
+        return (XMLSyntaxError, (self._message, self.position))
+
+    @property
+    def line(self) -> int | None:
+        self.ensure_location()
+        return self._line
+
+    @property
+    def column(self) -> int | None:
+        self.ensure_location()
+        return self._column
+
+    def ensure_location(self) -> None:
+        """Force the lazy line/column computation now.
+
+        ``tokenize_file`` calls this before an error propagates out of an
+        mmap-backed scan, because unwinding the generator closes the map
+        the window points into.
+        """
+        if self._located:
+            return
+        self._located = True
+        window = self._window
+        rel = self.position - self._window_offset
+        if window is None or rel < 0:
+            return
+        # ``bytes(...)`` also copies mmap windows, which lack ``count``.
+        prefix = bytes(window[: min(rel, len(window))])
+        self._line = self._nl_before + prefix.count(b"\n") + 1
+        last = prefix.rfind(b"\n")
+        if last != -1:
+            self._column = rel - last
+        elif self._last_nl_abs >= 0:
+            self._column = self.position - self._last_nl_abs
+        else:
+            self._column = self.position + 1
 
 
 class XMLTokenizer:
-    """Incrementally tokenize an XML document held in a string.
+    """Incrementally tokenize an XML document held as UTF-8 bytes.
 
     The tokenizer checks well-formedness of tag nesting as it goes and
     raises :class:`XMLSyntaxError` on mismatched or dangling tags.  Errors
@@ -78,7 +213,10 @@ class XMLTokenizer:
     Parameters
     ----------
     text:
-        The document text.
+        The document: ``str`` (encoded to UTF-8 once), ``bytes``, a
+        ``bytearray``/``memoryview`` (copied to ``bytes``), or an
+        ``mmap.mmap`` (scanned in place; slices taken from it are plain
+        ``bytes``, so emitted tokens never keep the map alive).
     strip_whitespace:
         When true (the default), text tokens consisting purely of whitespace
         between elements are dropped.  XMark documents carry no meaningful
@@ -88,34 +226,57 @@ class XMLTokenizer:
         When true (the default), attributes are emitted as leading
         subelements in document order: ``<a x="1">`` becomes
         ``<a><x>1</x>...``.  This mirrors the paper's benchmark adaptation.
+    fragment:
+        Shard-worker mode (:mod:`repro.xmlio.shard`): structural checks
+        that need the *document* context — root counting, text-outside-root,
+        end-tag matching against elements opened in an earlier shard, and
+        the EOF well-formedness checks — are suspended; the shard merger
+        re-validates the merged stream.  Not part of the public contract.
     """
 
     def __init__(
         self,
-        text: str,
+        text: "str | bytes | bytearray | memoryview",
         *,
         strip_whitespace: bool = True,
         convert_attributes: bool = True,
+        fragment: bool = False,
     ) -> None:
-        self._text = text
+        if isinstance(text, str):
+            data = text.encode("utf-8")
+        elif isinstance(text, (bytearray, memoryview)):
+            data = bytes(text)  # slices must be hashable bytes
+        else:
+            data = text  # bytes or mmap: find + slicing, scanned in place
+        self._data = data
         self._pos = 0
-        self._offset = 0  # characters discarded by compaction (file mode)
+        self._offset = 0  # bytes discarded by compaction (file mode)
         self._strip_whitespace = strip_whitespace
         self._convert_attributes = convert_attributes
-        self._open_tags: list[str] = []
+        self._fragment = fragment
+        # Innermost-first stack of *closers* (see :func:`_tag_entry`)
+        # for the currently open elements; ``closer[3]`` is the tag.
+        self._open_tags: list[tuple] = []
         self._seen_root = False
         self._done = False
-        # Batch machinery: tokens are scanned BATCH_TOKENS at a time into
-        # ``_out`` and served by index.  ``_batch_chars`` caps how far one
+        # Batch machinery: tokens are scanned a batch at a time into
+        # ``_out`` and served by index.  ``_batch_bytes`` caps how far one
         # batch may advance (the file subclass sets it to the chunk size so
         # compaction keeps up with scanning).
         self._out: list[Token] = []
         self._out_pos = 0
-        self._batch_chars = _NO_BUDGET
+        self._batch_bytes = BATCH_BYTES
         self._error: XMLSyntaxError | None = None
-        # Interning tables: one token object per distinct tag name.
-        self._start_tags: dict[str, StartTag] = {}
-        self._end_tags: dict[str, EndTag] = {}
+        # Interning tables keyed by the *undecoded* tag slice: one token
+        # object — and one UTF-8 decode — per distinct tag spelling.
+        # ``_start_tags`` values are :func:`_tag_entry` pairs; ``_end_tags``
+        # caches the slow end-tag path (whitespace spellings and fragments).
+        self._start_tags: dict[bytes, tuple[StartTag, tuple]] = {}
+        self._end_tags: dict[bytes, EndTag] = {}
+        # Newline bookkeeping for lazy line/column on errors: counts for
+        # the compacted-away prefix (file mode keeps these current).
+        self._nl_before = 0
+        self._last_nl_abs = -1
 
     def _refill(self) -> bool:
         """Ask for more input.  The in-memory tokenizer has none; the
@@ -126,10 +287,30 @@ class XMLTokenizer:
         """Hook run before scanning a batch (the file subclass compacts)."""
 
     def __iter__(self) -> Iterator[Token]:
-        return self
+        # Iteration bypasses per-token method dispatch entirely: the
+        # generator marks each batch served and delegates to the list
+        # iterator, so the steady-state cost of one token is a generator
+        # resume plus a list-iterator step.  Mixing ``next_token()`` calls
+        # *into* an in-progress iteration is not supported (the engine
+        # drives one or the other, never both).
+        out = self._out
+        pos = self._out_pos
+        while pos < len(out):
+            # Leftovers from earlier ``next_token()`` pulls, served first.
+            self._out_pos = pos + 1
+            yield out[pos]
+            pos = self._out_pos
+        while True:
+            if not self._fill():
+                if self._error is not None:
+                    raise self._error
+                self._finish_checks()
+                return
+            self._out_pos = len(self._out)
+            yield from self._out
 
     def __next__(self) -> Token:
-        # Inline the batch fast path: one bounds check and a list index.
+        # Token-at-a-time protocol for direct (non-``__iter__``) callers.
         out = self._out
         pos = self._out_pos
         if pos < len(out):
@@ -166,7 +347,7 @@ class XMLTokenizer:
 
         Returns False when the stream is exhausted (or a deferred syntax
         error is pending); True when the batch may hold tokens — possibly
-        zero, when the character budget was spent on skipped constructs.
+        zero, when the byte budget was spent on skipped constructs.
         """
         if self._error is not None:
             return False
@@ -175,233 +356,292 @@ class XMLTokenizer:
         out.clear()
         self._out_pos = 0
         append = out.append
-        text = self._text
-        n = len(text)
+        data = self._data
+        find = data.find
         pos = self._pos
-        limit = pos + self._batch_chars
+        scan_start = pos
+        limit = pos + self._batch_bytes
         offset = self._offset
         strip_ws = self._strip_whitespace
+        fragment = self._fragment
+        seen_root = self._seen_root
         open_tags = self._open_tags
+        pop = open_tags.pop
+        push = open_tags.append
         start_tags = self._start_tags
+        start_get = start_tags.get
         end_tags = self._end_tags
-        progressed = False
+        lazy_new = LazyText.__new__
+        lazy_cls = LazyText
+        set_raw = _SET_RAW
         try:
-            while len(out) < BATCH_TOKENS and pos <= limit:
-                if pos >= n:
+            while pos <= limit:
+                # EAFP bounds handling: indexing past the window raises
+                # instead of paying a ``pos >= n`` compare per token
+                # (zero-cost try on CPython 3.11+ exception tables).
+                try:
+                    first_byte = data[pos]
+                except IndexError:
                     self._pos = pos
                     if not self._refill():
                         break
-                    text = self._text
-                    n = len(text)
+                    data = self._data
+                    find = data.find
                     continue
-                progressed = True
-                if text[pos] != "<":
+                if first_byte != _LT:
                     # -- character data run ------------------------------
-                    end = text.find("<", pos)
+                    end = find(b"<", pos)
                     if end == -1:
                         self._pos = pos
                         while end == -1:
-                            # Resume the search where the old text ended:
+                            # Resume the search where the old data ended:
                             # rescanning from ``pos`` would make one long
                             # text run quadratic in the number of refills.
-                            old_length = len(text)
+                            old_length = len(data)
                             if not self._refill():
                                 break
-                            text = self._text
-                            end = text.find("<", old_length)
-                        n = len(text)
+                            data = self._data
+                            find = data.find
+                            end = find(b"<", old_length)
                         if end == -1:
-                            end = n
-                    raw = text[pos:end]
+                            end = len(data)
+                    raw = data[pos:end]
                     start = pos
                     pos = end
-                    if raw.isspace():
+                    if (first_byte < 33 or first_byte >= 0xC2) and (
+                        raw.isspace() or _UNICODE_WS(raw) is not None
+                    ):
                         if strip_ws:
                             continue
-                        append(Text(raw))
-                        continue
-                    if not open_tags:
+                    elif not open_tags and not fragment:
                         raise XMLSyntaxError(
                             "character data outside the root element",
                             start + offset,
                         )
-                    if "&" in raw:
-                        raw = unescape_text(raw)
-                    append(Text(raw))
+                    # Inlined LazyText construction (``__new__`` plus one
+                    # slot-descriptor store, no constructor frame): this
+                    # runs once per text node in the document.
+                    token = lazy_new(lazy_cls)
+                    set_raw(token, raw)
+                    append(token)
                     continue
-                # -- markup: make the construct kind decidable even when a
-                # chunk boundary splits the prefix (longest is <![CDATA[).
-                if n - pos < 9:
+                try:
+                    second = data[pos + 1]
+                except IndexError:
+                    # ``<`` is the window's last byte: in file mode the
+                    # construct continues in the next chunk.
                     self._pos = pos
-                    while n - pos < 9 and self._refill():
-                        text = self._text
-                        n = len(text)
-                second = text[pos + 1] if pos + 1 < n else ""
-                if second == "/":
+                    while pos + 1 >= len(data) and self._refill():
+                        data = self._data
+                        find = data.find
+                    second = data[pos + 1] if pos + 1 < len(data) else -1
+                if second == _SLASH:
                     # -- end tag -----------------------------------------
-                    end = text.find(">", pos)
+                    # Fast path: compare the upcoming bytes against the
+                    # precomputed ``name>`` closer of the innermost open
+                    # element.  A hit resolves the token, proves the match
+                    # and advances — no ``find``, no name parse.
+                    if open_tags:
+                        closer = open_tags[-1]
+                        skip = closer[1]
+                        if data[pos + 2 : pos + 2 + skip] == closer[0]:
+                            pop()
+                            pos = pos + 2 + skip
+                            append(closer[2])
+                            continue
+                    # Slow path: whitespace inside the tag, a mismatch, a
+                    # fragment-mode close, or a chunk boundary mid-tag.
+                    end = find(b">", pos)
                     if end == -1:
                         self._pos = pos
-                        end = self._find(">", pos)
+                        end = self._find(b">", pos)
                         if end == -1:
                             raise XMLSyntaxError(
                                 "unterminated end tag", pos + offset
                             )
-                        text = self._text
-                        n = len(text)
-                    name = text[pos + 2 : end].strip()
-                    if not name:
-                        raise XMLSyntaxError("empty end tag", pos + offset)
-                    if not open_tags:
-                        raise XMLSyntaxError(
-                            f"closing tag </{name}> with no open element",
-                            pos + offset,
-                        )
-                    expected = open_tags.pop()
-                    if expected != name:
-                        raise XMLSyntaxError(
-                            f"mismatched closing tag </{name}>, "
-                            f"expected </{expected}>",
-                            pos + offset,
-                        )
-                    pos = end + 1
-                    token = end_tags.get(name)
+                        data = self._data
+                        find = data.find
+                    key = data[pos + 2 : end]
+                    token = end_tags.get(key)
                     if token is None:
-                        token = end_tags[name] = EndTag(name)
+                        stripped = key.strip()
+                        if not stripped:
+                            raise XMLSyntaxError("empty end tag", pos + offset)
+                        token = end_tags[key] = EndTag(
+                            intern(stripped.decode("utf-8"))
+                        )
+                    name = token.tag
+                    if not open_tags:
+                        if not fragment:
+                            raise XMLSyntaxError(
+                                f"closing tag </{name}> with no open element",
+                                pos + offset,
+                            )
+                    else:
+                        expected = open_tags[-1][3]
+                        if expected == name:
+                            pop()
+                        elif fragment:
+                            # An outer element opened in an earlier shard
+                            # may close here; the merger re-validates.
+                            pass
+                        else:
+                            raise XMLSyntaxError(
+                                f"mismatched closing tag </{name}>, "
+                                f"expected </{expected}>",
+                                pos + offset,
+                            )
+                    pos = end + 1
                     append(token)
                     continue
-                if second == "!" or second == "?":
+                if second == _BANG or second == _QMARK:
                     self._pos = pos
-                    if text.startswith("<!--", pos):
-                        end = self._find("-->", pos)
+                    # Make the construct kind decidable even when a chunk
+                    # boundary splits the prefix (longest is <![CDATA[);
+                    # only this rare branch pays for the lookahead check.
+                    if len(data) - pos < 9:
+                        while len(data) - pos < 9 and self._refill():
+                            data = self._data
+                        find = data.find
+                    if data[pos : pos + 4] == b"<!--":
+                        end = self._find(b"-->", pos)
                         if end == -1:
                             raise XMLSyntaxError(
                                 "unterminated construct, expected '-->'",
                                 pos + offset,
                             )
-                        text = self._text
-                        n = len(text)
+                        data = self._data
+                        find = data.find
                         pos = end + 3
                         continue
-                    if text.startswith("<![CDATA[", pos):
-                        end = self._find("]]>", pos)
+                    if data[pos : pos + 9] == b"<![CDATA[":
+                        end = self._find(b"]]>", pos)
                         if end == -1:
                             raise XMLSyntaxError(
                                 "unterminated CDATA section", pos + offset
                             )
-                        text = self._text
-                        n = len(text)
-                        content = text[pos + 9 : end]
-                        if not open_tags:
+                        data = self._data
+                        find = data.find
+                        content = data[pos + 9 : end]
+                        if not open_tags and not fragment:
                             raise XMLSyntaxError(
                                 "character data outside the root element",
                                 pos + offset,
                             )
                         pos = end + 3
-                        if strip_ws and not content.strip():
+                        if strip_ws and _ws_only(content):
                             continue
-                        append(Text(content))
+                        append(LazyCData(content))
                         continue
-                    if second == "?":
-                        end = self._find("?>", pos)
+                    if second == _QMARK:
+                        end = self._find(b"?>", pos)
                         if end == -1:
                             raise XMLSyntaxError(
                                 "unterminated construct, expected '?>'",
                                 pos + offset,
                             )
-                        text = self._text
-                        n = len(text)
+                        data = self._data
+                        find = data.find
                         pos = end + 2
                         continue
                     pos = self._skip_doctype(pos)
-                    text = self._text
-                    n = len(text)
+                    data = self._data
+                    find = data.find
                     continue
                 # -- start tag -------------------------------------------
-                end = text.find(">", pos)
+                end = find(b">", pos)
                 if end == -1:
                     self._pos = pos
-                    end = self._find(">", pos)
+                    end = self._find(b">", pos)
                     if end == -1:
                         raise XMLSyntaxError(
                             "unterminated start tag", pos + offset
                         )
-                    text = self._text
-                    n = len(text)
-                body = text[pos + 1 : end]
-                if body.endswith("/"):
+                    data = self._data
+                    find = data.find
+                if data[end - 1] == _SLASH:
                     self_closing = True
-                    body = body[:-1]
+                    body = data[pos + 1 : end - 1]
                 else:
                     self_closing = False
-                if (
-                    " " in body
-                    or "\t" in body
-                    or "\n" in body
-                    or "\r" in body
-                ):
-                    name, attributes = self._parse_tag_body(body, pos)
+                    body = data[pos + 1 : end]
+                # Interned fast path: every cached key is whitespace-free
+                # (guarded at the insertion sites), so a hit proves the
+                # body is a bare, already-seen tag name and the whitespace
+                # scan and name parse can be skipped entirely.
+                entry = start_get(body)
+                if entry is not None:
+                    token, closer = entry
+                    attributes = ()
+                elif _WS_SEARCH(body) is not None:
+                    name_key, attributes = self._parse_tag_body(body, pos)
+                    entry = start_get(name_key)
+                    if entry is None:
+                        entry = start_tags[name_key] = _tag_entry(name_key)
+                    token, closer = entry
                 else:
                     if not body:
                         raise XMLSyntaxError("empty start tag", pos + offset)
-                    name, attributes = body, ()
-                if self._seen_root and not open_tags:
-                    raise XMLSyntaxError(
-                        "document has more than one root element", pos + offset
-                    )
-                self._seen_root = True
+                    token, closer = start_tags[body] = _tag_entry(body)
+                    attributes = ()
+                if not open_tags:
+                    if seen_root and not fragment:
+                        raise XMLSyntaxError(
+                            "document has more than one root element",
+                            pos + offset,
+                        )
+                    seen_root = True
                 pos = end + 1
-                token = start_tags.get(name)
-                if token is None:
-                    token = start_tags[name] = StartTag(name)
                 append(token)
                 if attributes and self._convert_attributes:
                     for attr_name, attr_value in attributes:
-                        attr_start = start_tags.get(attr_name)
-                        if attr_start is None:
-                            attr_start = start_tags[attr_name] = StartTag(
-                                attr_name
-                            )
-                        attr_end = end_tags.get(attr_name)
-                        if attr_end is None:
-                            attr_end = end_tags[attr_name] = EndTag(attr_name)
-                        append(attr_start)
+                        attr_entry = start_get(attr_name)
+                        if attr_entry is None:
+                            attr_entry = _tag_entry(attr_name)
+                            # Pathological attr names (empty, or containing
+                            # whitespace) stay uncached: the start-tag fast
+                            # path relies on cached keys being bare names.
+                            if attr_name and _WS_SEARCH(attr_name) is None:
+                                start_tags[attr_name] = attr_entry
+                        append(attr_entry[0])
                         if attr_value:
-                            append(Text(attr_value))
-                        append(attr_end)
+                            append(LazyText(attr_value))
+                        append(attr_entry[1][2])
                 if self_closing:
-                    token = end_tags.get(name)
-                    if token is None:
-                        token = end_tags[name] = EndTag(name)
-                    append(token)
+                    append(closer[2])
                 else:
-                    open_tags.append(name)
+                    push(closer)
         except XMLSyntaxError as error:
             # Deliver already-scanned tokens first, then the error — the
             # stream behaves exactly like the token-at-a-time oracle.
+            self._attach_location(error)
             self._error = error
             self._pos = pos
+            self._seen_root = seen_root
             return bool(out)
         self._pos = pos
+        self._seen_root = seen_root
         if out:
             return True
         # No tokens: either the stream ended, or the budget went into
         # skipped constructs / stripped whitespace and scanning continues.
-        return progressed and (pos < len(self._text) or not self._at_eof())
+        # (``pos > scan_start``: every loop iteration that saw input either
+        # appended a token or advanced the scan position.)
+        return pos > scan_start and (pos < len(self._data) or not self._at_eof())
 
     def _at_eof(self) -> bool:
         return not self._refill()
 
-    def _find(self, needle: str, start: int) -> int:
-        """``str.find`` that refills until the needle appears or input ends."""
-        end = self._text.find(needle, start)
+    def _find(self, needle: bytes, start: int) -> int:
+        """``bytes.find`` that refills until the needle appears or input ends."""
+        end = self._data.find(needle, start)
         while end == -1:
-            old_length = len(self._text)
+            old_length = len(self._data)
             if not self._refill():
                 return -1
             # The needle may straddle the old chunk boundary.
             rescan_from = max(start, old_length - len(needle) + 1)
-            end = self._text.find(needle, rescan_from)
+            end = self._data.find(needle, rescan_from)
         return end
 
     def _skip_doctype(self, pos: int) -> int:
@@ -409,82 +649,117 @@ class XMLTokenizer:
         depth = 0
         i = pos
         while True:
-            while i >= len(self._text):
+            while i >= len(self._data):
                 if not self._refill():
                     raise XMLSyntaxError(
                         "unterminated <!DOCTYPE ...> clause", pos + self._offset
                     )
-            ch = self._text[i]
-            if ch == "[":
+            ch = self._data[i]
+            if ch == 0x5B:  # ``[``
                 depth += 1
-            elif ch == "]":
+            elif ch == 0x5D:  # ``]``
                 depth -= 1
-            elif ch == ">" and depth <= 0:
+            elif ch == 0x3E and depth <= 0:  # ``>``
                 return i + 1
             i += 1
 
     def _parse_tag_body(
-        self, body: str, pos: int
-    ) -> tuple[str, list[tuple[str, str]]]:
+        self, body: bytes, pos: int
+    ) -> tuple[bytes, list[tuple[bytes, bytes]]]:
         body = body.strip()
         if not body:
             raise XMLSyntaxError("empty start tag", pos + self._offset)
         i = 0
-        while i < len(body) and body[i] not in _WHITESPACE:
+        length = len(body)
+        while i < length and body[i] not in b" \t\r\n":
             i += 1
         name = body[:i]
-        attributes: list[tuple[str, str]] = []
-        while i < len(body):
-            while i < len(body) and body[i] in _WHITESPACE:
+        attributes: list[tuple[bytes, bytes]] = []
+        while i < length:
+            while i < length and body[i] in b" \t\r\n":
                 i += 1
-            if i >= len(body):
+            if i >= length:
                 break
-            eq = body.find("=", i)
+            eq = body.find(b"=", i)
             if eq == -1:
                 raise XMLSyntaxError(
-                    f"malformed attribute in <{name}>", pos + self._offset
+                    f"malformed attribute in <{name.decode('utf-8')}>",
+                    pos + self._offset,
                 )
             attr_name = body[i:eq].strip()
             j = eq + 1
-            while j < len(body) and body[j] in _WHITESPACE:
+            while j < length and body[j] in b" \t\r\n":
                 j += 1
-            if j >= len(body) or body[j] not in "\"'":
+            if j >= length or body[j] not in b"\"'":
                 raise XMLSyntaxError(
-                    f"unquoted attribute value in <{name}>", pos + self._offset
+                    f"unquoted attribute value in <{name.decode('utf-8')}>",
+                    pos + self._offset,
                 )
             quote = body[j]
             close = body.find(quote, j + 1)
             if close == -1:
                 raise XMLSyntaxError(
-                    f"unterminated attribute value in <{name}>", pos + self._offset
+                    "unterminated attribute value in "
+                    f"<{name.decode('utf-8')}>",
+                    pos + self._offset,
                 )
-            attributes.append((attr_name, unescape_text(body[j + 1 : close])))
+            attributes.append((attr_name, body[j + 1 : close]))
             i = close + 1
         return name, attributes
 
     def _finish_checks(self) -> None:
-        if self._done:
+        if self._done or self._fragment:
+            self._done = True
             return
         self._done = True
         # ``_pos`` is window-relative in chunked file mode; add the
         # compacted-away prefix so positions stay document-absolute.
         position = self._pos + self._offset
         if self._open_tags:
-            raise XMLSyntaxError(
-                f"input exhausted with unclosed element <{self._open_tags[-1]}>",
+            error = XMLSyntaxError(
+                f"input exhausted with unclosed element <{self._open_tags[-1][3]}>",
                 position,
             )
+            self._attach_location(error)
+            raise error
         if not self._seen_root:
-            raise XMLSyntaxError("document has no root element", position)
+            error = XMLSyntaxError("document has no root element", position)
+            self._attach_location(error)
+            raise error
+
+    def _attach_location(self, error: XMLSyntaxError) -> None:
+        """Give the error what lazy line/column needs: the current window
+        (which contains the offending byte) and the newline counts for the
+        prefix that compaction already discarded."""
+        error._window = self._data
+        error._window_offset = self._offset
+        error._nl_before = self._nl_before
+        error._last_nl_abs = self._last_nl_abs
 
 
 def tokenize(
-    text: str,
+    text: "str | bytes | bytearray | memoryview",
     *,
     strip_whitespace: bool = True,
     convert_attributes: bool = True,
 ) -> Iterator[Token]:
-    """Tokenize ``text`` into a stream of :class:`~repro.xmlio.tokens.Token`."""
+    """Tokenize ``text`` into a stream of :class:`~repro.xmlio.tokens.Token`.
+
+    Accepts ``str`` (encoded once) or raw UTF-8 bytes.  When
+    ``GCX_LEX_SHARDS`` requests it and the document is large enough, the
+    scan is sharded across the process pool (see :mod:`repro.xmlio.shard`);
+    the token stream is identical either way.
+    """
+    if os.environ.get("GCX_LEX_SHARDS", "1") not in ("", "0", "1"):
+        from repro.xmlio import shard
+
+        sharded = shard.maybe_tokenize_sharded(
+            text,
+            strip_whitespace=strip_whitespace,
+            convert_attributes=convert_attributes,
+        )
+        if sharded is not None:
+            return sharded
     return iter(
         XMLTokenizer(
             text,

@@ -1,0 +1,485 @@
+"""Process-sharded document scanning: parallel lexing with a merge check.
+
+Python's GIL serializes the in-process tokenizer, so the only real
+parallelism available for the scan itself is multi-process: split the
+document into byte ranges at safe tag boundaries, lex every shard in a
+:class:`~concurrent.futures.ProcessPoolExecutor` worker, and merge the
+per-shard event lists back into one token stream.  This module implements
+that stretch path behind two environment variables:
+
+* ``GCX_LEX_SHARDS`` — shard count; unset, ``0`` or ``1`` disables the
+  path entirely (the callers in :mod:`repro.xmlio.lexer` and
+  :mod:`repro.xmlio.filelexer` do not even import this module then).
+* ``GCX_LEX_SHARD_MIN_BYTES`` — minimum document size worth the worker
+  round-trip (default 4 MiB; tests set 0 to exercise the path on small
+  documents).
+
+Safety model
+------------
+Sharding must never change observable behavior, so every shortcut has a
+sequential safety net:
+
+1. **Split planning** mirrors the sequential lexer's own skipping rules: a
+   single claim-scan walks ``<!``/``<?`` constructs (comments, CDATA,
+   processing instructions, DOCTYPE with its bracketed subset) exactly the
+   way the lexer skips them, and split points are only placed at a ``<``
+   that starts a tag *outside* all such regions — a position where the
+   sequential scanner would be at a token boundary.
+2. **Workers** run the ordinary :class:`~repro.xmlio.lexer.XMLTokenizer`
+   in ``fragment`` mode (document-level checks suspended) and return
+   compact event tuples — tag names as ``str``, text as the *undecoded*
+   byte span, so decode-on-demand survives the process hop.  A worker that
+   hits any lexical error returns ``None``.
+3. **The merger** re-validates the concatenated events against the full
+   document grammar (tag nesting, single root, no character data outside
+   the root) *before* yielding anything.  Any worker failure or validation
+   mismatch abandons the sharded result and the caller falls back to the
+   sequential scanner, which reproduces the exact error (or the exact
+   stream) with document-absolute positions.
+
+The merged token list is materialized up front — the latency win of
+parallel scanning is bought with O(tokens) memory, which is why the
+minimum-size gate exists.  Shards of in-memory documents are shipped to
+workers by pickling the byte range; file shards are shipped as
+``(path, lo, hi)`` and read by the worker itself.  The worker pool uses
+the **spawn** start method because callers tokenize from arbitrary
+threads (see :func:`_get_executor`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import mmap
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from sys import intern
+from typing import Iterator
+
+from repro.xmlio.lexer import XMLSyntaxError, XMLTokenizer, _ws_only
+from repro.xmlio.tokens import (
+    EndTag,
+    LazyCData,
+    LazyText,
+    StartTag,
+    Token,
+)
+
+__all__ = ["maybe_tokenize_sharded", "maybe_tokenize_file_sharded"]
+
+DEFAULT_MIN_BYTES = 4 * 1024 * 1024
+
+# Event kinds (worker -> parent).
+_START, _END, _TEXT, _CDATA = 0, 1, 2, 3
+
+# Bytes that may follow ``<`` at a legitimate tag boundary: ``/`` (end
+# tag), an ASCII name-start character, or the lead byte of a multi-byte
+# UTF-8 name.
+_TAGISH = frozenset(b"/_:" + bytes(range(0x41, 0x5B)) + bytes(range(0x61, 0x7B)))
+
+
+def _shard_count() -> int:
+    # A multiprocessing child never shards, whatever the env says: its
+    # parent already owns the parallelism (a SessionPool process worker,
+    # or one of our own shard workers), and nesting executors would
+    # oversubscribe the cores — or deadlock outright if the child was
+    # *forked* while a parent thread held this module's executor lock.
+    # The gate sits before any lock acquisition for exactly that reason.
+    if multiprocessing.parent_process() is not None:
+        return 1
+    raw = os.environ.get("GCX_LEX_SHARDS", "1")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _min_shard_bytes() -> int:
+    raw = os.environ.get("GCX_LEX_SHARD_MIN_BYTES", "")
+    try:
+        return int(raw) if raw else DEFAULT_MIN_BYTES
+    except ValueError:
+        return DEFAULT_MIN_BYTES
+
+
+# ----------------------------------------------------------------------
+# split planning
+# ----------------------------------------------------------------------
+
+
+def _plan_regions(data) -> "list[tuple[int, int]] | None":
+    """Byte ranges the sequential lexer would skip as one construct.
+
+    One sequential claim-scan over every ``<!``/``<?`` occurrence,
+    resolving each the way the lexer does (comment, CDATA, PI, DOCTYPE
+    with blind bracket counting).  Occurrences inside an already-claimed
+    range (e.g. ``<!--`` within CDATA) are subsumed by it, so the result
+    covers every construct the lexer would actually skip.  Returns None
+    for an unterminated construct — the document is ill-formed and must be
+    scanned sequentially for the exact error.
+    """
+    regions: list[tuple[int, int]] = []
+    i = 0
+    n = len(data)
+    while True:
+        bang = data.find(b"<!", i)
+        qmark = data.find(b"<?", i)
+        if bang == -1 and qmark == -1:
+            return regions
+        start = min(x for x in (bang, qmark) if x != -1)
+        if data[start : start + 4] == b"<!--":
+            end = data.find(b"-->", start + 4)
+            if end == -1:
+                return None
+            i = end + 3
+        elif data[start : start + 9] == b"<![CDATA[":
+            end = data.find(b"]]>", start + 9)
+            if end == -1:
+                return None
+            i = end + 3
+        elif data[start + 1] == 0x3F:  # ``<?`` PI / XML declaration
+            end = data.find(b"?>", start + 2)
+            if end == -1:
+                return None
+            i = end + 2
+        else:  # ``<!`` DOCTYPE-ish: blind bracket counting, like the lexer
+            depth = 0
+            j = start
+            while True:
+                if j >= n:
+                    return None
+                ch = data[j]
+                if ch == 0x5B:  # ``[``
+                    depth += 1
+                elif ch == 0x5D:  # ``]``
+                    depth -= 1
+                elif ch == 0x3E and depth <= 0:  # ``>``
+                    break
+                j += 1
+            i = j + 1
+        regions.append((start, i))
+
+
+def _next_split(data, target: int, regions) -> "int | None":
+    """First safe split point at or after ``target``.
+
+    A safe split is a ``<`` that opens a start or end tag outside every
+    skipped region: the sequential scanner is guaranteed to be at a token
+    boundary there.
+    """
+    n = len(data)
+    i = target
+    while True:
+        i = data.find(b"<", i)
+        if i == -1 or i + 1 >= n:
+            return None
+        containing = None
+        for lo, hi in regions:
+            if lo <= i < hi:
+                containing = hi
+            elif lo > i:
+                break
+        if containing is not None:
+            i = containing
+            continue
+        nxt = data[i + 1]
+        if nxt in _TAGISH or nxt >= 0xC2:
+            return i
+        i += 1
+
+
+def _plan_splits(data, shards: int) -> "list[int] | None":
+    """Strictly increasing shard boundaries ``[0, ..., len(data)]``."""
+    regions = _plan_regions(data)
+    if regions is None:
+        return None
+    n = len(data)
+    bounds = [0]
+    for k in range(1, shards):
+        split = _next_split(data, k * n // shards, regions)
+        if split is None:
+            break
+        if split > bounds[-1]:
+            bounds.append(split)
+    if len(bounds) < 2:
+        return None
+    bounds.append(n)
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# workers
+# ----------------------------------------------------------------------
+
+
+def _scan_fragment(data, strip_whitespace: bool, convert_attributes: bool):
+    events: list = []
+    append = events.append
+    try:
+        for token in XMLTokenizer(
+            data,
+            strip_whitespace=strip_whitespace,
+            convert_attributes=convert_attributes,
+            fragment=True,
+        ):
+            cls = token.__class__
+            if cls is StartTag:
+                append((_START, token.tag))
+            elif cls is EndTag:
+                append((_END, token.tag))
+            elif cls is LazyCData:
+                append((_CDATA, token._raw))
+            else:  # LazyText (the bytes lexer emits no eager Text)
+                append((_TEXT, token._raw))
+    except XMLSyntaxError:
+        # The shard saw something a fragment cannot absorb; the parent
+        # falls back to one sequential scan for the exact error.
+        return None
+    return events
+
+
+def _worker_lex_bytes(data, strip_whitespace: bool, convert_attributes: bool):
+    return _scan_fragment(data, strip_whitespace, convert_attributes)
+
+
+def _worker_lex_file(
+    path: str, lo: int, hi: int, strip_whitespace: bool, convert_attributes: bool
+):
+    with open(path, "rb") as handle:
+        handle.seek(lo)
+        data = handle.read(hi - lo)
+    return _scan_fragment(data, strip_whitespace, convert_attributes)
+
+
+# ----------------------------------------------------------------------
+# the merge
+# ----------------------------------------------------------------------
+
+
+def _merge_events(results) -> "list[Token] | None":
+    """Concatenate per-shard events into tokens, re-validating structure.
+
+    Returns None on any worker failure or document-level violation (tag
+    mismatch, multiple roots, character data outside the root, unclosed
+    elements): the caller then rescans sequentially, which reproduces the
+    exact sequential error at its exact byte offset.
+    """
+    tokens: list[Token] = []
+    append = tokens.append
+    stack: list[str] = []
+    push = stack.append
+    pop = stack.pop
+    seen_root = False
+    starts: dict[str, StartTag] = {}
+    ends: dict[str, EndTag] = {}
+    lazy_new = LazyText.__new__
+    for events in results:
+        if events is None:
+            return None
+        for kind, value in events:
+            if kind == _START:
+                if not stack:
+                    if seen_root:
+                        return None
+                    seen_root = True
+                token = starts.get(value)
+                if token is None:
+                    tag = intern(value)
+                    token = starts[tag] = StartTag(tag)
+                    ends[tag] = EndTag(tag)
+                push(token.tag)
+                append(token)
+            elif kind == _END:
+                if not stack or stack[-1] != value:
+                    return None
+                pop()
+                append(ends[value])
+            elif kind == _TEXT:
+                if not stack and not _ws_only(value):
+                    return None
+                token = lazy_new(LazyText)
+                object.__setattr__(token, "_raw", value)
+                append(token)
+            else:  # _CDATA: outside the root it is an error even if blank
+                if not stack:
+                    return None
+                append(LazyCData(value))
+    if stack or not seen_root:
+        return None
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# executor lifecycle
+# ----------------------------------------------------------------------
+
+_EXECUTOR: "ProcessPoolExecutor | None" = None
+_EXECUTOR_WORKERS = 0
+_EXECUTOR_PID = 0
+_EXECUTOR_LOCK = threading.Lock()
+
+
+def _get_executor(workers: int) -> ProcessPoolExecutor:
+    """The shared worker pool, (re)created under a lock at the widest
+    width requested so far.
+
+    Two process-level hazards shape this function:
+
+    * Workers are **spawned**, not forked.  Tokenization runs on
+      arbitrary caller threads (SessionPool evaluations, the serve
+      layer), and a fork taken while a sibling thread holds an
+      allocator or executor lock inherits that lock frozen forever —
+      the child deadlocks before it reaches the worker function.
+      Spawned children start clean; the interpreter startup is paid
+      once per process, and the pool is shared across all sharded
+      scans in the parent.
+    * The global is **PID-guarded**.  A caller that is itself a forked
+      worker (SessionPool's process executor) inherits this module's
+      globals, including an executor object whose management threads
+      and pipes exist only in the parent — submitting to it hangs
+      forever.  When the remembered PID is not ours, the inherited
+      reference is *dropped* (never shut down: the machinery belongs
+      to the parent) and a fresh pool is built for this process.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_PID
+    with _EXECUTOR_LOCK:
+        pid = os.getpid()
+        if _EXECUTOR is not None and _EXECUTOR_PID != pid:
+            _EXECUTOR = None
+        if _EXECUTOR is None or _EXECUTOR_WORKERS < workers:
+            if _EXECUTOR is not None:
+                _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+            _EXECUTOR = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            _EXECUTOR_WORKERS = workers
+            _EXECUTOR_PID = pid
+        return _EXECUTOR
+
+
+@atexit.register
+def _shutdown_executor() -> None:
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    if _EXECUTOR is not None and _EXECUTOR_PID == os.getpid():
+        _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _EXECUTOR = None
+        _EXECUTOR_WORKERS = 0
+
+
+def _reset_after_fork() -> None:
+    """Reinitialize executor state in a freshly forked child.
+
+    A fork can land while another thread holds ``_EXECUTOR_LOCK`` (every
+    sharded scan takes it), and the child would inherit the lock frozen
+    in the locked state.  Children never legitimately use the inherited
+    executor (see the PID guard), so the safe reset is a brand-new lock
+    and a dropped reference — never a shutdown, the machinery belongs to
+    the parent.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_PID, _EXECUTOR_LOCK
+    _EXECUTOR_LOCK = threading.Lock()
+    _EXECUTOR = None
+    _EXECUTOR_WORKERS = 0
+    _EXECUTOR_PID = 0
+
+
+os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+
+def maybe_tokenize_sharded(
+    text,
+    *,
+    strip_whitespace: bool = True,
+    convert_attributes: bool = True,
+) -> "Iterator[Token] | None":
+    """Sharded scan of an in-memory document, or None to scan sequentially.
+
+    None means "not applicable or not worth it": sharding disabled, the
+    document below the size gate, no safe split points, a worker error, or
+    a merge validation failure.  The caller's sequential path is always
+    authoritative for errors.
+    """
+    shards = _shard_count()
+    if shards < 2:
+        return None
+    if isinstance(text, str):
+        data = text.encode("utf-8")
+    elif isinstance(text, (bytearray, memoryview)):
+        data = bytes(text)
+    else:
+        data = text
+    if len(data) < max(_min_shard_bytes(), 16):
+        return None
+    bounds = _plan_splits(data, shards)
+    if bounds is None:
+        return None
+    executor = _get_executor(shards)
+    futures = [
+        executor.submit(
+            _worker_lex_bytes,
+            bytes(data[lo:hi]),
+            strip_whitespace,
+            convert_attributes,
+        )
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+    merged = _merge_events([future.result() for future in futures])
+    if merged is None:
+        return None
+    return iter(merged)
+
+
+def maybe_tokenize_file_sharded(
+    source: "str | Path",
+    *,
+    strip_whitespace: bool = True,
+    convert_attributes: bool = True,
+) -> "Iterator[Token] | None":
+    """Sharded scan of a file path, or None to scan sequentially.
+
+    The parent maps the file only to plan split points; workers read their
+    own ``(lo, hi)`` slice, so shard payloads never travel through pickle.
+    """
+    shards = _shard_count()
+    if shards < 2:
+        return None
+    path = os.fspath(source)
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return None
+    if size < max(_min_shard_bytes(), 16):
+        return None
+    with open(path, "rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            return None
+        with mapped:
+            bounds = _plan_splits(mapped, shards)
+    if bounds is None:
+        return None
+    executor = _get_executor(shards)
+    futures = [
+        executor.submit(
+            _worker_lex_file,
+            path,
+            lo,
+            hi,
+            strip_whitespace,
+            convert_attributes,
+        )
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+    merged = _merge_events([future.result() for future in futures])
+    if merged is None:
+        return None
+    return iter(merged)

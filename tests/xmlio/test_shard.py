@@ -1,0 +1,171 @@
+"""Sharded parallel scan: equality with the sequential lexer, safe fallback.
+
+``GCX_LEX_SHARDS=N`` splits a large document at tag boundaries, lexes the
+shards in a process pool, and merges the per-shard event streams after
+re-validating the full document grammar.  The safety contract under test:
+
+* a successful sharded scan yields a token stream *identical* to the
+  frozen reference lexer, whatever markup straddles the split points;
+* any doubt — malformed document, no safe split, tiny input — returns
+  the scan to the sequential path, which stays authoritative for error
+  messages and offsets (so errors are byte-identical with sharding on).
+
+``GCX_LEX_SHARD_MIN_BYTES=0`` removes the size gate so small test
+documents exercise the real multi-process machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmark import generate_xmark
+from repro.xmlio import shard
+from repro.xmlio._reference_lexer import reference_tokenize
+from repro.xmlio.filelexer import tokenize_file
+from repro.xmlio.lexer import XMLSyntaxError, tokenize
+
+
+@pytest.fixture
+def two_shards(monkeypatch):
+    monkeypatch.setenv("GCX_LEX_SHARDS", "2")
+    monkeypatch.setenv("GCX_LEX_SHARD_MIN_BYTES", "0")
+
+
+@pytest.fixture
+def four_shards(monkeypatch):
+    monkeypatch.setenv("GCX_LEX_SHARDS", "4")
+    monkeypatch.setenv("GCX_LEX_SHARD_MIN_BYTES", "0")
+
+
+# Big enough that _plan_splits finds interior split points for 2 and 4
+# shards; small enough to keep the suite fast.
+STRADDLE_DOCUMENTS = [
+    # Plain elements and text around every split candidate.
+    "<r>" + "<a>text node</a>" * 40 + "</r>",
+    # Comments and CDATA long enough to cover a naive midpoint split.
+    "<r><a>head</a><!-- " + "never <split> me " * 30 + " --><b>tail</b></r>",
+    "<r><a>head</a><![CDATA[" + "looks </like> markup " * 30 + "]]><b>tail</b></r>",
+    # Processing instructions and multi-byte text at scale.
+    "<r>" + "<?pi some data?><a>é日😀</a>" * 30 + "</r>",
+    # Attribute-heavy markup.
+    "<r>" + '<item id="i7" cat="a b">v</item>' * 30 + "</r>",
+]
+
+
+class TestShardedEquality:
+    @pytest.mark.parametrize("document", STRADDLE_DOCUMENTS)
+    def test_in_memory_matches_reference(self, two_shards, document):
+        assert list(tokenize(document)) == list(reference_tokenize(document))
+
+    @pytest.mark.parametrize("document", STRADDLE_DOCUMENTS)
+    def test_file_mode_matches_reference(self, two_shards, tmp_path, document):
+        path = tmp_path / "doc.xml"
+        path.write_text(document, encoding="utf-8")
+        assert list(tokenize_file(path)) == list(reference_tokenize(document))
+
+    def test_xmark_in_memory_four_shards(self, four_shards, xmark_doc_small):
+        assert list(tokenize(xmark_doc_small)) == list(
+            reference_tokenize(xmark_doc_small)
+        )
+
+    def test_xmark_file_mode(self, two_shards, tmp_path):
+        document = generate_xmark(0.0005, seed=11)
+        path = tmp_path / "xmark.xml"
+        path.write_text(document, encoding="utf-8")
+        assert list(tokenize_file(path)) == list(reference_tokenize(document))
+
+    def test_unstripped_flags_propagate_to_workers(self, two_shards):
+        document = "<r>  " + "<a> padded </a>" * 40 + "  </r>"
+        flags = {"strip_whitespace": False, "convert_attributes": False}
+        assert list(tokenize(document, **flags)) == list(
+            reference_tokenize(document, **flags)
+        )
+
+
+class TestShardedErrors:
+    """Malformed input falls back; errors are byte-identical to sequential."""
+
+    ERROR_CASES = [
+        "<r>" + "<a>x</a>" * 30 + "</r><extra/>",  # second root
+        "<r>" + "<a>x</a>" * 30,  # never closed
+        "<r>" + "<a>x</a>" * 15 + "</b>" + "<a>x</a>" * 15 + "</r>",
+        "<r>" + "<a>x</a>" * 30 + "</r>trailing text",
+        "<r>" + "<a>x</a>" * 15 + "<![CDATA[never terminated",
+    ]
+
+    @pytest.mark.parametrize("bad", ERROR_CASES)
+    def test_same_error_as_sequential(self, two_shards, monkeypatch, bad):
+        with pytest.raises(XMLSyntaxError) as sharded_error:
+            list(tokenize(bad))
+        monkeypatch.setenv("GCX_LEX_SHARDS", "1")
+        with pytest.raises(XMLSyntaxError) as sequential_error:
+            list(tokenize(bad))
+        assert str(sharded_error.value) == str(sequential_error.value)
+        assert sharded_error.value.position == sequential_error.value.position
+
+    @pytest.mark.parametrize("bad", ERROR_CASES)
+    def test_same_error_in_file_mode(self, two_shards, tmp_path, bad):
+        path = tmp_path / "bad.xml"
+        path.write_text(bad, encoding="utf-8")
+        with pytest.raises(XMLSyntaxError) as file_error:
+            list(tokenize_file(path))
+        with pytest.raises(XMLSyntaxError) as reference_error:
+            list(reference_tokenize(bad))
+        assert str(file_error.value) == str(reference_error.value)
+
+
+class TestFallbackGates:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("GCX_LEX_SHARDS", raising=False)
+        assert shard.maybe_tokenize_sharded("<r><a/></r>" * 10) is None
+
+    def test_small_documents_stay_sequential(self, monkeypatch):
+        monkeypatch.setenv("GCX_LEX_SHARDS", "2")
+        monkeypatch.delenv("GCX_LEX_SHARD_MIN_BYTES", raising=False)
+        # Under the 4 MiB default gate: not worth a process round-trip.
+        assert shard.maybe_tokenize_sharded("<r><a>x</a></r>") is None
+
+    def test_cdata_dominant_document_never_splits_inside(self, two_shards):
+        # A CDATA section covering the naive midpoint, stuffed with
+        # markup-looking bytes: the claim-scan must push the split past
+        # the terminator (or give up), never land inside the section.
+        document = "<r><![CDATA[" + "</r><a>" * 60 + "]]><b/></r>"
+        tokens = shard.maybe_tokenize_sharded(document)
+        expected = list(reference_tokenize(document))
+        if tokens is not None:
+            assert list(tokens) == expected
+        # Either way the public entry point agrees with the reference.
+        assert list(tokenize(document)) == expected
+
+    def test_missing_file_returns_none(self, two_shards, tmp_path):
+        assert shard.maybe_tokenize_file_sharded(tmp_path / "missing.xml") is None
+
+    def test_concurrent_callers_from_threads(self, two_shards):
+        """Sharding must be safe from arbitrary caller threads.
+
+        SessionPool and the serve layer tokenize on worker threads; the
+        shard executor uses the spawn start method precisely because a
+        fork taken while a sibling thread holds a lock would deadlock
+        the child.  Eight threads hammering the shared executor must
+        all finish with the exact sequential stream.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        document = "<r>" + "<a>text node é</a>" * 50 + "</r>"
+        expected = list(reference_tokenize(document))
+
+        def scan(_):
+            return list(tokenize(document))
+
+        with ThreadPoolExecutor(max_workers=8) as threads:
+            results = list(threads.map(scan, range(16)))
+        assert all(tokens == expected for tokens in results)
+
+    def test_accepts_bytes_like_inputs(self, two_shards):
+        document = "<r>" + "<a>é日😀</a>" * 40 + "</r>"
+        expected = list(reference_tokenize(document))
+        raw = document.encode("utf-8")
+        for source in (document, raw, bytearray(raw), memoryview(raw)):
+            tokens = shard.maybe_tokenize_sharded(source)
+            assert tokens is not None, type(source).__name__
+            assert list(tokens) == expected

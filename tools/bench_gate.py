@@ -10,9 +10,12 @@ an exit status:
 * machine-dependent metrics (absolute MB/s numbers) WARN by default,
   because CI hardware differs from the machine that recorded the baseline;
   pass ``--strict-timings`` to fail on them too (useful locally);
-* metrics with an absolute floor (``tokenizer_speedup`` ≥ 2.0, the PR
-  acceptance criterion) FAIL whenever the fresh value sinks below it,
-  threshold notwithstanding.
+* metrics with an absolute floor FAIL whenever the fresh value sinks
+  below it, threshold notwithstanding: ``tokenizer_speedup`` ≥ 3.0 (the
+  bytes-domain rewrite's acceptance criterion, raised from the PR 3
+  floor of 2.0) and ``tokenizer_bytes_vs_str_speedup`` ≥ 1.0 (the bytes
+  scanner must never fall behind the frozen str-domain batch lexer it
+  replaced); see ``repro.bench.baseline.FLOORS`` for the full set.
 
 Usage:
     python tools/bench_gate.py                       # run suite + gate

@@ -1,13 +1,16 @@
 #!/usr/bin/env python
 """Documentation health check (run by CI's docs job).
 
-Three checks, all stdlib-only:
+Four checks, all stdlib-only:
 
 1. every module under ``src/repro`` has a module docstring;
 2. the documentation files the README promises actually exist;
 3. the ``$``-prefixed shell lines inside README.md's fenced ``console``
    blocks are smoke-executed in a temporary directory, with ``gcx``
-   resolved to ``python -m repro.cli`` — so the quickstart cannot rot.
+   resolved to ``python -m repro.cli`` — so the quickstart cannot rot;
+4. docs/PERFORMANCE.md stays in sync with the hot path it describes:
+   every hard-floored metric in ``repro.bench.baseline.FLOORS`` (with
+   its floor value) and every tokenizer tuning knob must be mentioned.
 
 Exit status 0 when everything passes; each failure is reported and the
 script exits 1.
@@ -55,6 +58,45 @@ def check_module_docstrings() -> list[str]:
         tree = ast.parse(path.read_text(encoding="utf-8"))
         if not ast.get_docstring(tree):
             failures.append(f"missing module docstring: {path.relative_to(REPO)}")
+    return failures
+
+
+#: Names the hot-path section of docs/PERFORMANCE.md must keep mentioning
+#: (beyond the FLOORS metrics, which are cross-checked from the code):
+#: the lexer's batch budget and the sharded-scan environment knobs.
+PERFORMANCE_TERMS = (
+    "BATCH_BYTES",
+    "GCX_LEX_SHARDS",
+    "GCX_LEX_SHARD_MIN_BYTES",
+    "text_decode_count",
+    "_reference_lexer",
+    "_str_lexer",
+)
+
+
+def check_performance_doc() -> list[str]:
+    """docs/PERFORMANCE.md must track the code's floors and tuning knobs."""
+    path = REPO / "docs/PERFORMANCE.md"
+    if not path.is_file():
+        return []  # check_docs_exist already reports the absence
+    text = path.read_text(encoding="utf-8")
+    failures = []
+    sys.path.insert(0, str(SRC))
+    from repro.bench.baseline import FLOORS
+
+    for name, floor in sorted(FLOORS.items()):
+        if name not in text:
+            failures.append(
+                f"docs/PERFORMANCE.md does not mention the floored metric {name!r}"
+            )
+        elif f"{floor:g}" not in text:
+            failures.append(
+                f"docs/PERFORMANCE.md does not state the floor {floor:g} "
+                f"for {name!r} (FLOORS changed without a docs update?)"
+            )
+    for term in PERFORMANCE_TERMS:
+        if term not in text:
+            failures.append(f"docs/PERFORMANCE.md does not mention {term!r}")
     return failures
 
 
@@ -145,7 +187,9 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    failures = check_module_docstrings() + check_docs_exist()
+    failures = (
+        check_module_docstrings() + check_docs_exist() + check_performance_doc()
+    )
     if not args.skip_readme_commands:
         failures += check_readme_commands()
 
