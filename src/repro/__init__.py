@@ -21,9 +21,16 @@ the output incrementally instead of materializing it:
 >>> "".join(session.run_streaming(doc).serialized())
 '<out><title>T1</title><title>T2</title></out>'
 
+With a :class:`Schema` (parse a DTD via :func:`load_dtd` or
+``Schema.from_dtd_text``), compilation additionally runs the
+schema-constraint pass: ``GCXEngine().session(query, schema=schema)``
+proves facts like "this variable's matches cannot nest", which certifies
+zero-buffer evaluation for schema-determined queries (docs/SCHEMA.md).
+
 The package layers (bottom-up): :mod:`repro.xmlio` (streams, trees, sinks),
 :mod:`repro.xquery` (the XQ fragment), :mod:`repro.analysis` (projection
-trees, roles, signOff insertion), :mod:`repro.stream` (preprojection),
+trees, roles, signOff insertion, the schema-constraint pass),
+:mod:`repro.stream` (preprojection),
 :mod:`repro.buffer` (active garbage collection), :mod:`repro.engine` (the
 GCX engine, query sessions, the multi-query
 :class:`~repro.engine.multi.MultiQuerySession`, and the concurrent
@@ -33,7 +40,15 @@ strategies), :mod:`repro.xmark` (benchmark data and queries) and
 docs/ARCHITECTURE.md for the guided tour.
 """
 
-from repro.analysis import CompiledQuery, CompileOptions, compile_query
+from repro.analysis import (
+    CompiledQuery,
+    CompileOptions,
+    Schema,
+    SchemaConstraints,
+    SchemaViolation,
+    compile_query,
+    load_dtd,
+)
 from repro.baselines import (
     ENGINES,
     FluxLikeEngine,
@@ -71,7 +86,7 @@ from repro.xmlio import (
 )
 from repro.xquery import parse_query, unparse
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "GCXEngine",
@@ -87,6 +102,10 @@ __all__ = [
     "compile_query",
     "CompileOptions",
     "CompiledQuery",
+    "Schema",
+    "SchemaConstraints",
+    "SchemaViolation",
+    "load_dtd",
     "parse_query",
     "unparse",
     "evaluate",

@@ -19,6 +19,14 @@ from repro.analysis.redundancy import (
     pattern_contains,
 )
 from repro.analysis.roles import Role, RoleSet, UndefinedRoleRemoval
+from repro.analysis.schema import ChildSpec, Schema, SchemaViolation, load_dtd
+from repro.analysis.schema_constraints import (
+    SchemaConstraints,
+    ZeroBufferPlan,
+    apply_trusted_constraints,
+    certify_zero_buffer,
+    compute_schema_constraints,
+)
 from repro.analysis.union_tree import (
     UnionNode,
     UnionProjection,
@@ -43,6 +51,15 @@ __all__ = [
     "Role",
     "RoleSet",
     "UndefinedRoleRemoval",
+    "ChildSpec",
+    "Schema",
+    "SchemaViolation",
+    "load_dtd",
+    "SchemaConstraints",
+    "ZeroBufferPlan",
+    "apply_trusted_constraints",
+    "certify_zero_buffer",
+    "compute_schema_constraints",
     "UnionNode",
     "UnionProjection",
     "build_union_projection",

@@ -25,6 +25,11 @@ from repro.analysis.early_updates import apply_early_updates
 from repro.analysis.projection_tree import ProjectionTree, build_projection_tree
 from repro.analysis.redundancy import eliminate_redundant_roles
 from repro.analysis.roles import Role
+from repro.analysis.schema import Schema
+from repro.analysis.schema_constraints import (
+    SchemaConstraints,
+    compute_schema_constraints,
+)
 from repro.analysis.signoff import insert_signoffs
 from repro.analysis.straight import StraightInfo, compute_straight
 from repro.xquery.ast import Query
@@ -64,12 +69,32 @@ class CompiledQuery:
     projection_tree: ProjectionTree
     eliminated_roles: list[Role] = field(default_factory=list)
     options: CompileOptions = field(default_factory=CompileOptions)
+    #: The schema the query was compiled against, if any, and the facts the
+    #: schema-constraint pass proved (pruning, signoff strengthening, and —
+    #: when it holds — the zero-buffer certification the direct runner uses).
+    schema: Schema | None = None
+    constraints: SchemaConstraints | None = None
+
+    @property
+    def certified_zero_buffer(self) -> bool:
+        return self.constraints is not None and self.constraints.certified_zero_buffer
 
 
 def compile_query(
-    query: Query | str, options: CompileOptions | None = None
+    query: Query | str,
+    options: CompileOptions | None = None,
+    *,
+    schema: Schema | None = None,
 ) -> CompiledQuery:
-    """Run the full static analysis pipeline on a query (or query text)."""
+    """Run the full static analysis pipeline on a query (or query text).
+
+    With ``schema`` the pipeline additionally runs the schema-constraint
+    pass (:mod:`repro.analysis.schema_constraints`): the resulting
+    :class:`CompiledQuery` records the proofs in ``constraints`` and the
+    engines dispatch certified queries to the zero-buffer direct runner.
+    The default artifacts stay untouched — schema facts only rewrite the
+    runtime plan under ``EngineOptions(trust_schema=True)``.
+    """
     options = options or CompileOptions()
     source = parse_query(query) if isinstance(query, str) else query
     normalized = normalize(source)
@@ -92,6 +117,11 @@ def compile_query(
     eliminated: list[Role] = []
     if options.eliminate_redundant:
         rewritten, eliminated = eliminate_redundant_roles(rewritten, variables, tree)
+    constraints: SchemaConstraints | None = None
+    if schema is not None:
+        constraints = compute_schema_constraints(
+            source, variables, dependencies, tree, schema
+        )
     return CompiledQuery(
         source=source,
         normalized=normalized,
@@ -102,4 +132,6 @@ def compile_query(
         projection_tree=tree,
         eliminated_roles=eliminated,
         options=options,
+        schema=schema,
+        constraints=constraints,
     )

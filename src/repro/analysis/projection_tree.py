@@ -101,6 +101,75 @@ class ProjectionTree:
     def node_count(self) -> int:
         return sum(1 for _ in self.all_nodes())
 
+    def pruned_copy(
+        self, drop_node_ids: set[int], removed_roles: set[Role]
+    ) -> "ProjectionTree":
+        """Deep-copy the tree without the nodes in ``drop_node_ids``.
+
+        ``drop_node_ids`` holds ``id()`` values of nodes to omit (whole
+        subtrees: a listed node's descendants must be listed too);
+        ``removed_roles`` are the roles those nodes carried.  The copy
+        keeps display ids and chain structure and filters the role
+        registry, dependency entries, and signoff tables consistently —
+        used by the schema-constraint pass (trusted mode) to drop
+        patterns a schema proves unmatchable.
+        """
+        new_root = PTNode(
+            display_id=self.root.display_id, step=None, var=self.root.var
+        )
+        copy = ProjectionTree(new_root)
+        mapping: dict[int, PTNode] = {id(self.root): new_root}
+
+        def visit(node: PTNode, twin: PTNode) -> None:
+            for child in node.children:
+                if id(child) in drop_node_ids:
+                    continue
+                child_twin = PTNode(
+                    display_id=child.display_id,
+                    step=child.step,
+                    role=child.role,
+                    var=child.var,
+                )
+                twin.add_child(child_twin)
+                mapping[id(child)] = child_twin
+                visit(child, child_twin)
+
+        visit(self.root, new_root)
+
+        for var, node in self.var_nodes.items():
+            twin = mapping.get(id(node))
+            if twin is not None:
+                copy.var_nodes[var] = twin
+        copy.roles = [role for role in self.roles if role not in removed_roles]
+        copy.role_nodes = {
+            role: mapping[id(node)]
+            for role, node in self.role_nodes.items()
+            if role not in removed_roles
+        }
+        copy.dep_entries = {
+            var: kept
+            for var, entries in self.dep_entries.items()
+            if (
+                kept := [
+                    (dep, role)
+                    for dep, role in entries
+                    if role not in removed_roles
+                ]
+            )
+        }
+        copy.signoff_entries = {
+            var: kept
+            for var, entries in self.signoff_entries.items()
+            if (
+                kept := [
+                    (path, role)
+                    for path, role in entries
+                    if role not in removed_roles
+                ]
+            )
+        }
+        return copy
+
     # -- display ----------------------------------------------------------
 
     def format(self, *, merge_roleless: bool = False) -> str:

@@ -1,0 +1,592 @@
+"""Schema-constraint analysis: FluX-style proofs over the projection tree.
+
+Given a :class:`~repro.analysis.schema.Schema`, this pass derives three
+families of facts from a compiled query (Koch et al.'s FluX work is the
+blueprint; the paper itself feeds the XMark DTD to FluXQuery in Section 7):
+
+(a) **pruning** — projection-tree nodes whose pattern provably matches
+    nothing in any schema-conforming document;
+(b) **signoff strengthening** — dependencies provably matched *at most
+    once* per binding, and *release horizons*: sibling tags whose opening
+    proves no further match of a dependency can start, i.e. the last
+    schema-possible occurrence after which the buffer could be released;
+(c) **zero-buffer certification** — queries whose entire evaluation can
+    stream input tokens straight to the output with an empty buffer
+    (:class:`ZeroBufferPlan`, executed by
+    :mod:`repro.engine.direct`).
+
+A soundness wall worth stating precisely, because it shapes what runs
+where: the engine must produce byte-identical output even on documents
+that *violate* the schema.  Any runtime shortcut that relies on a promise
+about the **future** of the stream ("no more ``name`` children can come")
+can diverge on a violating document *before* the violation is
+observable.  Therefore the default runtime applies only facts that are
+*structurally* sound on every document: the zero-buffer plan's direct
+runner detects nested matches (impossible under the certifying schema,
+possible on violating input) purely from the open-tag structure and
+falls back to buffering just those matches mid-stream.  The (a)/(b)
+facts are surfaced for inspection and applied to the runtime artifacts
+only under ``EngineOptions(trust_schema=True)`` — the FluX operating
+mode, which assumes conforming input (see
+:func:`apply_trusted_constraints` and docs/SCHEMA.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.dependencies import Dependency
+from repro.analysis.projection_tree import ProjectionTree, PTNode
+from repro.analysis.roles import Role
+from repro.analysis.schema import Schema
+from repro.analysis.signoff import strip_signoffs
+from repro.xquery.ast import (
+    Element,
+    Expr,
+    ForLoop,
+    PathOutput,
+    Query,
+    ROOT_VAR,
+    VarRef,
+)
+from repro.xquery.normalize import normalize
+from repro.xquery.paths import Axis, Path, Step, TestKind, format_path
+from repro.xquery.semantics import QueryVariables
+
+__all__ = [
+    "PositionSet",
+    "PrunedPattern",
+    "SignoffFact",
+    "ZeroBufferPlan",
+    "SchemaConstraints",
+    "compute_schema_constraints",
+    "certify_zero_buffer",
+    "prune_projection_tree",
+    "apply_trusted_constraints",
+]
+
+
+# ---------------------------------------------------------------------------
+# Position sets: where in a conforming document can a pattern node sit?
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PositionSet:
+    """An over-approximation of the nodes a pattern step can match.
+
+    ``elements`` holds ``(tag, at_reference_position)`` pairs — the flag
+    matters because a reference-position occurrence is a PCDATA leaf
+    (text-bearing, childless) even when the tag elsewhere has a content
+    model.  ``text`` marks matched text nodes, ``doc`` the virtual
+    document root.  Empty on all three axes means *provably unmatchable*.
+    """
+
+    elements: frozenset[tuple[str, bool]] = frozenset()
+    text: bool = False
+    doc: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return not self.elements and not self.text and not self.doc
+
+    def tags(self) -> frozenset[str]:
+        return frozenset(tag for tag, _ref in self.elements)
+
+
+_DOC_SET = PositionSet(doc=True)
+
+
+def _element_children(
+    schema: Schema, position: tuple[str, bool]
+) -> Iterable[tuple[str, bool]]:
+    tag, at_reference = position
+    if at_reference:
+        return ()
+    return (
+        (spec.tag, schema.is_reference(tag, spec.tag))
+        for spec in schema.children_of(tag)
+    )
+
+
+def _text_at(schema: Schema, position: tuple[str, bool]) -> bool:
+    tag, at_reference = position
+    return at_reference or tag in schema.leaves
+
+
+def _doc_children(schema: Schema) -> frozenset[tuple[str, bool]]:
+    roots = schema.roots or schema.tags  # recursive schema: any root
+    return frozenset((tag, False) for tag in roots)
+
+
+def _closure(
+    schema: Schema, seeds: Iterable[tuple[str, bool]]
+) -> frozenset[tuple[str, bool]]:
+    """All element positions properly below ``seeds`` (child-edge closure)."""
+    seen: set[tuple[str, bool]] = set()
+    stack = [
+        child for seed in seeds for child in _element_children(schema, seed)
+    ]
+    while stack:
+        position = stack.pop()
+        if position in seen:
+            continue
+        seen.add(position)
+        stack.extend(
+            child
+            for child in _element_children(schema, position)
+            if child not in seen
+        )
+    return frozenset(seen)
+
+
+def apply_step(schema: Schema, positions: PositionSet, step: Step) -> PositionSet:
+    """Push a position set through one location step."""
+    if step.axis is Axis.CHILD:
+        candidates = frozenset(
+            child
+            for source in positions.elements
+            for child in _element_children(schema, source)
+        )
+        if positions.doc:
+            candidates |= _doc_children(schema)
+        text_possible = any(_text_at(schema, p) for p in positions.elements)
+    elif step.axis is Axis.DESCENDANT:
+        level_one = set()
+        for source in positions.elements:
+            level_one.update(_element_children(schema, source))
+        if positions.doc:
+            level_one |= _doc_children(schema)
+        candidates = frozenset(level_one) | _closure(schema, level_one)
+        text_possible = any(
+            _text_at(schema, p) for p in set(positions.elements) | candidates
+        )
+    else:  # DOS: descendant-or-self
+        below = set()
+        for source in positions.elements:
+            below.update(_element_children(schema, source))
+        if positions.doc:
+            below |= _doc_children(schema)
+        candidates = (
+            frozenset(positions.elements) | frozenset(below) | _closure(schema, below)
+        )
+        text_possible = positions.text or any(
+            _text_at(schema, p) for p in candidates
+        )
+
+    test = step.test
+    if test.kind is TestKind.TEXT:
+        return PositionSet(text=text_possible)
+    elements = frozenset(
+        p for p in candidates if test.matches_element(p[0])
+    )
+    keeps_text = test.kind is TestKind.NODE and text_possible
+    keeps_doc = step.axis is Axis.DOS and positions.doc and test.kind is TestKind.NODE
+    return PositionSet(elements=elements, text=keeps_text, doc=keeps_doc)
+
+
+def apply_path(schema: Schema, positions: PositionSet, path: Path) -> PositionSet:
+    for step in path:
+        positions = apply_step(schema, positions, step)
+        if positions.empty:
+            return positions
+    return positions
+
+
+# ---------------------------------------------------------------------------
+# Facts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrunedPattern:
+    """A projection-tree node the schema proves unmatchable."""
+
+    display_id: int
+    pattern: str  # absolute pattern, paper notation
+    role: str | None  # role name carried by the node, if any
+
+
+@dataclass(frozen=True)
+class SignoffFact:
+    """One strengthened-signoff fact about a dependency of ``var``."""
+
+    var: str
+    path: str  # the dependency path, rendered
+    kind: str  # "at-most-once" | "release-horizon"
+    detail: str  # human-readable proof sketch
+
+
+@dataclass(frozen=True)
+class ZeroBufferPlan:
+    """A proof that a query can evaluate with an empty buffer.
+
+    The certified shape is a single for-loop chain (no conditions, no
+    ``[1]`` predicates) whose body emits exactly one dynamic item — the
+    bound subtree or one structural path under it — optionally inside
+    static constructor wrappers.  ``chain`` is the concatenated loop path
+    from the document root; the schema proof obligation recorded here is
+    *non-nesting*: in a conforming document no chain match opens inside
+    another, so streaming the current match straight through is safe.
+    Violating documents are handled by the runner's structural fallback
+    (nested matches are buffered until the enclosing match closes), which
+    keeps the output byte-identical to the buffered engine on *every*
+    document.
+    """
+
+    chain: Path  # loop steps, document root downward
+    variables: tuple[str, ...]  # loop variables, outermost first
+    kind: str  # "subtree" (VarRef body) | "path" (PathOutput body)
+    body_path: Path  # relative output path ("path" kind; empty otherwise)
+    envelope: tuple[str, ...]  # static element tags around the whole result
+    wrappers: tuple[str, ...]  # static element tags around each binding's item
+    binding_tags: frozenset[str]  # schema-possible tags of the binding
+
+    def describe(self) -> str:
+        body = (
+            "subtree copy"
+            if self.kind == "subtree"
+            else f"path {format_path(self.body_path)}"
+        )
+        return (
+            f"zero-buffer: chain {format_path(self.chain)} -> {body}; "
+            f"binding tags {sorted(self.binding_tags) or '(schema-empty)'}"
+        )
+
+
+@dataclass
+class SchemaConstraints:
+    """Everything the schema pass proved about one compiled query."""
+
+    schema: Schema
+    pruned: tuple[PrunedPattern, ...] = ()
+    signoff_facts: tuple[SignoffFact, ...] = ()
+    zero_buffer: ZeroBufferPlan | None = None
+    #: Roles carried by pruned nodes (what trusted mode drops).
+    pruned_roles: tuple[Role, ...] = field(default=(), repr=False)
+
+    @property
+    def certified_zero_buffer(self) -> bool:
+        return self.zero_buffer is not None
+
+    def summary(self) -> str:
+        lines = [
+            f"schema constraints: {len(self.pruned)} pruned pattern(s), "
+            f"{len(self.signoff_facts)} signoff fact(s)"
+        ]
+        for entry in self.pruned:
+            lines.append(
+                f"  pruned n{entry.display_id}: {entry.pattern}"
+                + (f" (role {entry.role})" if entry.role else "")
+            )
+        for fact in self.signoff_facts:
+            lines.append(f"  {fact.kind} {fact.var}{fact.path}: {fact.detail}")
+        lines.append(
+            "  " + self.zero_buffer.describe()
+            if self.zero_buffer
+            else "  zero-buffer: not certified"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The pass
+# ---------------------------------------------------------------------------
+
+
+def _node_positions(
+    schema: Schema, tree: ProjectionTree
+) -> dict[int, PositionSet]:
+    """Position set per tree node (keyed by ``id(node)``)."""
+    positions: dict[int, PositionSet] = {id(tree.root): _DOC_SET}
+
+    def visit(node: PTNode) -> None:
+        here = positions[id(node)]
+        for child in node.children:
+            assert child.step is not None
+            positions[id(child)] = apply_step(schema, here, child.step)
+            visit(child)
+
+    visit(tree.root)
+    return positions
+
+
+def _collect_pruned(
+    tree: ProjectionTree, positions: dict[int, PositionSet]
+) -> tuple[tuple[PrunedPattern, ...], tuple[Role, ...], set[int]]:
+    pruned: list[PrunedPattern] = []
+    pruned_node_ids: set[int] = set()
+    seen_display: set[int] = set()
+    for node in tree.all_nodes():
+        if node.is_root:
+            continue
+        if not positions[id(node)].empty:
+            continue
+        parent = node.parent
+        # Report only prune *frontiers* (the shallowest empty node); the
+        # whole subtree below is implied and removed with it.
+        frontier = parent is None or not positions[id(parent)].empty
+        for member in node.iter_subtree():
+            pruned_node_ids.add(id(member))
+        if frontier and node.display_id not in seen_display:
+            seen_display.add(node.display_id)
+            pruned.append(
+                PrunedPattern(
+                    display_id=node.display_id,
+                    pattern=format_path(node.path_from_root()),
+                    role=node.role.name if node.role is not None else None,
+                )
+            )
+    # Collect dropped roles through the registry, not ``node.role``:
+    # redundancy elimination clears the node attribute but keeps the role
+    # registered, and a pruned copy must drop those registrations too.
+    pruned_roles = tuple(
+        role
+        for role in tree.roles
+        if id(tree.role_nodes.get(role)) in pruned_node_ids
+    )
+    return tuple(pruned), pruned_roles, pruned_node_ids
+
+
+def _signoff_facts(
+    schema: Schema,
+    variables: QueryVariables,
+    dependencies: dict[str, list[Dependency]],
+    tree: ProjectionTree,
+    positions: dict[int, PositionSet],
+) -> tuple[SignoffFact, ...]:
+    facts: list[SignoffFact] = []
+    for var, deps in dependencies.items():
+        var_node = tree.var_nodes.get(var)
+        if var_node is None:
+            continue
+        binding = positions[id(var_node)]
+        if binding.empty:
+            continue
+        for dep in deps:
+            facts.extend(_facts_for_dependency(schema, var, binding, dep))
+    return tuple(facts)
+
+
+def _facts_for_dependency(
+    schema: Schema, var: str, binding: PositionSet, dep: Dependency
+) -> list[SignoffFact]:
+    facts: list[SignoffFact] = []
+    steps = list(dep.path)
+    # The trailing dos::node() of output dependencies preserves the
+    # matched subtree; it is not an occurrence multiplier.
+    if steps and steps[-1].axis is Axis.DOS:
+        steps = steps[:-1]
+    rendered = format_path(dep.path)
+
+    # (b1) at-most-once: every element step is child::tag with a schema
+    # occurrence ceiling of one under every possible parent tag.
+    provable = bool(steps)
+    sources = binding
+    for step in steps:
+        if (
+            step.axis is not Axis.CHILD
+            or step.test.kind is not TestKind.TAG
+            or not sources.elements
+        ):
+            provable = False
+            break
+        assert step.test.name is not None
+        if not all(
+            not at_ref and schema.at_most_once(tag, step.test.name)
+            for tag, at_ref in sources.elements
+        ):
+            provable = False
+            break
+        sources = apply_step(schema, sources, step)
+    if provable:
+        facts.append(
+            SignoffFact(
+                var=var,
+                path=rendered,
+                kind="at-most-once",
+                detail="every step has occurrence ceiling 1 in the schema",
+            )
+        )
+
+    # (b2) release horizon: sibling tags whose opening under the binding
+    # proves no further match of the first step can start — the last
+    # schema-possible occurrence, where FluX-style evaluation releases
+    # the buffer instead of waiting for end-of-parent.
+    if steps and steps[0].axis is Axis.CHILD and steps[0].test.kind is TestKind.TAG:
+        first = steps[0].test.name
+        assert first is not None
+        closer_sets = [
+            schema.closers(tag, first)
+            for tag, at_ref in binding.elements
+            if not at_ref
+        ]
+        if closer_sets and all(closer_sets):
+            horizon = frozenset.intersection(*closer_sets)
+            if horizon:
+                facts.append(
+                    SignoffFact(
+                        var=var,
+                        path=rendered,
+                        kind="release-horizon",
+                        detail=(
+                            "releasable once one of "
+                            f"{sorted(horizon)} opens under {var}"
+                        ),
+                    )
+                )
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# (c) zero-buffer certification
+# ---------------------------------------------------------------------------
+
+
+def certify_zero_buffer(query: Query, schema: Schema) -> ZeroBufferPlan | None:
+    """Certify ``query`` (surface or normalized) for direct evaluation.
+
+    Returns a :class:`ZeroBufferPlan` when the query has the certified
+    shape *and* the schema proves chain matches cannot nest in conforming
+    documents; ``None`` otherwise.  Works on the plain normalized form
+    (early updates and if-pushdown preserve semantics, so the direct
+    runner evaluating the plain form is output-equivalent).
+    """
+    plain = normalize(query)
+    envelope: list[str] = [plain.root.tag]
+    expr: Expr = plain.root.body
+    # Static element wrappers between the result constructor and the loop
+    # chain join the envelope (emitted once, around everything).
+    while isinstance(expr, Element):
+        envelope.append(expr.tag)
+        expr = expr.body
+
+    chain: list[Step] = []
+    variables: list[str] = []
+    source = ROOT_VAR
+    while isinstance(expr, ForLoop):
+        if expr.where is not None or expr.source != source or len(expr.path) != 1:
+            return None
+        step = expr.path[0]
+        if step.axis not in (Axis.CHILD, Axis.DESCENDANT):
+            return None
+        if step.test.kind not in (TestKind.TAG, TestKind.STAR) or step.first:
+            return None
+        chain.append(step)
+        variables.append(expr.var)
+        source = expr.var
+        expr = expr.body
+    if not chain:
+        return None
+
+    wrappers: list[str] = []
+    while isinstance(expr, Element):
+        wrappers.append(expr.tag)
+        expr = expr.body
+
+    binding = apply_path(schema, _DOC_SET, tuple(chain))
+    binding_tags = binding.tags()
+
+    if isinstance(expr, VarRef) and expr.var == variables[-1]:
+        kind, body_path = "subtree", ()
+    elif isinstance(expr, PathOutput) and expr.var == variables[-1]:
+        # Child-axis-only output paths have the fixed-relative-depth
+        # property: two matches can never nest, on *any* document — no
+        # schema fact needed for the inner path.
+        for index, step in enumerate(expr.path):
+            if step.axis is not Axis.CHILD or step.first:
+                return None
+            last = index == len(expr.path) - 1
+            allowed = (
+                (TestKind.TAG, TestKind.STAR, TestKind.TEXT)
+                if last
+                else (TestKind.TAG, TestKind.STAR)
+            )
+            if step.test.kind not in allowed:
+                return None
+        kind, body_path = "path", tuple(expr.path)
+    else:
+        return None
+
+    # The schema proof: no possible binding tag is reachable below a
+    # possible binding tag, hence chain matches cannot nest in conforming
+    # documents (over-approximate reachability, see Schema.reachable_from).
+    for tag in binding_tags:
+        if binding_tags & schema.reachable_from(tag):
+            return None
+
+    return ZeroBufferPlan(
+        chain=tuple(chain),
+        variables=tuple(variables),
+        kind=kind,
+        body_path=body_path,
+        envelope=tuple(envelope),
+        wrappers=tuple(wrappers),
+        binding_tags=binding_tags,
+    )
+
+
+def compute_schema_constraints(
+    source: Query,
+    variables: QueryVariables,
+    dependencies: dict[str, list[Dependency]],
+    tree: ProjectionTree,
+    schema: Schema,
+) -> SchemaConstraints:
+    """Run the full schema-constraint pass for one compiled query."""
+    positions = _node_positions(schema, tree)
+    pruned, pruned_roles, _node_ids = _collect_pruned(tree, positions)
+    facts = _signoff_facts(schema, variables, dependencies, tree, positions)
+    plan = certify_zero_buffer(source, schema)
+    return SchemaConstraints(
+        schema=schema,
+        pruned=pruned,
+        signoff_facts=facts,
+        zero_buffer=plan,
+        pruned_roles=pruned_roles,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Trusted-mode application (assumes conforming input, like FluX)
+# ---------------------------------------------------------------------------
+
+
+def prune_projection_tree(
+    tree: ProjectionTree, schema: Schema
+) -> tuple[ProjectionTree, tuple[Role, ...]]:
+    """Copy ``tree`` without schema-unmatchable nodes.
+
+    Returns the pruned copy plus the roles that fell away with the
+    removed nodes; the heavy lifting (consistent filtering of the role
+    registry, dependency entries, and signoff tables) lives in
+    :meth:`~repro.analysis.projection_tree.ProjectionTree.pruned_copy`.
+    """
+    positions = _node_positions(schema, tree)
+    _pruned, pruned_roles, pruned_node_ids = _collect_pruned(tree, positions)
+    pruned_tree = tree.pruned_copy(pruned_node_ids, set(pruned_roles))
+    return pruned_tree, tuple(pruned_roles)
+
+
+def apply_trusted_constraints(compiled):
+    """Derive trusted-mode artifacts from a schema-compiled query.
+
+    Returns a new :class:`~repro.analysis.compile.CompiledQuery` whose
+    projection tree and rewritten query have the schema-pruned patterns
+    removed.  On conforming documents the result is byte-identical to the
+    untrusted artifacts (pruned patterns never match); on violating
+    documents the pruned subtrees are not buffered, so output may differ
+    — this is the documented FluX operating assumption, which is why the
+    transform only runs under ``EngineOptions(trust_schema=True)``.
+    """
+    from dataclasses import replace
+
+    constraints = compiled.constraints
+    if constraints is None or not constraints.pruned:
+        return compiled
+    pruned_tree, pruned_roles = prune_projection_tree(
+        compiled.projection_tree, constraints.schema
+    )
+    rewritten = strip_signoffs(compiled.rewritten, pruned_roles)
+    return replace(compiled, projection_tree=pruned_tree, rewritten=rewritten)

@@ -25,10 +25,14 @@ here) reproduces both Figure 9 and the introduction's rewritten query.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.analysis.projection_tree import ProjectionTree
+from repro.analysis.roles import Role
 from repro.analysis.straight import StraightInfo
 from repro.xquery.ast import (
     Element,
+    Empty,
     Expr,
     ForLoop,
     Query,
@@ -39,7 +43,7 @@ from repro.xquery.ast import (
 from repro.xquery.normalize import map_expr
 from repro.xquery.semantics import QueryVariables
 
-__all__ = ["su_q", "insert_signoffs"]
+__all__ = ["su_q", "insert_signoffs", "strip_signoffs"]
 
 
 def su_q(
@@ -82,4 +86,26 @@ def insert_signoffs(
     root_batch = su_q(ROOT_VAR, variables, straight, tree)
     if root_batch:
         root = Element(root.tag, sequence_of([root.body, *root_batch]))
+    return Query(root)
+
+
+def strip_signoffs(query: Query, roles: Iterable[Role]) -> Query:
+    """Remove the ``signOff`` statements for ``roles`` from a rewritten query.
+
+    The counterpart of projection-tree pruning: when a role's pattern is
+    dropped (the schema-constraint pass proves it unmatchable), the role is
+    never assigned, so its removal statements must go too or strict role
+    accounting would observe removals of never-assigned roles.
+    """
+    removed = set(roles)
+    if not removed:
+        return query
+
+    def transform(node: Expr) -> Expr:
+        if isinstance(node, SignOff) and node.role in removed:
+            return Empty()
+        return node
+
+    root = map_expr(query.root, transform)
+    assert isinstance(root, Element)
     return Query(root)

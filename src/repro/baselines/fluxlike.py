@@ -25,6 +25,7 @@ buffers more than GCX.
 from __future__ import annotations
 
 from repro.analysis.compile import CompiledQuery, CompileOptions, compile_query
+from repro.analysis.schema import Schema
 from repro.buffer.stats import BufferCostModel
 from repro.engine.gcx import EngineOptions, GCXEngine, RunResult
 from repro.xquery.ast import (
@@ -38,7 +39,7 @@ from repro.xquery.ast import (
     conditions_of,
     walk,
 )
-from repro.xquery.paths import Axis
+from repro.xquery.paths import Axis, Path, TestKind
 
 __all__ = ["UnsupportedQueryError", "FluxLikeEngine", "FLUX_COST_MODEL"]
 
@@ -64,7 +65,15 @@ class FluxLikeEngine:
     description = "scope-based static buffering (FluXQuery class); child axis only"
     supports_descendant = False
 
-    def __init__(self, cost_model: BufferCostModel | None = None) -> None:
+    def __init__(
+        self,
+        cost_model: BufferCostModel | None = None,
+        schema: Schema | None = None,
+    ) -> None:
+        #: FluXQuery is the schema-*driven* engine of the related work:
+        #: the same unified :class:`~repro.analysis.schema.Schema` the GCX
+        #: analysis consumes is its default compile-time schema here.
+        self.schema = schema
         self._engine = GCXEngine(
             EngineOptions(
                 aggregate_roles=False,
@@ -76,7 +85,10 @@ class FluxLikeEngine:
             )
         )
 
-    def compile(self, query: Query | str) -> CompiledQuery:
+    def compile(
+        self, query: Query | str, *, schema: Schema | None = None
+    ) -> CompiledQuery:
+        schema = schema if schema is not None else self.schema
         compiled = compile_query(
             query,
             CompileOptions(
@@ -84,8 +96,11 @@ class FluxLikeEngine:
                 eliminate_redundant=False,
                 first_witness=False,
             ),
+            schema=schema,
         )
         self._check_fragment(compiled.normalized)
+        if schema is not None:
+            self._check_schema(compiled.normalized, schema)
         return compiled
 
     def run(self, query: Query | str | CompiledQuery, document: str) -> RunResult:
@@ -114,4 +129,31 @@ class FluxLikeEngine:
                 raise UnsupportedQueryError(
                     "flux-like engine supports the child axis only "
                     f"(found {step})"
+                )
+
+    def _check_schema(self, query: Query, schema: Schema) -> None:
+        """Reject queries naming tags the schema cannot produce.
+
+        FluX compiles against the DTD; a path step whose tag is not in the
+        schema at all can never match and the real engine reports it as
+        outside its (schema-constrained) fragment.
+        """
+        for expr in walk(query.root):
+            if isinstance(expr, (ForLoop, PathOutput)):
+                self._check_tags(expr.path, schema)
+        for cond in conditions_of(query.root):
+            for atom in atomic_conditions(cond):
+                if isinstance(atom, Exists):
+                    self._check_tags(atom.path, schema)
+                elif isinstance(atom, Comparison):
+                    for operand in (atom.left, atom.right):
+                        if isinstance(operand, PathOperand):
+                            self._check_tags(operand.path, schema)
+
+    @staticmethod
+    def _check_tags(path: Path, schema: Schema) -> None:
+        for step in path:
+            if step.test.kind is TestKind.TAG and step.test.name not in schema.tags:
+                raise UnsupportedQueryError(
+                    f"tag {step.test.name!r} does not occur in the schema"
                 )

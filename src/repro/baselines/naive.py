@@ -65,11 +65,14 @@ class NaiveDomEngine:
     def __init__(self, cost_model: BufferCostModel | None = None) -> None:
         self.cost_model = cost_model or BufferCostModel()
 
-    def compile(self, query: Query | str) -> CompiledQuery:
+    def compile(self, query: Query | str, *, schema=None) -> CompiledQuery:
         # Analysis is only needed for normalization; the Section 6
-        # optimizations are meaningless without a managed buffer.
+        # optimizations are meaningless without a managed buffer.  A schema
+        # still yields the constraint report on the compiled artifact.
         return compile_query(
-            query, CompileOptions(early_updates=False, eliminate_redundant=False)
+            query,
+            CompileOptions(early_updates=False, eliminate_redundant=False),
+            schema=schema,
         )
 
     def run(self, query: Query | str | CompiledQuery, document: str) -> RunResult:

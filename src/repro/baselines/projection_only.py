@@ -40,13 +40,15 @@ class ProjectionOnlyEngine:
     def __init__(self, cost_model: BufferCostModel | None = None) -> None:
         self.cost_model = cost_model or BufferCostModel()
 
-    def compile(self, query: Query | str) -> CompiledQuery:
+    def compile(self, query: Query | str, *, schema=None) -> CompiledQuery:
         # Early updates and redundant-role elimination only matter for
         # dynamic buffer minimization; first-witness trimming is part of the
         # *static* projection (Marian & Simeon keep prefixes too), so it
-        # stays on.
+        # stays on.  A schema still yields the constraint report.
         return compile_query(
-            query, CompileOptions(early_updates=False, eliminate_redundant=False)
+            query,
+            CompileOptions(early_updates=False, eliminate_redundant=False),
+            schema=schema,
         )
 
     def run(self, query: Query | str | CompiledQuery, document: str) -> RunResult:

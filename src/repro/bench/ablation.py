@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.analysis.schema import Schema
 from repro.engine import EngineOptions, GCXEngine
 
 __all__ = ["ABLATION_CONFIGS", "AblationCell", "run_ablations", "format_ablations"]
@@ -47,15 +48,27 @@ def run_ablations(
     document: str,
     *,
     configs: dict[str, EngineOptions] | None = None,
+    schema: Schema | None = None,
 ) -> list[AblationCell]:
-    """Run every configuration over every query on one document."""
-    configs = configs or ABLATION_CONFIGS
+    """Run every configuration over every query on one document.
+
+    With ``schema``, one extra ``with-schema`` row runs the full
+    configuration plus the schema-constraint pass — the with/without
+    ablation of the schema-aware analysis (outputs must stay identical;
+    certified queries drop their high watermark to zero).
+    """
+    config_items = list((configs or ABLATION_CONFIGS).items())
+    if schema is not None and configs is None:
+        config_items.append(("with-schema", EngineOptions()))
     cells: list[AblationCell] = []
     reference: dict[str, str] = {}
-    for config_name, options in configs.items():
+    for config_name, options in config_items:
         engine = GCXEngine(options)
         for query_name, query_text in queries.items():
-            compiled = engine.compile(query_text)
+            compiled = engine.compile(
+                query_text,
+                schema=schema if config_name == "with-schema" else None,
+            )
             started = time.perf_counter()
             result = engine.run(compiled, document)
             elapsed = time.perf_counter() - started

@@ -40,6 +40,7 @@ from repro.stream.preprojector import StreamPreprojector
 from repro.buffer.buffer import BufferTree
 from repro.xmark.generator import generate_xmark, xmark_scale_for_bytes
 from repro.xmark.queries import XMARK_QUERIES
+from repro.xmark.schema import xmark_schema
 from repro.xmlio._reference_lexer import reference_tokenize
 from repro.xmlio._str_lexer import str_tokenize
 from repro.xmlio.filelexer import FileTokenizer
@@ -73,11 +74,18 @@ SCHEMA_VERSION = 1
 #: sequential warm sessions.  ``multiquery_single_scan`` is the shared-pass
 #: invariant — 1.0 exactly when the pass read one document scan of tokens
 #: (not K); any extra read drops it to 0.0 and fails the gate on any host.
+#: ``schema_hwm_reduction`` is the schema-constraint-pass acceptance
+#: criterion: across the golden XMark queries, compiling with the XMark
+#: DTD must cut the buffer high watermark by at least 1.2x on at least
+#: two queries (the metric is the *second-largest* per-query reduction,
+#: so one lucky query cannot carry the gate).  Zero-buffer-certified
+#: queries (Q6, Q15) clear it by orders of magnitude.
 FLOORS: dict[str, float] = {
     "tokenizer_speedup": 3.0,
     "tokenizer_bytes_vs_str_speedup": 1.0,
     "multiquery_speedup_k8": 2.0,
     "multiquery_single_scan": 1.0,
+    "schema_hwm_reduction": 1.2,
 }
 
 
@@ -284,6 +292,24 @@ def run_quick_suite(
         result.stats.nodes_recycled / max(result.stats.nodes_created, 1),
         "ratio",
     )
+
+    # -- schema-constraint pass: hwm reduction on the golden queries ----
+    # Same document, same host, schema-on vs schema-off: a pure ratio of
+    # deterministic counters, machine-independent and hard-floored.  The
+    # outputs are asserted identical here too — a schema must never buy
+    # buffer space at the price of semantics.
+    schema = xmark_schema()
+    reductions: list[float] = []
+    for name in sorted(XMARK_QUERIES):
+        text = XMARK_QUERIES[name].adapted
+        off_run = QuerySession(text).run(document)
+        on_run = QuerySession(text, schema=schema).run(document)
+        assert on_run.output == off_run.output, f"{name}: schema changed output"
+        reductions.append(
+            off_run.stats.hwm_bytes / max(on_run.stats.hwm_bytes, 1)
+        )
+    reductions.sort(reverse=True)
+    add("schema_hwm_reduction", reductions[1], "x")
 
     # -- multi-query: one shared scan vs K sequential warm sessions -----
     # Both the speedup and the single-scan invariant are same-host ratios/

@@ -85,6 +85,10 @@ class BufferStats:
     gc_invocations: int = 0
     signoffs_executed: int = 0
     tokens_read: int = 0
+    #: Chain matches the zero-buffer direct runner had to capture because
+    #: the document violated the certifying schema (nested matches).  Zero
+    #: on conforming documents — and always zero on the buffered path.
+    schema_fallbacks: int = 0
 
     def on_create(self, cost: int) -> None:
         self.nodes_created += 1
@@ -139,4 +143,9 @@ class BufferStats:
             f"dropped {self.nodes_dropped}; roles {self.roles_assigned} assigned, "
             f"{self.roles_removed} removed, {self.roles_cancelled} cancelled; "
             f"gc x{self.gc_invocations}"
+            + (
+                f"; schema fallbacks {self.schema_fallbacks}"
+                if self.schema_fallbacks
+                else ""
+            )
         )

@@ -26,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis import CompileOptions, compile_query
+from repro.analysis import CompileOptions, compile_query, load_dtd
 from repro.baselines import ENGINES, UnsupportedQueryError
 from repro.bench import (
     HarnessConfig,
@@ -57,6 +57,13 @@ def main(argv: list[str] | None = None) -> int:
         help="XML document file(s); the query is compiled once for all",
     )
     run_p.add_argument("--engine", default="gcx", choices=sorted(ENGINES))
+    run_p.add_argument(
+        "--schema",
+        metavar="PATH",
+        default=None,
+        help="DTD file; enables the schema-constraint pass (zero-buffer "
+        "proofs, signoff strengthening) for this query",
+    )
     run_p.add_argument("--stats", action="store_true", help="print buffer stats")
     run_p.add_argument(
         "--buffered",
@@ -137,6 +144,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="per-document size ceiling in bytes (default 8 MiB)",
     )
+    net_p.add_argument(
+        "--schema",
+        metavar="PATH",
+        default=None,
+        help="DTD file used as the default schema for every standing "
+        "query; a register frame's own 'schema' field overrides it",
+    )
 
     multi_p = sub.add_parser(
         "run-multi",
@@ -156,6 +170,13 @@ def main(argv: list[str] | None = None) -> int:
         "once for all queries",
     )
     multi_p.add_argument(
+        "--schema",
+        metavar="PATH",
+        default=None,
+        help="DTD file; every member query is compiled with the "
+        "schema-constraint pass",
+    )
+    multi_p.add_argument(
         "--stats",
         action="store_true",
         help="print shared-pass routing and buffer stats to stderr",
@@ -170,6 +191,12 @@ def main(argv: list[str] | None = None) -> int:
     ana_p.add_argument("query", help="query file, or '-' for stdin")
     ana_p.add_argument("--no-early-updates", action="store_true")
     ana_p.add_argument("--no-redundancy-elimination", action="store_true")
+    ana_p.add_argument(
+        "--schema",
+        metavar="PATH",
+        default=None,
+        help="DTD file; also print the schema-constraint report",
+    )
 
     tab_p = sub.add_parser("table1", help="reproduce the paper's Table 1")
     tab_p.add_argument("--sizes", default="256k,512k,1m,2m")
@@ -186,6 +213,13 @@ def main(argv: list[str] | None = None) -> int:
     abl_p = sub.add_parser("ablations", help="Section 6 optimization ablations")
     abl_p.add_argument("--scale", type=float, default=0.002)
     abl_p.add_argument("--queries", default="Q1,Q13,Q20")
+    abl_p.add_argument(
+        "--schema",
+        metavar="PATH",
+        default=None,
+        help="DTD file; adds a 'with-schema' ablation row (use 'xmark' "
+        "for the built-in XMark DTD)",
+    )
 
     sub.add_parser("dtd", help="print the adapted XMark DTD")
 
@@ -221,14 +255,24 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _load_schema(path: str | None):
+    """``--schema PATH`` -> :class:`~repro.analysis.schema.Schema` or None."""
+    if path is None:
+        return None
+    return load_dtd(path)
+
+
 def _cmd_run(args) -> int:
     query = _read(args.query)
     engine = ENGINES[args.engine]()
     try:
-        compiled = engine.compile(query)
+        schema = _load_schema(args.schema)
+        compiled = engine.compile(query, schema=schema)
     except UnsupportedQueryError as error:
         print(f"n/a: {error}", file=sys.stderr)
         return 1
+    if args.stats and compiled.constraints is not None:
+        print(f"schema: {compiled.constraints.summary()}", file=sys.stderr)
     if args.engine == "gcx" and not args.buffered:
         return _run_streaming(engine, compiled, args)
     for path in args.document:
@@ -339,6 +383,7 @@ def _cmd_serve(args) -> int:
         eval_workers=args.workers,
         request_timeout=args.timeout if args.timeout > 0 else None,
         idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        schema=_load_schema(args.schema),
         **(
             {"max_document_bytes": args.max_doc_bytes}
             if args.max_doc_bytes is not None
@@ -373,7 +418,7 @@ def _cmd_run_multi(args) -> int:
             return 2
         names.append(name)
         queries[name] = _read(path)
-    session = MultiQuerySession(queries)
+    session = MultiQuerySession(queries, schema=_load_schema(args.schema))
     if args.union:
         print("== union projection tree ==")
         print(session.format_union())
@@ -400,7 +445,9 @@ def _cmd_analyze(args) -> int:
         early_updates=not args.no_early_updates,
         eliminate_redundant=not args.no_redundancy_elimination,
     )
-    compiled = compile_query(_read(args.query), options)
+    compiled = compile_query(
+        _read(args.query), options, schema=_load_schema(args.schema)
+    )
     print("== normalized query ==")
     print(unparse(compiled.normalized, indent=2))
     print("\n== projection tree ==")
@@ -414,6 +461,9 @@ def _cmd_analyze(args) -> int:
         var: compiled.straight.fsa(var) for var in compiled.variables.names
     }
     print(f"\nfsa: {straight}")
+    if compiled.constraints is not None:
+        print("\n== schema constraints ==")
+        print(compiled.constraints.summary())
     return 0
 
 
@@ -460,8 +510,14 @@ def _cmd_ablations(args) -> int:
     queries = {
         name: XMARK_QUERIES[name].adapted for name in args.queries.split(",")
     }
+    if args.schema == "xmark":
+        from repro.xmark.schema import xmark_schema
+
+        schema = xmark_schema()
+    else:
+        schema = _load_schema(args.schema)
     print(f"document: {len(document):,} bytes\n", file=sys.stderr)
-    print(format_ablations(run_ablations(queries, document)))
+    print(format_ablations(run_ablations(queries, document, schema=schema)))
     return 0
 
 

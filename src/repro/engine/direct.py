@@ -1,0 +1,257 @@
+"""The zero-buffer direct runner for schema-certified queries.
+
+When the schema-constraint pass (:mod:`repro.analysis.schema_constraints`)
+certifies a query — a single for-loop chain whose body emits one item per
+binding, over a schema that proves chain matches cannot nest — the whole
+evaluation collapses to a single streaming pass: every input token either
+belongs to the current match (and is transformed straight into output) or
+to none (and is dropped by projection).  The buffer stays empty, so the
+high watermark of a certified run on a conforming document is **zero**.
+
+The certificate promises non-nesting only for *conforming* documents, and
+the engine's contract is byte-identical output on every document.  The
+runner therefore never trusts the certificate blindly: it detects nested
+chain matches structurally (a second match opening while one is being
+streamed) and falls back to buffering just those matches — each nested
+match's subtree is captured and replayed through the body emitter after
+the enclosing match closes, which is exactly the document-order output the
+buffered engine produces.  Fallback captures are charged to the run's
+:class:`~repro.buffer.stats.BufferStats` under the same cost model as
+buffered nodes, so the reported high watermark stays honest, and
+``schema_fallbacks`` counts the matches that needed it.
+
+:class:`DirectEvaluator` plays both dynamic-phase parts of Figure 11 at
+once — it is the evaluator (``iter_tokens``) *and* the preprojector stand-
+in (``exhausted``) of its :class:`~repro.engine.session.StreamingRun`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.schema_constraints import ZeroBufferPlan
+from repro.buffer.stats import BufferCostModel, BufferStats
+from repro.xmlio.tokens import EndTag, StartTag, Token
+from repro.xquery.paths import Axis, Path, Step, TestKind
+
+__all__ = ["DirectEvaluator"]
+
+
+class _SubtreeEmitter:
+    """Body emitter for ``{$x}`` bodies: the match subtree, verbatim."""
+
+    __slots__ = ()
+
+    def feed(self, token: Token) -> tuple[Token, ...]:
+        return (token,)
+
+
+class _PathEmitter:
+    """Body emitter for ``{$x/path}`` bodies (child-axis steps only).
+
+    Tracks, per open element inside the match, whether its tag chain
+    matches a prefix of the output path; a full element match copies the
+    element's subtree, a ``text()`` final step emits matching text nodes.
+    Child-axis paths address fixed relative depths, so output matches can
+    never nest and one copy window suffices.
+    """
+
+    __slots__ = ("_path", "_k", "_stack", "_copy_depth")
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._k = len(path)
+        self._stack: list[bool] = []  # matched-through flags, [0] = binding
+        self._copy_depth: int | None = None
+
+    def feed(self, token: Token) -> tuple[Token, ...]:
+        stack = self._stack
+        if isinstance(token, StartTag):
+            if self._copy_depth is not None:
+                stack.append(False)
+                return (token,)
+            level = len(stack)  # binding element is level 0
+            if level == 0:
+                matched = True
+            else:
+                matched = (
+                    level <= self._k
+                    and stack[-1]
+                    and self._path[level - 1].test.matches_element(token.tag)
+                )
+            stack.append(matched)
+            if matched and level == self._k:
+                self._copy_depth = level
+                return (token,)
+            return ()
+        if isinstance(token, EndTag):
+            level = len(stack) - 1
+            stack.pop()
+            if self._copy_depth is not None:
+                emitted = (token,)
+                if level == self._copy_depth:
+                    self._copy_depth = None
+                    return emitted
+                return emitted
+            return ()
+        # Text: matched when its parent matched through all element steps
+        # and the final step is text().
+        if self._copy_depth is not None:
+            return (token,)
+        if (
+            len(stack) == self._k
+            and stack
+            and stack[-1]
+            and self._path[self._k - 1].test.kind is TestKind.TEXT
+        ):
+            return (token,)
+        return ()
+
+
+def _make_emitter(plan: ZeroBufferPlan):
+    if plan.kind == "subtree":
+        return _SubtreeEmitter()
+    return _PathEmitter(plan.body_path)
+
+
+class _PendingMatch:
+    """A nested chain match captured on the structural fallback path.
+
+    ``entries`` pairs each captured token with the modelled cost charged
+    for it (zero for close tags), so the flush can refund exactly what the
+    capture charged.
+    """
+
+    __slots__ = ("depth", "entries")
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        self.entries: list[tuple[Token, int]] = []
+
+
+class DirectEvaluator:
+    """Single-pass evaluation of a :class:`ZeroBufferPlan` over a stream.
+
+    The chain is run as an NFA over open tags with one state set per open
+    element (state *i* = the first *i* chain steps matched); a full-state
+    entry marks a binding match.  The first match with no match in flight
+    streams its body output live; matches opening inside it (schema
+    violations) are captured and replayed in document order once it
+    closes.
+    """
+
+    def __init__(
+        self,
+        plan: ZeroBufferPlan,
+        tokens: Iterator[Token],
+        stats: BufferStats,
+        cost_model: BufferCostModel,
+    ) -> None:
+        self._plan = plan
+        self._tokens = tokens
+        self._stats = stats
+        self._cost = cost_model
+        self.exhausted = False
+
+    # -- chain NFA -------------------------------------------------------
+
+    def _transition(self, states: frozenset[int], tag: str) -> frozenset[int]:
+        chain = self._plan.chain
+        full = len(chain)
+        out = set()
+        for state in states:
+            if state == full:
+                # No step beyond the last; descendant re-entry happens from
+                # the persisting state below the full state, not from it.
+                continue
+            step: Step = chain[state]
+            if step.test.matches_element(tag):
+                out.add(state + 1)
+            if step.axis is Axis.DESCENDANT:
+                out.add(state)
+        return frozenset(out)
+
+    # -- output ----------------------------------------------------------
+
+    def iter_tokens(self) -> Iterator[Token]:
+        plan = self._plan
+        stats = self._stats
+        full = len(plan.chain)
+        wrapper_open = tuple(StartTag(tag) for tag in plan.wrappers)
+        wrapper_close = tuple(EndTag(tag) for tag in reversed(plan.wrappers))
+
+        for tag in plan.envelope:
+            yield StartTag(tag)
+
+        state_stack: list[frozenset[int]] = [frozenset({0})]
+        head_depth: int | None = None  # stack depth of the streaming match
+        emitter = None
+        pending: list[_PendingMatch] = []  # capture order = document order
+        open_pending: list[_PendingMatch] = []
+
+        for token in self._tokens:
+            stats.tokens_read += 1
+            if isinstance(token, StartTag):
+                nxt = self._transition(state_stack[-1], token.tag)
+                state_stack.append(nxt)
+                is_match = full in nxt
+                if head_depth is None:
+                    if is_match:
+                        head_depth = len(state_stack)
+                        emitter = _make_emitter(plan)
+                        yield from wrapper_open
+                        yield from emitter.feed(token)
+                    else:
+                        stats.nodes_dropped += 1
+                    continue
+                if is_match:
+                    # Nested match: the certificate said this cannot happen
+                    # on conforming input — capture it for replay.
+                    stats.schema_fallbacks += 1
+                    match = _PendingMatch(len(state_stack))
+                    pending.append(match)
+                    open_pending.append(match)
+                cost = self._cost.element_cost()
+                for match in open_pending:
+                    match.entries.append((token, cost))
+                    stats.on_create(cost)
+                yield from emitter.feed(token)
+            elif isinstance(token, EndTag):
+                depth = len(state_stack)
+                state_stack.pop()
+                if head_depth is None:
+                    continue
+                for match in open_pending:
+                    match.entries.append((token, 0))
+                if open_pending and open_pending[-1].depth == depth:
+                    open_pending.pop()
+                yield from emitter.feed(token)
+                if depth == head_depth:
+                    # The streaming match closed: replay captured nested
+                    # matches in the order they opened (document order,
+                    # which is what the buffered engine emits).
+                    head_depth = None
+                    emitter = None
+                    yield from wrapper_close
+                    for match in pending:
+                        replay = _make_emitter(plan)
+                        yield from wrapper_open
+                        for captured, cost in match.entries:
+                            yield from replay.feed(captured)
+                            if cost:
+                                stats.on_purge(cost)
+                        yield from wrapper_close
+                    pending.clear()
+            else:  # Text (or CData)
+                if head_depth is None:
+                    stats.nodes_dropped += 1
+                    continue
+                cost = self._cost.text_cost(token.content)
+                for match in open_pending:
+                    match.entries.append((token, cost))
+                    stats.on_create(cost)
+                yield from emitter.feed(token)
+
+        self.exhausted = True
+        for tag in reversed(plan.envelope):
+            yield EndTag(tag)

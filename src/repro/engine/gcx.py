@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Callable, Iterator
 
 from repro.analysis.compile import CompiledQuery, compile_query
+from repro.analysis.schema import Schema
 from repro.engine.session import (
     EngineOptions,
     QuerySession,
@@ -61,19 +62,33 @@ class GCXEngine:
     def __init__(self, options: EngineOptions | None = None) -> None:
         self.options = options or EngineOptions()
 
-    def compile(self, query: Query | str) -> CompiledQuery:
-        """Run the static analysis only (Sections 3–4), no evaluation."""
-        return compile_query(query, self.options.compile_options())
+    def compile(
+        self, query: Query | str, *, schema: Schema | None = None
+    ) -> CompiledQuery:
+        """Run the static analysis only (Sections 3–4), no evaluation.
 
-    def session(self, query: Query | str | CompiledQuery) -> QuerySession:
+        With ``schema`` the schema-constraint pass runs too and its proofs
+        land on ``CompiledQuery.constraints``.
+        """
+        return compile_query(
+            query, self.options.compile_options(), schema=schema
+        )
+
+    def session(
+        self,
+        query: Query | str | CompiledQuery,
+        *,
+        schema: Schema | None = None,
+    ) -> QuerySession:
         """Compile ``query`` once into a reusable :class:`QuerySession`."""
-        return QuerySession(query, self.options)
+        return QuerySession(query, self.options, schema=schema)
 
     def run(
         self,
         query: Query | str | CompiledQuery,
         document: str | Iterator[Token],
         *,
+        schema: Schema | None = None,
         sink: TokenSink | None = None,
         on_event: Callable[[str], None] | None = None,
     ) -> RunResult:
@@ -84,13 +99,16 @@ class GCXEngine:
         :class:`~repro.xmlio.serialize.StringSink`, whose text lands in
         ``RunResult.output``).
         """
-        return self.session(query).run(document, sink=sink, on_event=on_event)
+        return self.session(query, schema=schema).run(
+            document, sink=sink, on_event=on_event
+        )
 
     def run_streaming(
         self,
         query: Query | str | CompiledQuery,
         document: str | Iterator[Token],
         *,
+        schema: Schema | None = None,
         on_event: Callable[[str], None] | None = None,
     ) -> StreamingRun:
         """Evaluate ``query`` over ``document``, yielding tokens as produced.
@@ -100,4 +118,6 @@ class GCXEngine:
         exhausted.  The first token is available as soon as the evaluator
         decides it — before the input stream is fully consumed.
         """
-        return self.session(query).run_streaming(document, on_event=on_event)
+        return self.session(query, schema=schema).run_streaming(
+            document, on_event=on_event
+        )

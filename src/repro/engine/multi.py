@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Iterator, Mapping, Sequence
 
 from repro.analysis.compile import CompiledQuery
+from repro.analysis.schema import Schema
 from repro.analysis.union_tree import UnionProjection, build_union_projection
 from repro.engine.evaluator import Evaluator
 from repro.engine.session import (
@@ -316,6 +317,8 @@ class MultiQuerySession:
         queries: Mapping[str, Query | str | CompiledQuery]
         | Sequence[Query | str | CompiledQuery],
         options: EngineOptions | None = None,
+        *,
+        schema: Schema | None = None,
     ) -> None:
         self.options = options or EngineOptions()
         if isinstance(queries, Mapping):
@@ -327,8 +330,14 @@ class MultiQuerySession:
         if len({name for name, _query in named}) != len(named):
             raise ValueError("query names must be unique")
         self.names: tuple[str, ...] = tuple(name for name, _query in named)
+        # ``schema`` applies to every member compiled here; pre-compiled
+        # artifacts (schema-aware or not) are adopted unchanged.  The
+        # shared pass wires its own lanes, so certified members keep the
+        # generic evaluator — the schema's value in a multi session is the
+        # constraint report, not the direct runner.
         self.sessions: dict[str, QuerySession] = {
-            name: QuerySession(query, self.options) for name, query in named
+            name: QuerySession(query, self.options, schema=schema)
+            for name, query in named
         }
         #: The merged static analysis: membership bitmasks + signoff table.
         self.union: UnionProjection = build_union_projection(

@@ -61,6 +61,8 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.analysis.compile import CompiledQuery, compile_query
+from repro.analysis.schema import Schema
+from repro.analysis.schema_constraints import apply_trusted_constraints
 from repro.buffer.buffer import BufferTree
 from repro.engine.session import (
     MATCHER_STATE_CAP,
@@ -260,6 +262,7 @@ class SessionPool:
         query: str | CompiledQuery,
         options: EngineOptions | None = None,
         *,
+        schema: Schema | None = None,
         max_workers: int = 4,
         executor: str = "thread",
         max_idle_buffers: int | None = None,
@@ -279,12 +282,18 @@ class SessionPool:
                 "executor='process' needs the query as text: worker "
                 "processes each compile their own copy at startup"
             )
+        # Schema is kept for the process-executor initializer (workers
+        # each re-run the schema-aware compilation on their own copy).
+        self._schema = schema
         if isinstance(query, CompiledQuery):
+            # Compiled artifacts — schema-aware or not — are adopted as-is.
             self._compiled = query
         else:
             self._compiled = compile_query(
-                query, self.options.compile_options()
+                query, self.options.compile_options(), schema=schema
             )
+        if self.options.trust_schema:
+            self._compiled = apply_trusted_constraints(self._compiled)
         # Shared static half (Figure 11's left side): one matcher whose
         # lazy DFA every run reads and warms; replaced wholesale (under
         # the pool lock) if an adversarial document bloats it.
@@ -737,7 +746,7 @@ class SessionPool:
                     self._executor = ProcessPoolExecutor(
                         max_workers=self.max_workers,
                         initializer=_process_worker_init,
-                        initargs=(self._query_text, self.options),
+                        initargs=(self._query_text, self.options, self._schema),
                     )
                 else:
                     self._executor = ThreadPoolExecutor(
@@ -754,10 +763,12 @@ class SessionPool:
 _WORKER_SESSION: QuerySession | None = None
 
 
-def _process_worker_init(query_text: str, options: EngineOptions) -> None:
+def _process_worker_init(
+    query_text: str, options: EngineOptions, schema: Schema | None = None
+) -> None:
     """Compile once per worker process (the pool's initializer)."""
     global _WORKER_SESSION
-    _WORKER_SESSION = QuerySession(query_text, options)
+    _WORKER_SESSION = QuerySession(query_text, options, schema=schema)
 
 
 def _process_serve_one(document: str | Path) -> PoolResult:

@@ -31,6 +31,8 @@ from pathlib import Path
 from typing import Callable, Iterator, Protocol
 
 from repro.analysis.compile import CompiledQuery, CompileOptions, compile_query
+from repro.analysis.schema import Schema
+from repro.analysis.schema_constraints import apply_trusted_constraints
 from repro.buffer.buffer import BufferTree
 from repro.buffer.stats import BufferCostModel, BufferStats
 from repro.engine.evaluator import Evaluator
@@ -175,6 +177,12 @@ class EngineOptions:
     eliminate_redundant_roles: bool = True
     eager_leaf_bindings: bool = False  # push-based (flux-like) reading
     strict: bool = True  # raise on undefined role removals / unbalanced roles
+    #: Assume documents conform to the compile-time schema (FluX's operating
+    #: mode): schema-pruned patterns are dropped from the runtime artifacts.
+    #: Off by default — the default engine only applies schema facts whose
+    #: soundness does not depend on the input conforming (the zero-buffer
+    #: direct runner detects violations structurally and falls back).
+    trust_schema: bool = False
     cost_model: BufferCostModel = field(default_factory=BufferCostModel)
 
     def compile_options(self) -> CompileOptions:
@@ -341,12 +349,20 @@ class QuerySession:
         self,
         query: Query | str | CompiledQuery,
         options: EngineOptions | None = None,
+        *,
+        schema: Schema | None = None,
     ) -> None:
         self.options = options or EngineOptions()
         if isinstance(query, CompiledQuery):
+            # Already-compiled artifacts are adopted unchanged; compile
+            # with ``compile_query(..., schema=...)`` to attach a schema.
             self._compiled = query
         else:
-            self._compiled = compile_query(query, self.options.compile_options())
+            self._compiled = compile_query(
+                query, self.options.compile_options(), schema=schema
+            )
+        if self.options.trust_schema:
+            self._compiled = apply_trusted_constraints(self._compiled)
         #: Completed evaluations (streaming runs count on exhaustion).
         self.runs_completed = 0
         # Guards the spare-buffer slot, the shared matcher, and the
@@ -536,8 +552,30 @@ def build_streaming_run(
     out ``buffer`` (exclusive to this run) and ``matcher`` (shareable; its
     per-run state lives in the preprojector's frame stack), and the
     returned :class:`StreamingRun` reports back to ``owner`` exactly once.
+
+    Schema-certified queries short-circuit the whole buffered pipeline:
+    the :class:`~repro.engine.direct.DirectEvaluator` streams input tokens
+    straight to output with an empty buffer (and detects schema-violating
+    nesting structurally, so the output stays byte-identical either way).
+    The flux-like baseline (``eager_leaf_bindings``) keeps the generic
+    path — its point is to model the *buffered* push-based engine.
     """
     tokens = document_tokens(document)
+    constraints = owner.compiled.constraints
+    if (
+        constraints is not None
+        and constraints.zero_buffer is not None
+        and not owner.options.eager_leaf_bindings
+    ):
+        from repro.engine.direct import DirectEvaluator
+
+        direct = DirectEvaluator(
+            constraints.zero_buffer,
+            tokens,
+            buffer.stats,
+            owner.options.cost_model,
+        )
+        return StreamingRun(owner, buffer, direct, direct)
     preprojector = StreamPreprojector(
         tokens,
         owner.compiled.projection_tree,

@@ -10,6 +10,7 @@ connection survive a bad document or a garbled frame.
 Client frames carry an ``op`` field::
 
     {"op": "register", "id": "q1", "query": "<o>{...}</o>"}
+    {"op": "register", "id": "q2", "query": "...", "schema": "<!ELEMENT ...>"}
     {"op": "unregister", "id": "q1"}
     {"op": "eval", "id": "q1", "doc": "<site>...</site>"}
     {"op": "begin", "id": "q1"}          start a chunked document upload
@@ -17,6 +18,12 @@ Client frames carry an ``op`` field::
     {"op": "end"}                        upload complete -> evaluate
     {"op": "cancel"}                     abort an in-progress upload
     {"op": "ping"} | {"op": "stats"} | {"op": "quit"}
+
+``register`` takes an optional ``schema`` field: DTD text enabling the
+schema-constraint pass (zero-buffer proofs) for that standing query.
+Queries registered with different schemas get distinct compiled pools;
+a server started with ``--schema`` applies its DTD to every standing
+query that does not carry its own.
 
 Document payloads (``doc`` and ``chunk`` ``data``) arrive as JSON
 strings but are UTF-8-encoded exactly once at receipt and stay ``bytes``

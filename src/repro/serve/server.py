@@ -49,6 +49,9 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Iterator
 
+import hashlib
+
+from repro.analysis.schema import Schema
 from repro.engine.pool import SessionPool
 from repro.engine.session import StreamingRun
 from repro.serve.protocol import (
@@ -107,6 +110,10 @@ class ServeConfig:
     #: How long a graceful drain waits for in-flight passes before
     #: force-cancelling them.
     drain_timeout: float = 10.0
+    #: Default schema for every standing query (``gcx serve --schema``).
+    #: A register frame's own ``schema`` field (DTD text) overrides it
+    #: per standing query.
+    schema: Schema | None = None
 
 
 class _PassCancelled(Exception):
@@ -431,7 +438,13 @@ class _Connection:
     async def _op_register(self, frame: dict[str, Any]) -> None:
         self._require_idle("register")
         alias, query = frame["id"], frame["query"]
-        pool, cached = self.server.get_pool(query)
+        schema_text = frame.get("schema")
+        if schema_text is not None and not isinstance(schema_text, str):
+            raise ProtocolError(
+                E_BAD_FIELD,
+                "op 'register' field 'schema' must be a string (DTD text)",
+            )
+        pool, cached = self.server.get_pool(query, schema_text=schema_text)
         self._queries[alias] = pool
         self.server.stats.query_registered(cached=cached)
         await self._send({"type": "registered", "id": alias, "cached": cached})
@@ -661,21 +674,43 @@ class QueryServer:
 
     # -- standing queries -----------------------------------------------
 
-    def get_pool(self, query_text: str) -> tuple[SessionPool, bool]:
+    def get_pool(
+        self, query_text: str, *, schema_text: str | None = None
+    ) -> tuple[SessionPool, bool]:
         """The standing-query pool for ``query_text`` (compiling on miss).
 
+        ``schema_text`` is the register frame's optional per-query DTD; it
+        overrides the server-wide default (``ServeConfig.schema``).  The
+        cache key includes a fingerprint of the effective schema, so the
+        same query registered with and without a schema gets two distinct
+        pools (their compiled artifacts differ).
+
         Returns ``(pool, cached)``; raises :class:`ProtocolError` with
-        code ``query-error`` when the query does not compile (parse
-        error, unsupported construct) — non-fatal, the connection keeps
-        serving.
+        code ``query-error`` when the query or the DTD does not compile
+        (parse error, unsupported construct) — non-fatal, the connection
+        keeps serving.
         """
         key = normalize_query_key(query_text)
+        if schema_text is not None:
+            digest = hashlib.sha256(
+                " ".join(schema_text.split()).encode("utf-8")
+            ).hexdigest()[:16]
+            key = f"{key}\x00dtd:{digest}"
+        elif self.config.schema is not None:
+            key = f"{key}\x00dtd:default"
         pool = self._pools.get(key)
         if pool is not None:
             return pool, True
         try:
+            schema = (
+                Schema.from_dtd_text(schema_text)
+                if schema_text is not None
+                else self.config.schema
+            )
             pool = SessionPool(
-                query_text, max_workers=self.config.eval_workers
+                query_text,
+                max_workers=self.config.eval_workers,
+                schema=schema,
             )
         except Exception as error:
             raise ProtocolError(

@@ -127,8 +127,13 @@ class ScriptClient:
 
     # -- protocol helpers -------------------------------------------------
 
-    def register(self, alias: str, query: str) -> dict[str, Any]:
-        self.send_frame({"op": "register", "id": alias, "query": query})
+    def register(
+        self, alias: str, query: str, *, schema: str | None = None
+    ) -> dict[str, Any]:
+        frame: dict[str, Any] = {"op": "register", "id": alias, "query": query}
+        if schema is not None:
+            frame["schema"] = schema  # DTD text, per the frame grammar
+        self.send_frame(frame)
         reply = self.recv_frame()
         assert reply is not None, "connection closed during register"
         return reply

@@ -1,28 +1,30 @@
 """The adapted XMark DTD and a lightweight validator.
 
 The paper provides the XMark DTD to FluXQuery ("In our experiments, we
-provided the XMark DTD to FluXQuery"); schema-based engines use it to decide
-what can be emitted on the fly.  This module renders the *adapted* DTD —
-attributes already converted to subelements, matching the benchmark streams
-— from the content models in :mod:`repro.xmark.schema`, and validates
-documents against it.
+provided the XMark DTD to FluXQuery"); schema-based engines use it to
+decide what can be emitted on the fly.  This module is a thin facade over
+the unified :class:`~repro.analysis.schema.Schema` object
+(:func:`repro.xmark.schema.xmark_schema`): it renders the *adapted* DTD —
+attributes already converted to subelements, matching the benchmark
+streams — and validates documents against it.
 
 ``schema_tags`` is what the flux-like engine consults to warn about query
 tags that cannot occur in any document (a cheap form of the schema
-reasoning FluX performs).
+reasoning FluX performs); the full reasoning now lives in
+:mod:`repro.analysis.schema_constraints`.
 """
 
 from __future__ import annotations
 
-
-from repro.xmark.schema import ELEMENT_CHILDREN, REFERENCE_POSITIONS, validate_order
-from repro.xmlio.tree import DocumentNode, ElementNode, parse_tree
+from repro.analysis.schema import SchemaViolation
+from repro.xmark.schema import xmark_schema
+from repro.xmlio.tree import DocumentNode
 
 __all__ = ["render_dtd", "schema_tags", "validate_document", "DTDViolation"]
 
-
-class DTDViolation(ValueError):
-    """A document does not conform to the (simplified) content model."""
+#: Backwards-compatible name: DTD violations *are* schema violations now
+#: that the duplicated schema representations are unified.
+DTDViolation = SchemaViolation
 
 
 def render_dtd(root: str = "site") -> str:
@@ -30,34 +32,17 @@ def render_dtd(root: str = "site") -> str:
 
     Leaf elements (absent from the schema table) contain character data.
     Occurrence indicators follow the min/max bounds: ``?`` for optional,
-    ``*`` for unbounded-from-zero, ``+`` for unbounded-from-one.
+    ``*`` for unbounded-from-zero, ``+`` for unbounded-from-one.  The
+    output round-trips through
+    :meth:`repro.analysis.schema.Schema.from_dtd_text` losslessly
+    (reference positions ride in a structured comment).
     """
-    lines = [f"<!-- XMark DTD, adapted: attributes are subelements -->"]
-    leaves: set[str] = set()
-    for parent, model in ELEMENT_CHILDREN.items():
-        parts = []
-        for tag, min_occurs, max_occurs in model:
-            if max_occurs is None:
-                suffix = "*" if min_occurs == 0 else "+"
-            elif min_occurs == 0:
-                suffix = "?"
-            else:
-                suffix = ""
-            parts.append(tag + suffix)
-            if tag not in ELEMENT_CHILDREN:
-                leaves.add(tag)
-        lines.append(f"<!ELEMENT {parent} ({', '.join(parts)})>")
-    for leaf in sorted(leaves):
-        lines.append(f"<!ELEMENT {leaf} (#PCDATA)>")
-    return "\n".join(lines) + "\n"
+    return xmark_schema().to_dtd()
 
 
 def schema_tags() -> frozenset[str]:
     """All element tags that can occur in an XMark document."""
-    tags = set(ELEMENT_CHILDREN)
-    for model in ELEMENT_CHILDREN.values():
-        tags.update(tag for tag, _min, _max in model)
-    return frozenset(tags)
+    return xmark_schema().tags
 
 
 def validate_document(document: str | DocumentNode) -> int:
@@ -66,33 +51,4 @@ def validate_document(document: str | DocumentNode) -> int:
     Returns the number of elements checked; raises :class:`DTDViolation`
     on the first offending element.
     """
-    tree = parse_tree(document) if isinstance(document, str) else document
-    known = schema_tags()
-    checked = 0
-
-    def visit(node: ElementNode, is_reference: bool) -> None:
-        nonlocal checked
-        if node.tag not in known:
-            raise DTDViolation(f"unknown element <{node.tag}>")
-        child_tags = [
-            child.tag for child in node.children if isinstance(child, ElementNode)
-        ]
-        if is_reference or node.tag not in ELEMENT_CHILDREN:
-            if child_tags:
-                raise DTDViolation(
-                    f"leaf element <{node.tag}> must not have element children"
-                )
-        elif not validate_order(node.tag, child_tags):
-            raise DTDViolation(
-                f"<{node.tag}> has children {child_tags} violating its "
-                "content model"
-            )
-        checked += 1
-        for child in node.children:
-            if isinstance(child, ElementNode):
-                visit(child, (node.tag, child.tag) in REFERENCE_POSITIONS)
-
-    root = tree.root_element
-    if root is not None:
-        visit(root, False)
-    return checked
+    return xmark_schema().validate_document(document)

@@ -7,12 +7,26 @@ attributes into subelements"* — so ``<person id="person0">`` becomes
 
 ``ELEMENT_CHILDREN`` mirrors the DTD's content models (after attribute
 conversion) and is used by the generator and by schema-conformance tests;
-``REGIONS`` lists the six continent containers.
+``REGIONS`` lists the six continent containers.  :func:`xmark_schema`
+lifts the same tables into the first-class
+:class:`~repro.analysis.schema.Schema` the static analysis consumes —
+the tables here stay the single source of truth, the ``Schema`` object is
+the single representation every analysis/runtime layer reasons against.
 """
 
 from __future__ import annotations
 
-__all__ = ["REGIONS", "ELEMENT_CHILDREN", "SCALE_BASE", "validate_order"]
+from functools import lru_cache
+
+from repro.analysis.schema import Schema
+
+__all__ = [
+    "REGIONS",
+    "ELEMENT_CHILDREN",
+    "SCALE_BASE",
+    "validate_order",
+    "xmark_schema",
+]
 
 REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
 
@@ -149,24 +163,29 @@ SCALE_BASE = {
 }
 
 
+@lru_cache(maxsize=1)
+def xmark_schema() -> Schema:
+    """The XMark content models as a first-class analysis schema.
+
+    Built once and cached; this is the object ``compile_query(query,
+    schema=...)``, the flux-like baseline, and the DTD renderer/validator
+    all share.
+    """
+    return Schema.from_content_models(ELEMENT_CHILDREN, REFERENCE_POSITIONS)
+
+
 def validate_order(parent: str, children: list[str]) -> bool:
     """Check a child tag sequence against the (simplified) content model.
 
     Used by schema-conformance tests on generated documents.  Leaf elements
     (no entry in ``ELEMENT_CHILDREN``) accept text only, hence ``children``
-    must be empty for them.
+    must be empty for them.  Thin wrapper over
+    :meth:`repro.analysis.schema.Schema.validate_children`.
     """
-    model = ELEMENT_CHILDREN.get(parent)
-    if model is None:
-        return not children
-    position = 0
-    for tag, min_occurs, max_occurs in model:
-        count = 0
-        while position < len(children) and children[position] == tag:
-            position += 1
-            count += 1
-        if count < min_occurs:
-            return False
-        if max_occurs is not None and count > max_occurs:
-            return False
-    return position == len(children)
+    from repro.analysis.schema import SchemaViolation
+
+    try:
+        xmark_schema().validate_children(parent, list(children))
+    except SchemaViolation:
+        return False
+    return True

@@ -1,0 +1,225 @@
+"""The schema-constraint pass: pruning, signoff facts, zero-buffer proofs.
+
+The pass is FluX's idea (schema-aware static analysis) grafted onto GCX's
+pipeline: with a DTD in hand, compilation proves facts the dynamic
+analysis alone cannot — a pattern path that can never match in a
+conforming document, a variable whose binding occurs at most once under
+its parent, and (the headline) queries whose evaluation needs no buffer
+at all because matches provably cannot nest.
+
+Everything here is *report by default*: the proofs land on
+``CompiledQuery.constraints`` without changing runtime artifacts, except
+the zero-buffer certificate (structurally sound — the runtime detects
+violations itself) and the trusted mode (``EngineOptions(trust_schema=
+True)``), which applies pruning and signoff-stripping under FluX's
+conforming-input assumption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    CompileOptions,
+    apply_trusted_constraints,
+    compile_query,
+)
+from repro.analysis.schema import Schema
+from repro.xmark.queries import XMARK_QUERIES
+from repro.xmark.schema import xmark_schema
+from repro.xquery import unparse
+
+BIB_DTD = """
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author*, price?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+
+@pytest.fixture(scope="module")
+def bib() -> Schema:
+    return Schema.from_dtd_text(BIB_DTD)
+
+
+def constraints_for(query: str, schema: Schema):
+    compiled = compile_query(query, schema=schema)
+    assert compiled.constraints is not None
+    return compiled
+
+
+class TestOptionality:
+    def test_no_schema_means_no_constraints(self):
+        compiled = compile_query("<o>{for $b in /bib/book return $b}</o>")
+        assert compiled.constraints is None
+        assert compiled.schema is None
+        assert not compiled.certified_zero_buffer
+
+    def test_schema_recorded_on_compiled(self, bib):
+        compiled = constraints_for(
+            "<o>{for $b in /bib/book return $b}</o>", bib
+        )
+        assert compiled.schema is bib
+        assert compiled.constraints.schema is bib
+
+
+class TestPruning:
+    def test_impossible_path_is_reported(self, bib):
+        # <book> has no <journal> child in the schema.
+        compiled = constraints_for(
+            "<o>{for $b in /bib/book return $b/journal}</o>", bib
+        )
+        assert len(compiled.constraints.pruned) == 1
+        assert "journal" in str(compiled.constraints.pruned[0].pattern)
+
+    def test_possible_paths_are_not_pruned(self, bib):
+        compiled = constraints_for(
+            "<o>{for $b in /bib/book return $b/title}</o>", bib
+        )
+        assert compiled.constraints.pruned == ()
+
+    def test_report_only_by_default(self, bib):
+        """Default mode must not touch the projection tree or signoffs."""
+        query = "<o>{for $b in /bib/book return $b/journal}</o>"
+        with_schema = compile_query(query, schema=bib)
+        without = compile_query(query)
+        assert (
+            with_schema.projection_tree.node_count()
+            == without.projection_tree.node_count()
+        )
+        assert unparse(with_schema.rewritten) == unparse(without.rewritten)
+
+    def test_trusted_mode_prunes_tree_and_signoffs(self, bib):
+        query = "<o>{for $b in /bib/book return $b/journal}</o>"
+        compiled = compile_query(query, schema=bib)
+        trusted = apply_trusted_constraints(compiled)
+        assert (
+            trusted.projection_tree.node_count()
+            < compiled.projection_tree.node_count()
+        )
+        for role in compiled.constraints.pruned_roles:
+            assert role not in trusted.projection_tree.roles
+        assert str(trusted.rewritten) != str(compiled.rewritten)
+
+    def test_trusted_mode_is_identity_when_nothing_proved(self, bib):
+        compiled = compile_query(
+            "<o>{for $b in /bib/book return $b/title}</o>", schema=bib
+        )
+        trusted = apply_trusted_constraints(compiled)
+        assert (
+            trusted.projection_tree.node_count()
+            == compiled.projection_tree.node_count()
+        )
+
+
+class TestSignoffFacts:
+    """Facts attach to *dependencies* — condition paths a variable's
+    buffered subtree is kept alive for (output paths normalize into
+    their own one-iteration loops and carry no occurrence structure)."""
+
+    def test_at_most_once_fact(self, bib):
+        # title occurs at most once under book: $b's buffer for the
+        # exists-check is releasable after the first occurrence.
+        compiled = constraints_for(
+            "<o>{for $b in /bib/book where (exists $b/title) "
+            "return $b/author}</o>",
+            bib,
+        )
+        once = [
+            fact
+            for fact in compiled.constraints.signoff_facts
+            if fact.kind == "at-most-once"
+        ]
+        assert once and once[0].var == "$b"
+        assert "title" in once[0].path
+
+    def test_release_horizon_fact(self, bib):
+        # Once <author> or <price> opens under $b, no further <title> can
+        # occur — the schema's sibling order is the release horizon.
+        compiled = constraints_for(
+            "<o>{for $b in /bib/book where (exists $b/title) "
+            "return $b/author}</o>",
+            bib,
+        )
+        horizons = [
+            fact
+            for fact in compiled.constraints.signoff_facts
+            if fact.kind == "release-horizon"
+        ]
+        assert horizons
+        assert any("author" in fact.detail for fact in horizons)
+
+    def test_unbounded_child_gets_no_at_most_once(self, bib):
+        compiled = constraints_for(
+            "<o>{for $b in /bib/book where (exists $b/author) "
+            "return $b/title}</o>",
+            bib,
+        )
+        assert not any(
+            fact.kind == "at-most-once" and "author" in fact.path
+            for fact in compiled.constraints.signoff_facts
+        )
+
+
+class TestZeroBufferCertification:
+    @pytest.mark.parametrize("name", ["Q6", "Q15"])
+    def test_certified_xmark_queries(self, name):
+        compiled = compile_query(
+            XMARK_QUERIES[name].adapted, schema=xmark_schema()
+        )
+        assert compiled.certified_zero_buffer
+        plan = compiled.constraints.zero_buffer
+        assert plan.binding_tags
+        assert plan.describe()
+
+    @pytest.mark.parametrize("name", ["Q1", "Q8", "Q13", "Q17", "Q20"])
+    def test_uncertified_xmark_queries(self, name):
+        compiled = compile_query(
+            XMARK_QUERIES[name].adapted, schema=xmark_schema()
+        )
+        assert not compiled.certified_zero_buffer
+
+    def test_subtree_kind(self, bib):
+        compiled = constraints_for(
+            "<o>{for $b in /bib/book return $b}</o>", bib
+        )
+        plan = compiled.constraints.zero_buffer
+        assert plan is not None and plan.kind == "subtree"
+
+    def test_nesting_tag_blocks_certification(self):
+        # <a> can contain <a>: matches may nest, no zero-buffer proof.
+        schema = Schema.from_dtd_text(
+            "<!ELEMENT r (a*)>\n<!ELEMENT a (a*, b*)>\n<!ELEMENT b (#PCDATA)>"
+        )
+        compiled = compile_query(
+            "<o>{for $x in /r/a return $x}</o>", schema=schema
+        )
+        assert compiled.constraints.zero_buffer is None
+
+    def test_where_clause_blocks_certification(self, bib):
+        compiled = constraints_for(
+            "<o>{for $b in /bib/book where (exists $b/price) "
+            "return $b/title}</o>",
+            bib,
+        )
+        assert compiled.constraints.zero_buffer is None
+
+    def test_certification_survives_options(self):
+        """The proof works on the normalized query, before early updates."""
+        compiled = compile_query(
+            XMARK_QUERIES["Q15"].adapted,
+            CompileOptions(early_updates=False, eliminate_redundant=False),
+            schema=xmark_schema(),
+        )
+        assert compiled.certified_zero_buffer
+
+
+class TestSummary:
+    def test_summary_mentions_everything(self, bib):
+        compiled = constraints_for(
+            "<o>{for $b in /bib/book return $b/journal}</o>", bib
+        )
+        text = compiled.constraints.summary()
+        assert "pruned" in text
+        assert "zero-buffer" in text

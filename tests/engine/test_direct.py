@@ -1,0 +1,160 @@
+"""The zero-buffer direct runner: certified queries bypass the buffer.
+
+When the schema-constraint pass certifies a query (matches provably
+cannot nest in a conforming document), the session swaps the
+preprojector/buffer/evaluator stack for
+:class:`repro.engine.direct.DirectEvaluator`: a stack of NFA state sets
+over the open elements, with matched subtrees streamed through to the
+output as they are read.  Peak buffer residency is zero.
+
+The certificate is *structurally sound*: the runner detects nested
+matches (schema violations) itself, captures just those subtrees, and
+replays them in document order — so output stays byte-identical to the
+generic engine even on documents that violate the certifying schema,
+with the violation count surfaced as ``BufferStats.schema_fallbacks``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.schema import Schema
+from repro.engine import EngineOptions, GCXEngine
+from repro.engine.direct import DirectEvaluator
+
+FLAT_DTD = """
+<!ELEMENT r (a*)>
+<!ELEMENT a (b*)>
+<!ELEMENT b (#PCDATA)>
+"""
+
+SUBTREE_QUERY = "<o>{for $x in //a return $x}</o>"
+PATH_QUERY = "<o>{for $x in /r/a return $x/b}</o>"
+
+CONFORMING = "<r><a><b>one</b><b>two</b></a><a/><a><b>three</b></a></r>"
+# <a> inside <a>: violates the DTD, and makes the //a matches nest.
+VIOLATING = "<r><a><b>x</b><a><b>y</b></a></a><a><b>z</b></a></r>"
+
+
+@pytest.fixture(scope="module")
+def schema() -> Schema:
+    return Schema.from_dtd_text(FLAT_DTD)
+
+
+def run_both(query: str, document: str, schema: Schema):
+    """(schema-on result, schema-off result) for the default engine."""
+    engine = GCXEngine()
+    return engine.run(query, document, schema=schema), engine.run(
+        query, document
+    )
+
+
+class TestDispatch:
+    def test_certified_query_uses_direct_runner(self, schema):
+        session = GCXEngine().session(SUBTREE_QUERY, schema=schema)
+        assert session.compiled.certified_zero_buffer
+        run = session.run_streaming(CONFORMING)
+        # The direct runner serves as both preprojector and evaluator.
+        assert isinstance(run._preprojector, DirectEvaluator)
+        "".join(run.serialized())
+
+    def test_uncertified_query_keeps_generic_path(self, schema):
+        # <a> nesting cannot be ruled out without the schema's help; a
+        # where clause is outside the certifiable shape.
+        query = "<o>{for $x in //a where (exists $x/b) return $x}</o>"
+        session = GCXEngine().session(query, schema=schema)
+        assert not session.compiled.certified_zero_buffer
+        run = session.run_streaming(CONFORMING)
+        assert not isinstance(run._preprojector, DirectEvaluator)
+        "".join(run.serialized())
+
+    def test_eager_leaf_bindings_excludes_direct(self, schema):
+        # The flux-like configuration changes evaluation order; the
+        # certificate is proven for the default order only.
+        options = EngineOptions(eager_leaf_bindings=True)
+        session = GCXEngine(options).session(SUBTREE_QUERY, schema=schema)
+        run = session.run_streaming(CONFORMING)
+        assert not isinstance(run._preprojector, DirectEvaluator)
+        "".join(run.serialized())
+
+
+class TestConformingDocuments:
+    @pytest.mark.parametrize("query", [SUBTREE_QUERY, PATH_QUERY])
+    def test_output_matches_generic_engine(self, query, schema):
+        on, off = run_both(query, CONFORMING, schema)
+        assert on.output == off.output
+
+    @pytest.mark.parametrize("query", [SUBTREE_QUERY, PATH_QUERY])
+    def test_zero_buffer_high_watermark(self, query, schema):
+        on, off = run_both(query, CONFORMING, schema)
+        assert on.stats.hwm_bytes == 0
+        assert on.stats.hwm_nodes == 0
+        assert off.stats.hwm_bytes > 0  # the win being claimed
+
+    def test_no_fallbacks_on_conforming_input(self, schema):
+        on, _ = run_both(SUBTREE_QUERY, CONFORMING, schema)
+        assert on.stats.schema_fallbacks == 0
+
+    def test_role_accounting_stays_balanced(self, schema):
+        on, _ = run_both(SUBTREE_QUERY, CONFORMING, schema)
+        assert on.stats.role_accounting_balanced()
+
+    def test_tokens_are_still_counted(self, schema):
+        on, off = run_both(SUBTREE_QUERY, CONFORMING, schema)
+        assert on.stats.tokens_read == off.stats.tokens_read
+
+    def test_streaming_is_incremental(self, schema):
+        """The first fragment must arrive before the document ends."""
+        session = GCXEngine().session(SUBTREE_QUERY, schema=schema)
+        run = session.run_streaming(CONFORMING)
+        fragments = run.serialized()
+        first = next(fragments)
+        assert first  # output began while input remains
+        rest = "".join(fragments)
+        _, off = run_both(SUBTREE_QUERY, CONFORMING, schema)
+        assert first + rest == off.output
+
+
+class TestViolatingDocuments:
+    def test_output_still_byte_identical(self, schema):
+        on, off = run_both(SUBTREE_QUERY, VIOLATING, schema)
+        assert on.output == off.output
+
+    def test_fallbacks_are_counted(self, schema):
+        on, _ = run_both(SUBTREE_QUERY, VIOLATING, schema)
+        assert on.stats.schema_fallbacks == 1
+
+    def test_fallback_buffering_is_charged(self, schema):
+        """Captured nested matches must show up in the high watermark."""
+        on, _ = run_both(SUBTREE_QUERY, VIOLATING, schema)
+        assert on.stats.hwm_bytes > 0
+        assert on.stats.nodes_created == on.stats.nodes_purged
+
+    def test_document_order_is_preserved(self, schema):
+        # Generic semantics emit the outer match, then the nested one.
+        on, off = run_both(SUBTREE_QUERY, VIOLATING, schema)
+        outer = on.output.index("<a><b>x</b><a><b>y</b></a></a>")
+        inner = on.output.index("<a><b>y</b></a>", outer + 1)
+        assert outer < inner
+        assert on.output == off.output
+
+    def test_deeply_nested_violations(self, schema):
+        document = "<r><a><a><a><b>t</b></a></a></a></r>"
+        on, off = run_both(SUBTREE_QUERY, document, schema)
+        assert on.output == off.output
+        assert on.stats.schema_fallbacks == 2
+
+    def test_summary_mentions_fallbacks(self, schema):
+        on, _ = run_both(SUBTREE_QUERY, VIOLATING, schema)
+        assert "schema fallbacks 1" in on.stats.summary()
+
+
+class TestSessionReuse:
+    def test_compile_once_run_many(self, schema):
+        session = GCXEngine().session(SUBTREE_QUERY, schema=schema)
+        first = session.run(CONFORMING)
+        second = session.run(VIOLATING)
+        third = session.run(CONFORMING)
+        assert first.output == third.output
+        assert second.stats.schema_fallbacks == 1
+        assert third.stats.schema_fallbacks == 0

@@ -1,0 +1,156 @@
+"""Differential guarantee: a schema never changes what a query returns.
+
+The schema-constraint pass trades *proofs* for buffer space, never for
+semantics — so for every query and every document, compiling with a
+schema must produce byte-identical output to compiling without one:
+
+* on conforming documents (the proofs hold, the direct runner streams),
+* on *violating* documents (the certificate's assumption is broken; the
+  runner detects nested matches mid-stream and falls back to buffering
+  exactly those subtrees),
+* and under ``trust_schema=True`` on conforming documents (FluX's
+  conforming-input assumption — the mode that actually applies pruning
+  and signoff stripping to the runtime artifacts).
+
+This mirrors the Theorem 1 differential suite: the no-schema engine is
+the oracle, randomized documents drive the fallback machinery hard.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.schema import Schema
+from repro.engine import EngineOptions, GCXEngine
+from repro.xmark.queries import XMARK_QUERIES
+from repro.xmark.schema import xmark_schema
+
+from tests.properties.strategies import documents
+
+GOLDENS = Path(__file__).parent / "goldens"
+QUERY_NAMES = sorted(XMARK_QUERIES)
+
+FAST = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: A schema over the hypothesis strategies' tag alphabet that many random
+#: documents violate (it forbids self-nesting of <a> among other things) —
+#: exactly what the fallback path needs to be exercised against.
+RANDOM_DOC_DTD = """
+<!ELEMENT r (a*, b*, c*, d*)>
+<!ELEMENT a (b*, c*, d*)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)>
+"""
+
+
+@pytest.fixture(scope="module")
+def xmark_document() -> str:
+    return (GOLDENS / "document.xml").read_text(encoding="utf-8")
+
+
+class TestGoldenCorpus:
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_schema_on_equals_schema_off(self, name, xmark_document):
+        engine = GCXEngine()
+        off = engine.run(XMARK_QUERIES[name].adapted, xmark_document)
+        on = engine.run(
+            XMARK_QUERIES[name].adapted, xmark_document, schema=xmark_schema()
+        )
+        assert on.output == off.output
+        # The committed goldens are the independent anchor.
+        expected = (GOLDENS / f"{name}.expected").read_text(encoding="utf-8")
+        assert on.output == expected
+
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_trusted_mode_on_conforming_corpus(self, name, xmark_document):
+        """XMark documents conform, so FluX mode must agree too."""
+        off = GCXEngine().run(XMARK_QUERIES[name].adapted, xmark_document)
+        trusted = GCXEngine(EngineOptions(trust_schema=True)).run(
+            XMARK_QUERIES[name].adapted, xmark_document, schema=xmark_schema()
+        )
+        assert trusted.output == off.output
+
+    def test_certified_queries_drop_to_zero(self, xmark_document):
+        """The headline: at least Q6 and Q15 run with an empty buffer."""
+        engine = GCXEngine()
+        for name in ("Q6", "Q15"):
+            off = engine.run(XMARK_QUERIES[name].adapted, xmark_document)
+            on = engine.run(
+                XMARK_QUERIES[name].adapted,
+                xmark_document,
+                schema=xmark_schema(),
+            )
+            assert on.stats.hwm_bytes == 0
+            assert off.stats.hwm_bytes > 0
+
+
+class TestRandomDocuments:
+    @FAST
+    @given(document=documents(max_depth=5))
+    def test_subtree_query_matches_oracle(self, document):
+        schema = Schema.from_dtd_text(RANDOM_DOC_DTD)
+        query = "<o>{for $x in //a return $x}</o>"
+        engine = GCXEngine()
+        assert (
+            engine.run(query, document, schema=schema).output
+            == engine.run(query, document).output
+        )
+
+    @FAST
+    @given(document=documents(max_depth=5))
+    def test_path_query_matches_oracle(self, document):
+        schema = Schema.from_dtd_text(RANDOM_DOC_DTD)
+        query = "<o>{for $x in /r/a return $x/b}</o>"
+        engine = GCXEngine()
+        assert (
+            engine.run(query, document, schema=schema).output
+            == engine.run(query, document).output
+        )
+
+    @FAST
+    @given(
+        document=documents(max_depth=5),
+        nested=st.integers(min_value=1, max_value=3),
+    )
+    def test_forced_violations_match_oracle(self, document, nested):
+        """Splice guaranteed self-nesting into the document body."""
+        spliced = "<a>" * nested + "<b>v</b>" + "</a>" * nested
+        document = document.replace("<r>", "<r>" + spliced, 1)
+        if not document.startswith("<r><a>"):
+            document = "<r>" + spliced + "</r>"
+        schema = Schema.from_dtd_text(RANDOM_DOC_DTD)
+        query = "<o>{for $x in //a return $x}</o>"
+        engine = GCXEngine()
+        on = engine.run(query, document, schema=schema)
+        off = engine.run(query, document)
+        assert on.output == off.output
+        if nested > 1:
+            assert on.stats.schema_fallbacks >= 1
+
+
+class TestViolationAccounting:
+    def test_fallbacks_surface_in_stats(self):
+        schema = Schema.from_dtd_text(RANDOM_DOC_DTD)
+        query = "<o>{for $x in //a return $x}</o>"
+        document = "<r><a><a><b>t</b></a></a></r>"
+        result = GCXEngine().run(query, document, schema=schema)
+        assert result.stats.schema_fallbacks == 1
+        assert result.output == GCXEngine().run(query, document).output
+
+    def test_empty_buffer_after_fallback_replay(self):
+        """Captured subtrees are purged once replayed: nothing leaks."""
+        schema = Schema.from_dtd_text(RANDOM_DOC_DTD)
+        query = "<o>{for $x in //a return $x}</o>"
+        document = "<r><a><a><b>t</b></a></a><a><b>u</b></a></r>"
+        result = GCXEngine().run(query, document, schema=schema)
+        assert result.stats.live_nodes == 0
+        assert result.stats.live_bytes == 0

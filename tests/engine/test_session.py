@@ -36,9 +36,9 @@ class TestCompileOnce:
         calls = []
         real = session_module.compile_query
 
-        def counting(query, options=None):
+        def counting(query, options=None, *, schema=None):
             calls.append(query)
-            return real(query, options)
+            return real(query, options, schema=schema)
 
         monkeypatch.setattr(session_module, "compile_query", counting)
         session = QuerySession(INTRO_QUERY)

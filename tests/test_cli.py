@@ -243,3 +243,80 @@ class TestRunMulti:
         argv = ["run-multi", str(names), str(clash), "-d", str(doc)]
         assert main(argv) == 2
         assert "duplicate" in capsys.readouterr().err
+
+
+BIB_DTD = """
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author*, price?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+
+@pytest.fixture
+def dtd(tmp_path):
+    path = tmp_path / "bib.dtd"
+    path.write_text(BIB_DTD)
+    return path
+
+
+class TestSchemaFlag:
+    def test_run_with_schema_matches_without(self, files, dtd, capsys):
+        query, doc = files
+        assert main(["run", str(query), str(doc)]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", str(query), str(doc), "--schema", str(dtd)]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_run_stats_report_schema_constraints(self, files, dtd, capsys):
+        query, doc = files
+        argv = ["run", str(query), str(doc), "--schema", str(dtd), "--stats"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "schema constraints" in err
+
+    def test_certified_query_runs_with_empty_buffer(self, files, dtd, capsys):
+        query, doc = files
+        argv = [
+            "run", str(query), str(doc),
+            "--schema", str(dtd), "--stats", "--buffered",
+        ]
+        assert main(argv) == 0
+        assert "hwm 0 nodes / 0 bytes" in capsys.readouterr().err
+
+    def test_run_baseline_engine_with_schema(self, files, dtd, capsys):
+        query, doc = files
+        argv = [
+            "run", str(query), str(doc),
+            "--engine", "flux-like", "--schema", str(dtd),
+        ]
+        assert main(argv) == 0
+        assert "<title>T</title>" in capsys.readouterr().out
+
+    def test_flux_like_rejects_tags_outside_schema(self, tmp_path, dtd, capsys):
+        query = tmp_path / "q.xq"
+        query.write_text("<out>{for $m in /bib/movie return $m}</out>")
+        doc = tmp_path / "d.xml"
+        doc.write_text("<bib/>")
+        argv = [
+            "run", str(query), str(doc),
+            "--engine", "flux-like", "--schema", str(dtd),
+        ]
+        assert main(argv) == 1
+        assert "n/a" in capsys.readouterr().err
+
+    def test_run_multi_with_schema_matches_without(self, files, dtd, capsys):
+        query, doc = files
+        argv = ["run-multi", str(query), "-d", str(doc)]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--schema", str(dtd)]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_analyze_prints_constraint_report(self, files, dtd, capsys):
+        query, _doc = files
+        assert main(["analyze", str(query), "--schema", str(dtd)]) == 0
+        out = capsys.readouterr().out
+        assert "== schema constraints ==" in out
+        assert "zero-buffer" in out

@@ -57,6 +57,52 @@ class TestCompileApi:
         assert repro.unparse(query) == "<o/>"
 
 
+class TestSchemaApi:
+    DTD = (
+        "<!ELEMENT bib (book*)>\n"
+        "<!ELEMENT book (title)>\n"
+        "<!ELEMENT title (#PCDATA)>\n"
+    )
+
+    def test_schema_exported_at_top_level(self):
+        schema = repro.Schema.from_dtd_text(self.DTD)
+        assert schema.tags == {"bib", "book", "title"}
+
+    def test_load_dtd_exported(self, tmp_path):
+        path = tmp_path / "bib.dtd"
+        path.write_text(self.DTD)
+        assert repro.load_dtd(path).roots == {"bib"}
+
+    def test_compile_query_schema_keyword(self):
+        compiled = repro.compile_query(
+            "<o>{for $b in /bib/book return $b/title}</o>",
+            schema=repro.Schema.from_dtd_text(self.DTD),
+        )
+        assert isinstance(compiled.constraints, repro.SchemaConstraints)
+        assert compiled.certified_zero_buffer
+
+    def test_compile_query_positional_back_compat(self):
+        """compile_query(query, options) keeps working unchanged."""
+        options = repro.CompileOptions(early_updates=False)
+        compiled = repro.compile_query("<o>{$root/a}</o>", options)
+        assert compiled.options == options
+        assert compiled.constraints is None
+
+    def test_engine_session_schema_keyword(self):
+        schema = repro.Schema.from_dtd_text(self.DTD)
+        session = repro.GCXEngine().session(
+            "<o>{for $b in /bib/book return $b/title}</o>", schema=schema
+        )
+        doc = "<bib><book><title>T</title></book></bib>"
+        result = session.run(doc)
+        assert result.output == "<o><title>T</title></o>"
+        assert result.stats.hwm_bytes == 0
+
+    def test_schema_violation_exported(self):
+        with pytest.raises(repro.SchemaViolation):
+            repro.Schema.from_dtd_text("garbage")
+
+
 class TestEngineRegistry:
     def test_engines_share_interface(self):
         for name, factory in repro.ENGINES.items():

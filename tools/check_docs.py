@@ -40,6 +40,7 @@ REQUIRED_DOCS = [
     "docs/CONCURRENCY.md",
     "docs/MULTIQUERY.md",
     "docs/PERFORMANCE.md",
+    "docs/SCHEMA.md",
     "docs/SERVING.md",
     "examples/README.md",
 ]
