@@ -7,6 +7,12 @@ projection tree with role assignment, and the analysis tables.
 
 from repro.analysis.compile import CompiledQuery, CompileOptions, compile_query
 from repro.analysis.dependencies import Dependency, collect_dependencies
+from repro.analysis.earliness import (
+    EarlinessPlan,
+    NodeWatermark,
+    OutputDecision,
+    compute_earliness,
+)
 from repro.analysis.early_updates import apply_early_updates
 from repro.analysis.projection_tree import (
     ProjectionTree,
@@ -41,6 +47,10 @@ __all__ = [
     "CompileOptions",
     "Dependency",
     "collect_dependencies",
+    "EarlinessPlan",
+    "NodeWatermark",
+    "OutputDecision",
+    "compute_earliness",
     "apply_early_updates",
     "ProjectionTree",
     "PTNode",

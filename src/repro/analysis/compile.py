@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.dependencies import Dependency, collect_dependencies
+from repro.analysis.earliness import EarlinessPlan, compute_earliness
 from repro.analysis.early_updates import apply_early_updates
 from repro.analysis.projection_tree import ProjectionTree, build_projection_tree
 from repro.analysis.redundancy import eliminate_redundant_roles
@@ -74,6 +75,9 @@ class CompiledQuery:
     #: when it holds — the zero-buffer certification the direct runner uses).
     schema: Schema | None = None
     constraints: SchemaConstraints | None = None
+    #: Decided-watermark plan (docs/EARLINESS.md): which output sites may
+    #: stream as tokens arrive, and the per-node watermark report.
+    earliness: EarlinessPlan | None = None
 
     @property
     def certified_zero_buffer(self) -> bool:
@@ -122,6 +126,7 @@ def compile_query(
         constraints = compute_schema_constraints(
             source, variables, dependencies, tree, schema
         )
+    earliness = compute_earliness(rewritten, tree, constraints)
     return CompiledQuery(
         source=source,
         normalized=normalized,
@@ -134,4 +139,5 @@ def compile_query(
         options=options,
         schema=schema,
         constraints=constraints,
+        earliness=earliness,
     )

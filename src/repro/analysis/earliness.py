@@ -1,0 +1,413 @@
+"""Earliest query answering: per-site decided watermarks (docs/EARLINESS.md).
+
+The conservative evaluator serializes an output subtree only once it is
+*finished* (its close tag has been read).  Following the earliest-answering
+formulation of Gienieczko/Muñoz/Murlak/Paperman (PAPERS.md), this pass
+computes, per output expression and per projection-tree node, a **decided
+watermark**: the earliest stream event after which no future token can
+invalidate or reorder already-produced output.  The evaluator uses the
+plan to flush buffered output the moment its watermark passes.
+
+Two watermark kinds are *structural* — they hold on every document, with
+no schema assumption, so the runtime may act on them unconditionally:
+
+``open``
+    The output site has a matching ``dep`` role ending in ``dos::node()``.
+    That role is assigned as an *aggregate* role on the target node itself
+    (see :mod:`repro.stream.matcher`), so from the target's open tag until
+    the signoff that follows the output expression, every arriving
+    descendant is preserved verbatim, never marked or purged, and children
+    only ever append.  Serializing in arrival order is therefore
+    byte-identical to serializing after the close tag — the subtree is
+    decided *at its open tag* and can stream out as it arrives.
+
+``first-witness``
+    An existential condition (``exists``, or a comparison, which has
+    existential semantics over its operand sequences) is decided **true**
+    at its first witnessing token: no later token can turn a satisfied
+    existential false.  The evaluator may commit the then-branch — and
+    start emitting — without scanning the rest of the binding's subtree.
+
+Two further kinds are *schema-derived* (folded from
+:class:`~repro.analysis.schema_constraints.SignoffFact`).  They are
+report-only watermarks unless ``EngineOptions(trust_schema=True)``: the
+runtime must never rely on them on untrusted input, because a document
+that violates the schema after such a watermark would otherwise retract
+emitted output (the adversarial splicing tests pin this down):
+
+``at-most-once``
+    The schema proves a dependency matches at most once per binding; its
+    role could be signed off at the first match.
+
+``horizon``
+    The schema proves no further match can start after some close tag
+    (the release horizon); the dependency is decided at that close.
+
+Everything else falls back to the ``signoff`` watermark — the paper's
+conservative behavior: decided when the dependency's signoff executes.
+
+The plan is computed on the rewritten (post-signoff) query so its sites
+are exactly the runtime's output expressions; sites are keyed by
+``(variable, relative path)`` rather than AST object identity so the plan
+survives the trusted-schema rewrite, which rebuilds the expression tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.projection_tree import ProjectionTree
+from repro.analysis.schema_constraints import (
+    PositionSet,
+    SchemaConstraints,
+    apply_step,
+)
+from repro.xquery.ast import (
+    And,
+    Comparison,
+    Condition,
+    Element,
+    Exists,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    Not,
+    Or,
+    PathOperand,
+    PathOutput,
+    Query,
+    ROOT_VAR,
+    SignOff,
+    Sequence,
+    VarRef,
+)
+from repro.xquery.paths import Axis, Path, TestKind, dos_node, format_path
+
+__all__ = [
+    "EarlinessPlan",
+    "NodeWatermark",
+    "OutputDecision",
+    "compute_earliness",
+]
+
+#: An output site: ``(variable, relative path)``; the bare ``$x`` output is
+#: ``(x, ())``.
+Site = tuple[str, Path]
+
+
+@dataclass(frozen=True)
+class OutputDecision:
+    """The watermark decision for one output expression."""
+
+    var: str
+    path: Path
+    #: May the evaluator stream this site's subtree as tokens arrive?
+    #: True exactly for ``open`` watermarks (structurally sound).
+    streamable: bool
+    watermark: str  # "open" | "signoff"
+    reason: str
+
+    @property
+    def site(self) -> Site:
+        return (self.var, self.path)
+
+    def __str__(self) -> str:
+        target = f"${self.var}" + (
+            format_path(self.path, leading_slash=True) if self.path else ""
+        )
+        return f"{target}: {self.watermark} ({self.reason})"
+
+
+@dataclass(frozen=True)
+class NodeWatermark:
+    """The decided watermark of one projection-tree node / dependency."""
+
+    display_id: int | None  # projection-tree node id, when the role has one
+    var: str
+    path: str  # rendered dependency or site path
+    kind: str  # "open" | "first-witness" | "at-most-once" | "horizon" | "signoff"
+    detail: str
+    #: Schema-derived watermarks only hold if the document conforms; the
+    #: runtime must ignore them unless ``trust_schema=True``.
+    trusted_only: bool = False
+
+    def __str__(self) -> str:
+        node = f"n{self.display_id} " if self.display_id is not None else ""
+        trust = " [trusted only]" if self.trusted_only else ""
+        return f"{node}${self.var}{self.path}: {self.kind}{trust} — {self.detail}"
+
+
+@dataclass(frozen=True)
+class EarlinessPlan:
+    """Per-site decisions plus the per-node watermark report."""
+
+    decisions: tuple[OutputDecision, ...]
+    watermarks: tuple[NodeWatermark, ...]
+    #: The sites the evaluator may stream (``open`` watermark), keyed the
+    #: way the runtime looks them up.
+    streamable_sites: frozenset[Site]
+    #: Loop variables whose source content model proves at most one match
+    #: per binding (``at-most-once`` watermark): the scan may stop at the
+    #: first match instead of draining the binding.  Schema-derived, so the
+    #: runtime uses these only under ``EngineOptions(trust_schema=True)``.
+    single_match_loops: frozenset[str] = frozenset()
+
+    def decision_for(self, var: str, path: Path = ()) -> OutputDecision | None:
+        for decision in self.decisions:
+            if decision.var == var and decision.path == path:
+                return decision
+        return None
+
+    def summary(self) -> str:
+        lines = [
+            f"earliness: {len(self.streamable_sites)}/{len(self.decisions)} "
+            f"output site(s) streamable"
+        ]
+        lines += [f"  {decision}" for decision in self.decisions]
+        lines += [f"  {mark}" for mark in self.watermarks]
+        return "\n".join(lines)
+
+
+def _output_sites(query: Query) -> list[Site]:
+    """Output expressions of the (rewritten) query, in syntactic order."""
+    sites: list[Site] = []
+    seen: set[Site] = set()
+
+    def add(var: str, path: Path) -> None:
+        if (var, path) not in seen:
+            seen.add((var, path))
+            sites.append((var, path))
+
+    def visit(expr: Expr) -> None:
+        if isinstance(expr, Sequence):
+            for item in expr.items:
+                visit(item)
+        elif isinstance(expr, Element):
+            visit(expr.body)
+        elif isinstance(expr, ForLoop):
+            visit(expr.body)
+        elif isinstance(expr, IfThenElse):
+            visit(expr.then_branch)
+            visit(expr.else_branch)
+        elif isinstance(expr, VarRef):
+            add(expr.var, ())
+        elif isinstance(expr, PathOutput):
+            add(expr.var, expr.path)
+        elif isinstance(expr, SignOff):
+            pass  # signoffs carry no output
+
+    visit(query.root)
+    return sites
+
+
+def _condition_watermarks(query: Query) -> list[NodeWatermark]:
+    """First-witness watermarks for the query's existential conditions."""
+    marks: list[NodeWatermark] = []
+    seen: set[tuple[str, str, str]] = set()
+
+    def add(var: str, path: Path, what: str) -> None:
+        rendered = format_path(path, leading_slash=True) if path else ""
+        key = (var, rendered, what)
+        if key in seen:
+            return
+        seen.add(key)
+        marks.append(
+            NodeWatermark(
+                display_id=None,
+                var=var,
+                path=rendered,
+                kind="first-witness",
+                detail=f"{what} decided true at its first witness",
+            )
+        )
+
+    def visit_condition(cond: Condition) -> None:
+        if isinstance(cond, Exists):
+            add(cond.var, cond.path, "existence check")
+        elif isinstance(cond, Comparison):
+            for operand in (cond.left, cond.right):
+                if isinstance(operand, PathOperand):
+                    add(operand.var, operand.path, "comparison")
+        elif isinstance(cond, (And, Or)):
+            visit_condition(cond.left)
+            visit_condition(cond.right)
+        elif isinstance(cond, Not):
+            visit_condition(cond.operand)
+
+    def visit(expr: Expr) -> None:
+        if isinstance(expr, Sequence):
+            for item in expr.items:
+                visit(item)
+        elif isinstance(expr, Element):
+            visit(expr.body)
+        elif isinstance(expr, ForLoop):
+            if expr.where is not None:
+                visit_condition(expr.where)
+            visit(expr.body)
+        elif isinstance(expr, IfThenElse):
+            visit_condition(expr.cond)
+            visit(expr.then_branch)
+            visit(expr.else_branch)
+
+    visit(query.root)
+    return marks
+
+
+def _single_match_loops(
+    rewritten: Query, constraints: SchemaConstraints
+) -> list[tuple[str, str]]:
+    """Loop vars with a schema proof of at most one match per binding.
+
+    Walks the loop nesting, pushing the schema position set of each
+    binding through the loop steps.  A child-axis tag-test loop is
+    certified when *every* position its source can occupy allows the
+    child tag at most once (reference positions are PCDATA leaves, so
+    they contribute zero matches).  The virtual document root qualifies
+    for any tag: a well-formed document has exactly one root element.
+    """
+    schema = constraints.schema
+    certified: list[tuple[str, str]] = []
+    positions: dict[str, PositionSet | None] = {ROOT_VAR: PositionSet(doc=True)}
+
+    def visit(expr: Expr) -> None:
+        if isinstance(expr, Sequence):
+            for item in expr.items:
+                visit(item)
+        elif isinstance(expr, Element):
+            visit(expr.body)
+        elif isinstance(expr, IfThenElse):
+            visit(expr.then_branch)
+            visit(expr.else_branch)
+        elif isinstance(expr, ForLoop):
+            source = positions.get(expr.source)
+            step = expr.path[0] if len(expr.path) == 1 else None
+            if source is not None and step is not None:
+                positions[expr.var] = apply_step(schema, source, step)
+                if (
+                    step.axis is Axis.CHILD
+                    and step.test.kind is TestKind.TAG
+                    and not source.text
+                    and all(
+                        at_reference or schema.at_most_once(tag, step.test.name)
+                        for tag, at_reference in source.elements
+                    )
+                ):
+                    certified.append((expr.var, step.test.name))
+            else:
+                positions[expr.var] = None
+            visit(expr.body)
+
+    visit(rewritten.root)
+    return certified
+
+
+def compute_earliness(
+    rewritten: Query,
+    tree: ProjectionTree,
+    constraints: SchemaConstraints | None = None,
+) -> EarlinessPlan:
+    """Compute the decided-watermark plan for a compiled query.
+
+    Streamability is certified purely structurally: a site streams iff its
+    dependency role (``path/dos::node()``) exists in the projection tree —
+    redundant-role elimination never drops ``dep`` roles, so the aggregate
+    cover the certificate relies on survives every compile option.  Schema
+    facts from ``constraints`` are folded into the watermark *report* with
+    ``trusted_only=True``; they never make a site streamable, so the plan
+    is sound on schema-violating documents.
+    """
+    decisions: list[OutputDecision] = []
+    watermarks: list[NodeWatermark] = []
+    streamable: set[Site] = set()
+
+    for var, path in _output_sites(rewritten):
+        dep_path = path + (dos_node(),)
+        entry = next(
+            (
+                (dep, role)
+                for dep, role in tree.dep_entries.get(var, [])
+                if dep.path == dep_path
+            ),
+            None,
+        )
+        rendered = format_path(path, leading_slash=True) if path else ""
+        if entry is not None:
+            dep, role = entry
+            node = tree.role_nodes.get(role)
+            streamable.add((var, path))
+            decisions.append(
+                OutputDecision(
+                    var=var,
+                    path=path,
+                    streamable=True,
+                    watermark="open",
+                    reason=f"aggregate dep role r{role.id} covers the subtree "
+                    "from its open tag until the post-output signoff",
+                )
+            )
+            watermarks.append(
+                NodeWatermark(
+                    display_id=node.display_id if node is not None else None,
+                    var=var,
+                    path=rendered + "/dos::node()",
+                    kind="open",
+                    detail="decided at the target's open tag (aggregate cover)",
+                )
+            )
+        else:
+            decisions.append(
+                OutputDecision(
+                    var=var,
+                    path=path,
+                    streamable=False,
+                    watermark="signoff",
+                    reason="no matching dep role; decided at conservative signoff",
+                )
+            )
+            watermarks.append(
+                NodeWatermark(
+                    display_id=None,
+                    var=var,
+                    path=rendered,
+                    kind="signoff",
+                    detail="decided when the dependency's signoff executes",
+                )
+            )
+
+    watermarks.extend(_condition_watermarks(rewritten))
+
+    single_match: frozenset[str] = frozenset()
+    if constraints is not None:
+        certified_loops = _single_match_loops(rewritten, constraints)
+        single_match = frozenset(var for var, _tag in certified_loops)
+        for var, tag in certified_loops:
+            watermarks.append(
+                NodeWatermark(
+                    display_id=None,
+                    var=var,
+                    path=f"/child::{tag}",
+                    kind="at-most-once",
+                    detail="content model allows one match per binding; "
+                    "the scan may stop at the first",
+                    trusted_only=True,
+                )
+            )
+        for fact in constraints.signoff_facts:
+            kind = "horizon" if fact.kind == "release-horizon" else fact.kind
+            watermarks.append(
+                NodeWatermark(
+                    display_id=None,
+                    var=fact.var,
+                    path=fact.path,
+                    kind=kind,
+                    detail=fact.detail,
+                    trusted_only=True,
+                )
+            )
+
+    return EarlinessPlan(
+        decisions=tuple(decisions),
+        watermarks=tuple(watermarks),
+        streamable_sites=frozenset(streamable),
+        single_match_loops=single_match,
+    )

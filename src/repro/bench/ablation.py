@@ -23,6 +23,7 @@ ABLATION_CONFIGS: dict[str, EngineOptions] = {
     "no-early-updates": EngineOptions(early_updates=False),
     "no-aggregate-roles": EngineOptions(aggregate_roles=False),
     "no-redundancy-elim": EngineOptions(eliminate_redundant_roles=False),
+    "no-earliness": EngineOptions(earliness=False),
     "base-scheme": EngineOptions(
         early_updates=False,
         aggregate_roles=False,
@@ -40,6 +41,7 @@ class AblationCell:
     hwm_nodes: int
     roles_assigned: int
     gc_invocations: int
+    tokens_held: int  # tokens_held_before_emit: what the earliness row moves
     output_equal_to_full: bool
 
 
@@ -83,6 +85,7 @@ def run_ablations(
                     hwm_nodes=result.stats.hwm_nodes,
                     roles_assigned=result.stats.roles_assigned,
                     gc_invocations=result.stats.gc_invocations,
+                    tokens_held=result.stats.tokens_held_before_emit,
                     output_equal_to_full=result.output
                     == reference.get(query_name, result.output),
                 )
@@ -92,7 +95,16 @@ def run_ablations(
 
 def format_ablations(cells: list[AblationCell]) -> str:
     """Render ablation results as an aligned text table."""
-    header = ("config", "query", "time", "hwm bytes", "hwm nodes", "roles", "gc")
+    header = (
+        "config",
+        "query",
+        "time",
+        "hwm bytes",
+        "hwm nodes",
+        "roles",
+        "gc",
+        "held",
+    )
     rows = [
         (
             cell.config,
@@ -102,6 +114,7 @@ def format_ablations(cells: list[AblationCell]) -> str:
             str(cell.hwm_nodes),
             str(cell.roles_assigned),
             str(cell.gc_invocations),
+            f"{cell.tokens_held:,}",
         )
         for cell in cells
     ]

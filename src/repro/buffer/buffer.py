@@ -134,6 +134,7 @@ class BufferTree:
             node = BufferNode(
                 ELEMENT, seq=self._next_seq(), tag_id=self.tag_id(tag)
             )
+        node.born_tokens = self.stats.tokens_read
         parent.append_child(node)
         self.stats.on_create(self.stats.model.element_cost())
         return node
@@ -146,6 +147,7 @@ class BufferTree:
             self.stats.nodes_recycled += 1
         else:
             node = BufferNode(TEXT, seq=self._next_seq(), text=content)
+        node.born_tokens = self.stats.tokens_read
         parent.append_child(node)
         self.stats.on_create(self.stats.model.text_cost(content))
         return node

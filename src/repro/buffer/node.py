@@ -48,6 +48,7 @@ class BufferNode:
         "first_child",
         "last_child",
         "seq",
+        "born_tokens",
         "finished",
         "marked_deleted",
         "roles",
@@ -65,6 +66,7 @@ class BufferNode:
         self.first_child: Optional[BufferNode] = None
         self.last_child: Optional[BufferNode] = None
         self.seq = seq
+        self.born_tokens = 0  # stats.tokens_read at creation; set by the buffer
         self.finished = kind == TEXT  # text nodes are atomic
         self.marked_deleted = False
         self.roles = RoleSet()
@@ -88,6 +90,7 @@ class BufferNode:
         self.first_child = None
         self.last_child = None
         self.seq = seq
+        self.born_tokens = 0
         self.finished = kind == TEXT
         self.marked_deleted = False
         self.roles.clear()

@@ -85,6 +85,14 @@ class BufferStats:
     gc_invocations: int = 0
     signoffs_executed: int = 0
     tokens_read: int = 0
+    #: Sum over emitted output nodes of (tokens read at emission − tokens
+    #: read at the node's creation): how long output sat in the buffer.
+    #: The earliness pass (docs/EARLINESS.md) exists to shrink this.
+    tokens_held_before_emit: int = 0
+    #: Output subtrees the evaluator started emitting before their close
+    #: tag arrived (watermark flushes).  Zero whenever the earliness pass
+    #: is disabled — tests assert this to guard against always-on behavior.
+    early_flushes: int = 0
     #: Chain matches the zero-buffer direct runner had to capture because
     #: the document violated the certifying schema (nested matches).  Zero
     #: on conforming documents — and always zero on the buffered path.
@@ -148,4 +156,5 @@ class BufferStats:
                 if self.schema_fallbacks
                 else ""
             )
+            + (f"; early flushes {self.early_flushes}" if self.early_flushes else "")
         )

@@ -117,16 +117,18 @@ def _make_emitter(plan: ZeroBufferPlan):
 class _PendingMatch:
     """A nested chain match captured on the structural fallback path.
 
-    ``entries`` pairs each captured token with the modelled cost charged
-    for it (zero for close tags), so the flush can refund exactly what the
-    capture charged.
+    ``entries`` records, per captured token, the modelled cost charged for
+    it (zero for close tags) so the flush can refund exactly what the
+    capture charged, and the ``tokens_read`` count at capture time so the
+    flush can account how long the token was held before emission
+    (``BufferStats.tokens_held_before_emit``).
     """
 
     __slots__ = ("depth", "entries")
 
     def __init__(self, depth: int) -> None:
         self.depth = depth
-        self.entries: list[tuple[Token, int]] = []
+        self.entries: list[tuple[Token, int, int]] = []  # (token, cost, born)
 
 
 class DirectEvaluator:
@@ -213,7 +215,7 @@ class DirectEvaluator:
                     open_pending.append(match)
                 cost = self._cost.element_cost()
                 for match in open_pending:
-                    match.entries.append((token, cost))
+                    match.entries.append((token, cost, stats.tokens_read))
                     stats.on_create(cost)
                 yield from emitter.feed(token)
             elif isinstance(token, EndTag):
@@ -222,7 +224,7 @@ class DirectEvaluator:
                 if head_depth is None:
                     continue
                 for match in open_pending:
-                    match.entries.append((token, 0))
+                    match.entries.append((token, 0, stats.tokens_read))
                 if open_pending and open_pending[-1].depth == depth:
                     open_pending.pop()
                 yield from emitter.feed(token)
@@ -236,7 +238,10 @@ class DirectEvaluator:
                     for match in pending:
                         replay = _make_emitter(plan)
                         yield from wrapper_open
-                        for captured, cost in match.entries:
+                        for captured, cost, born in match.entries:
+                            stats.tokens_held_before_emit += (
+                                stats.tokens_read - born
+                            )
                             yield from replay.feed(captured)
                             if cost:
                                 stats.on_purge(cost)
@@ -248,7 +253,7 @@ class DirectEvaluator:
                     continue
                 cost = self._cost.text_cost(token.content)
                 for match in open_pending:
-                    match.entries.append((token, cost))
+                    match.entries.append((token, cost, stats.tokens_read))
                     stats.on_create(cost)
                 yield from emitter.feed(token)
 

@@ -87,6 +87,8 @@ class Evaluator:
         aggregate_roles: bool = True,
         execute_signoffs: bool = True,
         eager_leaf_bindings: bool = False,
+        earliness_sites: "frozenset[tuple[str, Path]] | None" = None,
+        single_match_loops: "frozenset[str] | None" = None,
         on_event: Callable[[str], None] | None = None,
     ) -> None:
         self.query = query
@@ -96,6 +98,16 @@ class Evaluator:
         self.aggregate = aggregate_roles
         self.execute_signoffs = execute_signoffs
         self.on_event = on_event
+        # Decided-watermark plan (docs/EARLINESS.md).  ``earliness_sites``
+        # holds the (var, path) output sites whose ``open`` watermark lets
+        # the subtree stream out as tokens arrive; ``None`` disables the
+        # pass entirely (conservative emission, no first-witness
+        # short-circuit), which is what direct constructions in tests get.
+        self._early_sites = earliness_sites
+        self._earliness = earliness_sites is not None
+        # Schema-certified at-most-once loops (trusted mode only): the
+        # session passes these exclusively under trust_schema=True.
+        self._single_match = single_match_loops or frozenset()
         # Push-based engines (the flux-like baseline) cannot short-circuit
         # within a binding: by the time they may emit, the binding's subtree
         # has streamed through their buffers.  Model this by reading leaf
@@ -162,11 +174,21 @@ class Evaluator:
             yield Text(expr.content)
             return
         if isinstance(expr, VarRef):
-            yield from self._output_subtree(env[expr.var])
+            if self._early_sites is not None and (expr.var, ()) in self._early_sites:
+                yield from self._output_streaming(env[expr.var])
+            else:
+                yield from self._output_subtree(env[expr.var])
             return
         if isinstance(expr, PathOutput):
+            early = (
+                self._early_sites is not None
+                and (expr.var, expr.path) in self._early_sites
+            )
             for node in self._iter_path(env[expr.var], expr.path):
-                yield from self._output_subtree(node)
+                if early:
+                    yield from self._output_streaming(node)
+                else:
+                    yield from self._output_subtree(node)
             return
         if isinstance(expr, ForLoop):
             context = env[expr.source]
@@ -174,7 +196,13 @@ class Evaluator:
             if step is None:
                 raise EvaluationError("for-loops must be single-step at runtime")
             eager = id(expr) in self._eager_loops
-            for node in self._iter_step(context, step):
+            nodes = self._iter_step(context, step)
+            if expr.var in self._single_match:
+                # at-most-once watermark (docs/EARLINESS.md): the schema
+                # proves a second match cannot occur, so do not drain the
+                # binding scanning for one.
+                nodes = itertools.islice(nodes, 1)
+            for node in nodes:
                 if eager:
                     self._ensure_finished(node)
                 env[expr.var] = node
@@ -220,11 +248,38 @@ class Evaluator:
 
     def _eval_comparison(self, cond: Comparison, env: Env) -> bool:
         """General comparison: existential over both operand sequences."""
+        if self._earliness:
+            return self._eval_comparison_early(cond, env)
         left_values = list(self._operand_values(cond.left, env))
         if not left_values:
             return False
         for right_value in self._operand_values(cond.right, env):
             for left_value in left_values:
+                if _compare(left_value, cond.op, right_value):
+                    return True
+        return False
+
+    def _eval_comparison_early(self, cond: Comparison, env: Env) -> bool:
+        """First-witness comparison (the earliness pass's second watermark).
+
+        A comparison is existential, so it is *decided true* at the first
+        witnessing pair: no future token can flip it.  Iterating the
+        operands lazily and returning at that witness means a satisfied
+        condition stops pulling input immediately — the conservative
+        version above materializes the left operand, which drags the scan
+        to the end of the binding's subtree (every ``_iter_children``
+        cursor runs until its context is finished).  A false result still
+        drains both operands, exactly like the conservative path, so the
+        boolean — and therefore the output — is identical either way.
+        """
+        left_iter = self._operand_values(cond.left, env)
+        left_values: list[str] = []
+        for right_value in self._operand_values(cond.right, env):
+            for left_value in left_values:
+                if _compare(left_value, cond.op, right_value):
+                    return True
+            for left_value in left_iter:
+                left_values.append(left_value)
                 if _compare(left_value, cond.op, right_value):
                     return True
         return False
@@ -327,6 +382,8 @@ class Evaluator:
         yield from self._serialize(node)
 
     def _serialize(self, node: BufferNode) -> Iterator[Token]:
+        stats = self.buffer.stats
+        stats.tokens_held_before_emit += stats.tokens_read - node.born_tokens
         if node.kind == TEXT:
             yield Text(node.text)
             return
@@ -341,6 +398,61 @@ class Evaluator:
             if not child.marked_deleted:
                 yield from self._serialize(child)
             child = child.next_sibling
+        yield buffer.end_token(node.tag_id)
+
+    def _output_streaming(self, node: BufferNode) -> Iterator[Token]:
+        """Emit an ``open``-watermark site as its tokens arrive.
+
+        The static certificate (an aggregate dep role on the target) is
+        re-checked on the concrete buffer node: under trusted-schema
+        pruning or a cancellation racing the node's arrival the cover may
+        be absent, and then the conservative path is the only sound one.
+        The check is purely structural — it never consults schema facts —
+        so streaming stays sound on schema-violating documents.
+        """
+        if node.finished or node.kind != ELEMENT or not self._aggregate_covered(node):
+            yield from self._output_subtree(node)
+            return
+        self.buffer.stats.early_flushes += 1
+        yield from self._stream_node(node)
+
+    def _aggregate_covered(self, node: BufferNode) -> bool:
+        current: BufferNode | None = node
+        while current is not None:
+            if current.aggregate_roles:
+                return True
+            current = current.parent
+        return False
+
+    def _stream_node(self, node: BufferNode) -> Iterator[Token]:
+        """Serialize ``node`` in arrival order, pulling input as needed.
+
+        Sound because the aggregate cover freezes the region: every
+        arriving descendant is preserved (``_maybe_buffer`` keeps covered
+        nodes even when cancelled), ``collect_from`` skips covered nodes
+        before marking, ``finish`` never purges them, children only ever
+        append, and no signoff runs while one output expression is being
+        emitted — so arrival order *is* the final serialization order.
+        """
+        stats = self.buffer.stats
+        stats.tokens_held_before_emit += stats.tokens_read - node.born_tokens
+        if node.kind == TEXT:
+            yield Text(node.text)
+            return
+        buffer = self.buffer
+        yield buffer.start_token(node.tag_id)
+        last: BufferNode | None = None
+        while True:
+            nxt = node.first_child if last is None else last.next_sibling
+            if nxt is None:
+                if node.finished:
+                    break
+                if not self.preprojector.pull():
+                    raise EvaluationError("input exhausted with an unfinished node")
+                continue
+            last = nxt
+            if not nxt.marked_deleted:
+                yield from self._stream_node(nxt)
         yield buffer.end_token(node.tag_id)
 
     def _ensure_finished(self, node: BufferNode) -> None:

@@ -56,6 +56,8 @@ from repro.engine.session import (
     RunResult,
     StreamingRun,
     document_tokens,
+    earliness_sites,
+    single_match_loops,
 )
 from repro.stream.preprojector import ProjectionLane
 from repro.stream.shared import SharedPreprojector
@@ -406,6 +408,10 @@ class MultiQuerySession:
                     None,
                     aggregate_roles=options.aggregate_roles,
                     eager_leaf_bindings=options.eager_leaf_bindings,
+                    earliness_sites=earliness_sites(session.compiled, options),
+                    single_match_loops=single_match_loops(
+                        session.compiled, options
+                    ),
                 )
                 runs.append((name, StreamingRun(session, buffer, view, evaluator)))
         except BaseException:

@@ -58,6 +58,8 @@ __all__ = [
     "build_streaming_run",
     "document_tokens",
     "drain_streaming_run",
+    "earliness_sites",
+    "single_match_loops",
 ]
 
 
@@ -183,6 +185,13 @@ class EngineOptions:
     #: soundness does not depend on the input conforming (the zero-buffer
     #: direct runner detects violations structurally and falls back).
     trust_schema: bool = False
+    #: Earliest query answering (docs/EARLINESS.md): flush output subtrees
+    #: the moment their decided watermark passes instead of waiting for the
+    #: close tag, and decide existential conditions at their first witness.
+    #: Byte-identical output either way — only *when* bytes leave changes.
+    #: Effective only with aggregate roles (the structural certificate) and
+    #: not in the eager push-based baseline.
+    earliness: bool = True
     cost_model: BufferCostModel = field(default_factory=BufferCostModel)
 
     def compile_options(self) -> CompileOptions:
@@ -287,6 +296,17 @@ class StreamingRun:
     def serialized(self, *, indent: str | None = None) -> Iterator[str]:
         """The run's output as an iterator of serialized text fragments."""
         return serialize_stream(self, indent=indent)
+
+    @property
+    def tokens_consumed(self) -> int:
+        """Input tokens read so far — the emission-order oracle.
+
+        Sampled between output tokens it tells a consumer (e.g. the serve
+        layer's per-frame ``at`` field) how much input each fragment
+        needed, which is how the earliness tests assert that first bytes
+        leave before end-of-document.
+        """
+        return self._buffer.stats.tokens_read
 
     # -- internals ------------------------------------------------------
 
@@ -590,9 +610,48 @@ def build_streaming_run(
         None,
         aggregate_roles=owner.options.aggregate_roles,
         eager_leaf_bindings=owner.options.eager_leaf_bindings,
+        earliness_sites=earliness_sites(owner.compiled, owner.options),
+        single_match_loops=single_match_loops(owner.compiled, owner.options),
         on_event=on_event,
     )
     return StreamingRun(owner, buffer, preprojector, evaluator)
+
+
+def earliness_sites(
+    compiled: CompiledQuery, options: EngineOptions
+) -> "frozenset[tuple[str, tuple]] | None":
+    """The streamable output sites for one run, or ``None`` when gated off.
+
+    ``None`` (as opposed to an empty set) switches the evaluator's
+    first-witness condition handling off as well, so
+    ``EngineOptions(earliness=False)`` really is the conservative engine —
+    the differential suites compare the two for byte-identity and the
+    ``tokens_held_before_emit`` monotonicity property.
+    """
+    if (
+        not options.earliness
+        or not options.aggregate_roles
+        or options.eager_leaf_bindings
+    ):
+        return None
+    plan = compiled.earliness
+    return plan.streamable_sites if plan is not None else frozenset()
+
+
+def single_match_loops(
+    compiled: CompiledQuery, options: EngineOptions
+) -> "frozenset[str] | None":
+    """Schema-certified at-most-once loops, gated on ``trust_schema``.
+
+    These watermarks assume the document conforms (a violating second
+    match would be skipped), so — unlike the structural ``open`` and
+    first-witness watermarks — they are only handed to the evaluator in
+    trusted mode.  The adversarial splicing suite relies on this gate.
+    """
+    if options.trust_schema and earliness_sites(compiled, options) is not None:
+        plan = compiled.earliness
+        return plan.single_match_loops if plan is not None else frozenset()
+    return None
 
 
 def drain_streaming_run(

@@ -200,7 +200,10 @@ def _run_pass(
     try:
         stream = pool.run_streaming(guarded_tokens())
         for fragment in stream.serialized():
-            bridge.send(("frag", fragment))
+            # The tokens-consumed count rides along as the fragment's
+            # arrival offset: the result frame's "at" field, which is how
+            # clients observe earliness (docs/EARLINESS.md) on the wire.
+            bridge.send(("frag", (fragment, stream.tokens_consumed)))
         bridge.send(("done", stream.result))
     except _PassCancelled:
         if stream is not None:
@@ -498,6 +501,7 @@ class _Connection:
                     item = await queue.get()
                 kind, payload = item
                 if kind == "frag":
+                    fragment, at = payload
                     seq += 1
                     if seq == 1:
                         self.server.stats.observe_ttfb(
@@ -508,7 +512,8 @@ class _Connection:
                             "type": "result",
                             "id": alias,
                             "seq": seq,
-                            "fragment": payload,
+                            "fragment": fragment,
+                            "at": at,
                         }
                     )
                 elif kind == "done":

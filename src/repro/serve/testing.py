@@ -90,6 +90,9 @@ class ScriptClient:
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._reader = self.sock.makefile("rb")
         self.faults = FaultyTransport(self.sock)
+        #: Per-result-frame arrival offsets (tokens consumed at emit time)
+        #: of the most recent :meth:`collect_pass`; see that method.
+        self.frame_offsets: list[int | None] = []
 
     # -- wire ------------------------------------------------------------
 
@@ -150,13 +153,21 @@ class ScriptClient:
         return self.collect_pass()
 
     def collect_pass(self) -> tuple[list[str], dict[str, Any]]:
-        """Collect result frames until the pass settles (done/error)."""
+        """Collect result frames until the pass settles (done/error).
+
+        The emission-order oracle: each result frame's ``at`` field (input
+        tokens consumed when the fragment was emitted) is recorded in
+        :attr:`frame_offsets`, parallel to the returned fragments, so
+        tests can assert that output left before end-of-document.
+        """
         fragments: list[str] = []
+        self.frame_offsets: list[int | None] = []
         while True:
             frame = self.recv_frame()
             assert frame is not None, "connection closed mid-pass"
             if frame["type"] == "result":
                 fragments.append(frame["fragment"])
+                self.frame_offsets.append(frame.get("at"))
                 continue
             assert frame["type"] in ("done", "error"), frame
             return fragments, frame

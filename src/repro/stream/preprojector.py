@@ -28,7 +28,7 @@ from typing import Iterator
 
 from repro.analysis.projection_tree import ProjectionTree
 from repro.analysis.roles import Role
-from repro.buffer.buffer import BufferTree
+from repro.buffer.buffer import BufferTree, CancelEntry
 from repro.buffer.node import BufferNode
 from repro.stream.matcher import MatchFrame, StreamMatcher, Transition
 from repro.xmlio.tokens import EndTag, StartTag, Text, Token
@@ -264,7 +264,12 @@ class ProjectionLane:
                 available = target.get(cancel.role, 0)
                 if available <= 0:
                     continue
-                embeddings = _count_embeddings(cancel.path, sequence, is_text)
+                if cancel.path[-1].first:
+                    embeddings = self._first_witness_cancellations(
+                        cancel, transition, depth
+                    )
+                else:
+                    embeddings = _count_embeddings(cancel.path, sequence, is_text)
                 if embeddings <= 0:
                     continue
                 amount = min(available, embeddings)
@@ -276,6 +281,40 @@ class ProjectionLane:
         if cancelled_total:
             self.buffer.stats.on_cancelled(cancelled_total)
         return normal, aggregate, cancelled_total
+
+    def _first_witness_cancellations(
+        self, cancel: CancelEntry, transition: Transition, depth: int
+    ) -> int:
+        """Cancellable instances of a ``[1]``-terminated path at this token.
+
+        The matcher assigns a first-witness role only at the arrival that
+        consumes the ``[1]`` for a context frame, so the region's share
+        cannot be read off the tag sequence (which is blind to consumption):
+        an outer region whose witness was already consumed contributes
+        nothing to this arrival, and its pending cancellation must not eat
+        instances earned by an inner, still-live binding's fresh context.
+        ``transition.consumed_first`` lists exactly the contexts consumed
+        *now*; the region's share is the embeddings of the path prefix that
+        end at such a context below (or at) the region.
+        """
+        last = cancel.path[-1]
+        prefix = cancel.path[:-1]
+        total = 0
+        for d, node in transition.consumed_first:
+            if node.role is not cancel.role or d < depth:
+                continue
+            if last.axis is Axis.CHILD and d != len(self._stack) - 1:
+                continue
+            if not prefix:
+                # Single-step path: the context frame is the region itself.
+                if d == depth:
+                    total += 1
+            else:
+                sequence: list[str | None] = [
+                    self._stack[i].tag for i in range(depth + 1, d + 1)
+                ]
+                total += _count_embeddings(prefix, sequence, False)
+        return total
 
 
 class StreamPreprojector:

@@ -1,0 +1,1 @@
+"""Test suite package (import-unique module paths for pytest)."""

@@ -1,0 +1,187 @@
+"""The earliness pass: decided watermarks, their trust wall, no retraction.
+
+Unit level: :func:`~repro.analysis.earliness.compute_earliness` certifies
+the ``open`` watermark exactly for output sites with a matching dep role,
+reports ``first-witness`` marks for existential conditions, and — with a
+schema — folds at-most-once and horizon facts in as *trusted-only*
+watermarks that never enlarge the streamable set.
+
+Adversarial level: the splicing suite forces schema violations into
+random documents and checks the engine never retracts emitted output —
+with a schema present but untrusted, the output is byte-identical to the
+no-schema oracle, because streamability rests only on structural proofs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import CompileOptions, compile_query
+from repro.analysis.schema import Schema
+from repro.engine import EngineOptions, GCXEngine
+from repro.xmark.queries import XMARK_QUERIES
+from repro.xmark.schema import xmark_schema
+
+from tests.properties.strategies import documents
+
+FAST = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: The schema over the strategies' tag alphabet that random documents
+#: routinely violate (no self-nesting of <a>, PCDATA-only leaves).
+RANDOM_DOC_DTD = """
+<!ELEMENT r (a*, b*, c*, d*)>
+<!ELEMENT a (b*, c*, d*)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)>
+"""
+
+
+def plan_for(query: str, schema: Schema | None = None):
+    compiled = compile_query(query, schema=schema)
+    assert compiled.earliness is not None
+    return compiled.earliness
+
+
+class TestPlan:
+    def test_subtree_output_gets_the_open_watermark(self):
+        plan = plan_for("<o>{for $x in /r/a return $x}</o>")
+        decision = plan.decision_for("$x")
+        assert decision is not None
+        assert decision.streamable
+        assert decision.watermark == "open"
+        assert ("$x", ()) in plan.streamable_sites
+
+    def test_rewritten_path_output_still_streams(self):
+        """Early updates turn ``$x/b`` into ``for $out in $x/b return
+        $out`` — the plan keys the site on the fresh variable and the
+        dep-role certificate carries over."""
+        plan = plan_for("<o>{for $x in /r/a return $x/b}</o>")
+        [site] = plan.streamable_sites
+        var, path = site
+        assert path == ()
+        assert plan.decision_for(var, path).watermark == "open"
+
+    def test_path_output_site_is_keyed_by_relative_path(self):
+        """Without the rewrite the PathOutput survives and the site is
+        keyed ``(var, relative path)`` — not the dos-extended dep path."""
+        compiled = compile_query(
+            "<o>{for $x in /r/a return $x/b}</o>",
+            CompileOptions(early_updates=False),
+        )
+        plan = compiled.earliness
+        sites = {site for site in plan.streamable_sites if site[0] == "$x"}
+        assert sites, plan.summary()
+        [(var, path)] = sites
+        assert len(path) == 1  # the /b step
+        assert plan.decision_for("$x", path).watermark == "open"
+
+    def test_conditions_report_first_witness_watermarks(self):
+        plan = plan_for(
+            '<o>{for $x in /r/a return if ($x/b = "x") then $x/c else ()}</o>'
+        )
+        witnesses = [m for m in plan.watermarks if m.kind == "first-witness"]
+        assert witnesses, plan.summary()
+        assert all(not m.trusted_only for m in witnesses)
+
+    def test_schema_watermarks_are_trusted_only(self):
+        query = XMARK_QUERIES["Q13"].adapted
+        plan = plan_for(query, schema=xmark_schema())
+        schema_marks = [
+            m for m in plan.watermarks if m.kind in ("at-most-once", "horizon")
+        ]
+        assert schema_marks, plan.summary()
+        assert all(m.trusted_only for m in schema_marks)
+        assert plan.single_match_loops  # Q13's name/description loops
+
+    def test_schema_never_enlarges_the_streamable_set(self):
+        """The trust wall: streamability rests only on structural proofs,
+        so the streamable sites are identical with and without a schema."""
+        for name in sorted(XMARK_QUERIES):
+            query = XMARK_QUERIES[name].adapted
+            bare = plan_for(query)
+            with_schema = plan_for(query, schema=xmark_schema())
+            assert bare.streamable_sites == with_schema.streamable_sites, name
+
+    def test_structural_marks_survive_without_schema(self):
+        plan = plan_for(XMARK_QUERIES["Q13"].adapted)
+        assert plan.single_match_loops == frozenset()
+        assert all(
+            m.kind in ("open", "signoff", "first-witness")
+            for m in plan.watermarks
+        )
+
+    def test_summary_mentions_streamable_count(self):
+        plan = plan_for("<o>{for $x in /r/a return $x}</o>")
+        assert "output site(s) streamable" in plan.summary()
+
+
+class TestNoRetraction:
+    """A schema-violating suffix after a watermark never retracts output."""
+
+    @FAST
+    @given(
+        document=documents(max_depth=5),
+        nested=st.integers(min_value=1, max_value=3),
+    )
+    def test_spliced_violations_match_the_no_schema_oracle(self, document, nested):
+        """Splice guaranteed self-nesting of <a> into the document body:
+        the untrusted engine with a schema in hand must still stream the
+        streamable site and still agree with the no-schema oracle byte
+        for byte — emitted prefixes are never taken back."""
+        spliced = "<a>" * nested + "<b>v</b>" + "</a>" * nested
+        document = document.replace("<r>", "<r>" + spliced, 1)
+        if not document.startswith("<r><a>"):
+            document = "<r>" + spliced + "</r>"
+        schema = Schema.from_dtd_text(RANDOM_DOC_DTD)
+        query = "<o>{for $x in //a return $x}</o>"
+        engine = GCXEngine()
+        with_schema = engine.run(query, document, schema=schema)
+        oracle = engine.run(query, document)
+        assert with_schema.output == oracle.output
+
+    @FAST
+    @given(
+        document=documents(max_depth=5),
+        nested=st.integers(min_value=1, max_value=3),
+    )
+    def test_earliness_off_agrees_on_violating_documents(self, document, nested):
+        """Both sides of the earliness ablation see the same violating
+        document and must agree: the watermark proof does not lean on the
+        (broken) schema facts."""
+        spliced = "<a>" * nested + "<b>v</b>" + "</a>" * nested
+        document = document.replace("<r>", "<r>" + spliced, 1)
+        if not document.startswith("<r><a>"):
+            document = "<r>" + spliced + "</r>"
+        schema = Schema.from_dtd_text(RANDOM_DOC_DTD)
+        query = "<o>{for $x in //a return $x}</o>"
+        on = GCXEngine().run(query, document, schema=schema)
+        off = GCXEngine(EngineOptions(earliness=False)).run(
+            query, document, schema=schema
+        )
+        assert on.output == off.output
+        assert on.stats.tokens_held_before_emit <= off.stats.tokens_held_before_emit
+
+    def test_single_match_loop_is_ignored_untrusted(self):
+        """A document with a duplicate <name> violates the XMark DTD; the
+        untrusted engine must output both names even though the schema
+        'proves' at most one — the at-most-once watermark stays behind
+        the trust wall."""
+        document = (
+            "<site><regions><namerica><item id=\"i0\">"
+            "<name>first</name><name>second</name>"
+            "</item></namerica></regions></site>"
+        )
+        query = (
+            "<results>{ for $i in /site/regions/namerica/item "
+            "return <item>{ $i/name/text() }</item> }</results>"
+        )
+        with_schema = GCXEngine().run(query, document, schema=xmark_schema())
+        oracle = GCXEngine().run(query, document)
+        assert with_schema.output == oracle.output
+        assert "firstsecond" in oracle.output

@@ -145,3 +145,41 @@ class TestStats:
         while pp.pull():
             assert buffer.stats.hwm_nodes >= previous
             previous = buffer.stats.hwm_nodes
+
+
+class TestCancellationConsumption:
+    """Pending cancellations must respect the matcher's [1]-consumption.
+
+    With nested bindings of the same variable, an outer binding's signoff
+    registers a cancellation for its first-witness path while the region
+    is unfinished.  The outer context's ``[1]`` is already consumed, so a
+    later arrival earns the dep role only from the inner, still-live
+    binding — the stale cancellation must not eat that instance (it used
+    to, leaving the inner signoff to underflow the role multiset).
+    """
+
+    QUERY = "<out>{for $v in $root//a return if (exists $v//a) then <a/> else ()}</out>"
+
+    def test_nested_first_witness_roles_survive_outer_cancellation(self):
+        from repro.baselines.naive import NaiveDomEngine
+        from repro.engine import GCXEngine
+
+        document = "<r><a><a><a/></a></a></r>"
+        oracle = NaiveDomEngine().run(self.QUERY, document)
+        result = GCXEngine().run(self.QUERY, document)
+        assert result.output == oracle.output == "<out><a/><a/></out>"
+
+    def test_nesting_shapes_match_the_dom_oracle(self):
+        from repro.baselines.naive import NaiveDomEngine
+        from repro.engine import GCXEngine
+
+        shapes = [
+            "<r><a><b/><a><a/></a></a></r>",
+            "<r><a><a/><a><a/></a></a></r>",
+            "<r><a><a><a><a/></a></a></a></r>",
+            "<r><a><a/></a><a><a/></a></r>",
+        ]
+        for document in shapes:
+            oracle = NaiveDomEngine().run(self.QUERY, document)
+            result = GCXEngine().run(self.QUERY, document)
+            assert result.output == oracle.output, document

@@ -38,6 +38,7 @@ REQUIRED_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/CLI.md",
     "docs/CONCURRENCY.md",
+    "docs/EARLINESS.md",
     "docs/MULTIQUERY.md",
     "docs/PERFORMANCE.md",
     "docs/SCHEMA.md",
