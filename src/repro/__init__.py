@@ -86,7 +86,7 @@ from repro.xmlio import (
 )
 from repro.xquery import parse_query, unparse
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "GCXEngine",

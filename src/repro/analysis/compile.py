@@ -23,7 +23,12 @@ from dataclasses import dataclass, field
 from repro.analysis.dependencies import Dependency, collect_dependencies
 from repro.analysis.earliness import EarlinessPlan, compute_earliness
 from repro.analysis.early_updates import apply_early_updates
-from repro.analysis.projection_tree import ProjectionTree, build_projection_tree
+from repro.analysis.joinplan import JoinPlan, compute_join_plan
+from repro.analysis.projection_tree import (
+    ProjectionTree,
+    attach_aggregate_chains,
+    build_projection_tree,
+)
 from repro.analysis.redundancy import eliminate_redundant_roles
 from repro.analysis.roles import Role
 from repro.analysis.schema import Schema
@@ -78,6 +83,11 @@ class CompiledQuery:
     #: Decided-watermark plan (docs/EARLINESS.md): which output sites may
     #: stream as tokens arrive, and the per-node watermark report.
     earliness: EarlinessPlan | None = None
+    #: Equi-join loops of the rewritten query (docs/JOINS.md), keyed by
+    #: loop-node identity; the evaluator dispatches them to the hash
+    #: build/probe path.  Recomputed whenever ``rewritten`` is replaced
+    #: (trusted-schema pruning), since the keys are ``id()``-based.
+    joinplan: JoinPlan = field(default_factory=JoinPlan)
 
     @property
     def certified_zero_buffer(self) -> bool:
@@ -117,6 +127,14 @@ def compile_query(
         normalized, first_witness=options.first_witness
     )
     tree = build_projection_tree(normalized, variables, dependencies)
+    # Accumulable aggregates contribute no dependencies; their role-less
+    # acc chains keep the matcher descending so the lane's accumulator
+    # sees the tokens it counts (repro.engine.relops.aggregates).
+    from repro.engine.relops.aggregates import collect_aggregate_sites
+
+    aggregate_sites = collect_aggregate_sites(normalized)
+    if aggregate_sites:
+        attach_aggregate_chains(tree, aggregate_sites)
     rewritten = insert_signoffs(normalized, variables, straight, tree)
     eliminated: list[Role] = []
     if options.eliminate_redundant:
@@ -127,6 +145,7 @@ def compile_query(
             source, variables, dependencies, tree, schema
         )
     earliness = compute_earliness(rewritten, tree, constraints)
+    joinplan = compute_join_plan(rewritten)
     return CompiledQuery(
         source=source,
         normalized=normalized,
@@ -140,4 +159,5 @@ def compile_query(
         schema=schema,
         constraints=constraints,
         earliness=earliness,
+        joinplan=joinplan,
     )

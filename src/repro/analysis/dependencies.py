@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.xquery.ast import (
+    Aggregate,
     And,
     Comparison,
     Condition,
@@ -36,6 +37,7 @@ from repro.xquery.ast import (
     Or,
     PathOperand,
     PathOutput,
+    Quantified,
     Query,
     SignOff,
     Sequence,
@@ -110,22 +112,49 @@ def collect_dependencies(
             record(expr.var, (dos_node(),))
         elif isinstance(expr, PathOutput):
             record(expr.var, _with_subtree(expr.path))
+        elif isinstance(expr, Aggregate):
+            # Accumulable aggregates contribute no dependencies at all: the
+            # projection lane's O(1) accumulator replaces the subtree the
+            # naive reading of Definition 2 would buffer
+            # (repro.engine.relops.aggregates).  Paths with positional
+            # predicates fall outside the accumulator automaton, so they
+            # keep the buffered subtree and are navigated at eval time.
+            if any(step.first or step.last for step in expr.path):
+                record(expr.var, _with_subtree(expr.path))
         elif isinstance(expr, SignOff):
             raise ValueError("dependencies must be collected before signOff insertion")
 
-    def visit_condition(cond: Condition) -> None:
+    def visit_condition(
+        cond: Condition, rebind: dict[str, tuple[str, Path]] | None = None
+    ) -> None:
+        def resolved(var: str, path: Path) -> tuple[str, Path]:
+            # Rebase paths on quantified variables onto the binding
+            # source (transitively, for nested quantifiers).
+            while rebind and var in rebind:
+                base_var, base_prefix = rebind[var]
+                var, path = base_var, base_prefix + path
+            return var, path
+
         if isinstance(cond, Exists):
             path = _with_first_witness(cond.path) if first_witness else cond.path
-            record(cond.var, path)
+            record(*resolved(cond.var, path))
         elif isinstance(cond, Comparison):
             for operand in (cond.left, cond.right):
                 if isinstance(operand, PathOperand):
-                    record(operand.var, _with_subtree(operand.path))
+                    record(*resolved(operand.var, _with_subtree(operand.path)))
+        elif isinstance(cond, Quantified):
+            # The witness nodes themselves must be buffered (the evaluator
+            # binds and navigates from them); every witness may need
+            # testing, so no first-witness trimming on the binding path.
+            record(*resolved(cond.source, cond.path))
+            inner_rebind = dict(rebind) if rebind else {}
+            inner_rebind[cond.var] = (cond.source, cond.path)
+            visit_condition(cond.inner, inner_rebind)
         elif isinstance(cond, (And, Or)):
-            visit_condition(cond.left)
-            visit_condition(cond.right)
+            visit_condition(cond.left, rebind)
+            visit_condition(cond.right, rebind)
         elif isinstance(cond, Not):
-            visit_condition(cond.operand)
+            visit_condition(cond.operand, rebind)
 
     visit(query.root)
     return deps

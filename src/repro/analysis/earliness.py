@@ -75,6 +75,7 @@ from repro.xquery.ast import (
     Or,
     PathOperand,
     PathOutput,
+    Quantified,
     Query,
     ROOT_VAR,
     SignOff,
@@ -228,6 +229,14 @@ def _condition_watermarks(query: Query) -> list[NodeWatermark]:
             for operand in (cond.left, cond.right):
                 if isinstance(operand, PathOperand):
                     add(operand.var, operand.path, "comparison")
+        elif isinstance(cond, Quantified):
+            # ``some`` is existential over its witness sequence: one
+            # satisfying witness decides it true.  ``every`` is only
+            # decided once all witnesses are seen, so it gets no mark;
+            # the inner condition's polarity depends on the quantifier,
+            # so no marks are emitted for it either.
+            if cond.quantifier == "some":
+                add(cond.source, cond.path, "some-quantifier")
         elif isinstance(cond, (And, Or)):
             visit_condition(cond.left)
             visit_condition(cond.right)

@@ -26,6 +26,12 @@ def apply_early_updates(query: Query, fresh: FreshVariables | None = None) -> Qu
 
     def transform(node: Expr) -> Expr:
         if isinstance(node, PathOutput):
+            # Positional outputs stay as they are: the one-iteration loop
+            # would carry a [1]/[last()] step, which core XQ forbids (and
+            # a positional match cannot be released early anyway — it is
+            # only known once its siblings have been seen).
+            if any(step.first or step.last for step in node.path):
+                return node
             var = fresh.fresh("out")
             return ForLoop(var, node.var, node.path, VarRef(var))
         return node

@@ -1,0 +1,170 @@
+"""Compile-time join planning: detect equi-join loops in the rewritten query.
+
+After normalization, early updates and if-pushdown, a value-based join
+(XMark Q8/Q9) reaches the evaluator as an inner for-loop whose body is
+*gated* by a single equi-comparison ``C`` between a path on the loop
+variable and a path on an outer variable: every output-producing leaf of
+the body sits under ``if C then ... else ()``.  (If-pushdown copies the
+condition in front of every output item; early updates may interpose
+one-iteration loops — ``for $out in $s/path return if C then $out`` — so
+the gate is found by recursion, not by shape-matching the top level.)
+
+:func:`compute_join_plan` walks the rewritten AST and records every loop
+of that shape as a :class:`JoinSite`, keyed by the loop node's identity.
+At run time the evaluator consults the plan per for-loop and, on a hit,
+builds a hash index over the inner step keyed by the join path
+(``repro.engine.relops.hashjoin``) and evaluates the original body only
+for probed matches — sound because a gated body produces no output and no
+role changes for non-matching bindings, and the body re-checks ``C``
+itself, so the probe only has to be value-exact with the ``=`` semantics.
+Anything that deviates — a where clause, a non-``=`` operator, mixed
+gate conditions, a signoff inside the body (its execution count would
+change), positional predicates on the loop step, a gate referencing a
+variable bound inside the body — is left to the nested-loop path, so
+planning can only ever be a performance decision, never a semantic one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xquery.ast import (
+    Comparison,
+    Condition,
+    Empty,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    PathOperand,
+    Query,
+    Sequence,
+    SignOff,
+    walk,
+)
+from repro.xquery.paths import Path, format_path
+
+__all__ = ["JoinSite", "JoinPlan", "compute_join_plan"]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinSite:
+    """One plannable equi-join loop."""
+
+    var: str  # the inner loop variable (the build side)
+    source: str  # the loop's source variable
+    inner_path: Path  # key path on the loop variable
+    outer_var: str  # the probe-side variable
+    outer_path: Path  # key path on the probe-side variable
+    body: Expr  # the loop body, evaluated once per probed match
+
+    def describe(self) -> str:
+        return (
+            f"for {self.var} in {self.source}: "
+            f"{self.var}{format_path(self.inner_path)} = "
+            f"{self.outer_var}{format_path(self.outer_path)}"
+        )
+
+
+@dataclass
+class JoinPlan:
+    """Join sites of one rewritten query, keyed by ``id()`` of the loop."""
+
+    sites: dict[int, JoinSite] = field(default_factory=dict)
+
+    def site_for(self, loop: ForLoop) -> JoinSite | None:
+        return self.sites.get(id(loop))
+
+    def __bool__(self) -> bool:
+        return bool(self.sites)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def describe(self) -> list[str]:
+        return [site.describe() for site in self.sites.values()]
+
+
+def compute_join_plan(query: Query) -> JoinPlan:
+    """Detect every equi-join loop in a rewritten (core) query."""
+    plan = JoinPlan()
+    for expr in walk(query.root):
+        if isinstance(expr, ForLoop):
+            site = _detect(expr)
+            if site is not None:
+                plan.sites[id(expr)] = site
+    return plan
+
+
+#: Sentinel for "the body has an un-gated output or a foreign shape".
+_UNGATED = object()
+
+
+def _detect(loop: ForLoop) -> JoinSite | None:
+    if loop.where is not None or len(loop.path) != 1:
+        return None
+    step = loop.path[0]
+    if step.first or step.last:
+        return None
+    inner_vars: set[str] = set()
+    for expr in walk(loop.body):
+        if isinstance(expr, SignOff):
+            # A signoff must execute once per binding, matched or not.
+            return None
+        if isinstance(expr, ForLoop):
+            inner_vars.add(expr.var)
+    if loop.var in inner_vars:  # rebound inside the body: give up
+        return None
+    cond = _gating_condition(loop.body)
+    if cond is _UNGATED or cond is None:
+        return None
+    if not isinstance(cond, Comparison) or cond.op != "=":
+        return None
+    left, right = cond.left, cond.right
+    if not (isinstance(left, PathOperand) and isinstance(right, PathOperand)):
+        return None
+    if left.var == loop.var and right.var != loop.var:
+        inner, outer = left, right
+    elif right.var == loop.var and left.var != loop.var:
+        inner, outer = right, left
+    else:
+        return None
+    if outer.var in inner_vars:  # the gate must be loop-invariant
+        return None
+    return JoinSite(
+        var=loop.var,
+        source=loop.source,
+        inner_path=inner.path,
+        outer_var=outer.var,
+        outer_path=outer.path,
+        body=loop.body,
+    )
+
+
+def _gating_condition(expr: Expr) -> "Condition | None | object":
+    """The single condition gating every output of ``expr``.
+
+    Returns the condition, ``None`` when the expression produces nothing
+    at all (trivially gated), or :data:`_UNGATED` when some output escapes
+    a gate or two gates disagree.
+    """
+    if isinstance(expr, Empty):
+        return None
+    if isinstance(expr, Sequence):
+        cond: "Condition | None" = None
+        for item in expr.items:
+            c = _gating_condition(item)
+            if c is _UNGATED:
+                return _UNGATED
+            if c is not None:
+                if cond is None:
+                    cond = c
+                elif c != cond:
+                    return _UNGATED
+        return cond
+    if isinstance(expr, IfThenElse):
+        if not isinstance(expr.else_branch, Empty):
+            return _UNGATED
+        return expr.cond
+    if isinstance(expr, ForLoop):
+        return _gating_condition(expr.body)
+    return _UNGATED

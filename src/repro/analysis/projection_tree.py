@@ -26,12 +26,17 @@ from dataclasses import dataclass, field
 from repro.analysis.dependencies import Dependency
 from repro.analysis.roles import Role
 from repro.xquery.ast import ROOT_VAR, Query
-from repro.xquery.paths import Axis, Path, Step, dos_node, format_path
+from repro.xquery.paths import TEXT, Axis, Path, Step, dos_node, format_path
 
 _DOS_STEP = dos_node()
 from repro.xquery.semantics import QueryVariables
 
-__all__ = ["PTNode", "ProjectionTree", "build_projection_tree"]
+__all__ = [
+    "PTNode",
+    "ProjectionTree",
+    "attach_aggregate_chains",
+    "build_projection_tree",
+]
 
 
 @dataclass(eq=False)
@@ -44,6 +49,12 @@ class PTNode:
     var: str | None = None  # set for variable (binding) nodes and the root
     parent: "PTNode | None" = None
     children: list["PTNode"] = field(default_factory=list)
+    #: Accumulator chain node (repro.engine.relops.aggregates): carries no
+    #: role — matched tokens are *not* preserved — but keeps the matcher
+    #: descending so the projection lane sees the tokens an aggregate
+    #: counts.  Without these chains a pure-aggregate query's subtrees
+    #: would be skipped as dead and the accumulator would never fire.
+    acc: bool = False
 
     def add_child(self, child: "PTNode") -> None:
         child.parent = self
@@ -129,6 +140,7 @@ class ProjectionTree:
                     step=child.step,
                     role=child.role,
                     var=child.var,
+                    acc=child.acc,
                 )
                 twin.add_child(child_twin)
                 mapping[id(child)] = child_twin
@@ -203,8 +215,10 @@ class ProjectionTree:
                 for child in node.children:
                     walk(child, depth, prefix + [node.step])  # type: ignore[list-item]
                 return
+            suffix = " [acc]" if node.acc else ""
             lines.append(
-                "  " * depth + f"n{node.display_id}: {label_of(node, prefix)}"
+                "  " * depth
+                + f"n{node.display_id}: {label_of(node, prefix)}{suffix}"
             )
             for child in chain_end.children:
                 walk(child, depth + 1, [])
@@ -348,6 +362,38 @@ def build_projection_tree(
         if entries:
             tree.signoff_entries[var] = entries
     return tree
+
+
+def attach_aggregate_chains(tree: ProjectionTree, sites) -> None:
+    """Attach role-less accumulator chains for the query's aggregate paths.
+
+    ``sites`` are the pre-deduplicated accumulator groups
+    (:func:`repro.engine.relops.aggregates.collect_aggregate_sites`).  Each
+    gets a chain of ``acc``-flagged nodes under its variable's tree node.
+    The chain carries no role — matched tokens are never preserved on its
+    account — but the matcher keeps descending through subtrees it matches,
+    so the projection lane observes the open/text/close tokens the
+    accumulator automaton needs.  Value-capturing sites (``sum``/``avg``)
+    additionally get a ``dos::node()`` continuation below the terminal
+    step: the captured value is the matched subtree's *string value*, so
+    the whole subtree must stay visible to the lane, not just its root.
+    Paths with positional predicates never reach here: they keep a real
+    buffered dependency instead (see ``collect_dependencies``).
+    """
+    next_display = max(node.display_id for node in tree.all_nodes()) + 1
+    for site in sites:
+        anchor = tree.var_nodes.get(site.var)
+        if anchor is None:
+            continue
+        current = anchor
+        for step in site.path:
+            node = PTNode(display_id=next_display, step=step, acc=True)
+            current.add_child(node)
+            current = node
+        if site.needs_values and site.path[-1].test.kind is not TEXT:
+            tail = PTNode(display_id=next_display, step=dos_node(), acc=True)
+            current.add_child(tail)
+        next_display += 1
 
 
 def _is_chain_of(prefix_node: PTNode, chain_end: PTNode) -> bool:

@@ -102,7 +102,11 @@ def pattern_contains(container: Path, contained: Path) -> bool:
             candidate = container[i]
             if candidate.axis in (Axis.DESCENDANT, Axis.DOS):
                 result.add(i)  # the container step may bind deeper
-            if candidate.test.contains(step.test) and not candidate.first:
+            if (
+                candidate.test.contains(step.test)
+                and not candidate.first
+                and not candidate.last
+            ):
                 result.add(i + 1)
         return result
 

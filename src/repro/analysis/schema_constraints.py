@@ -473,6 +473,8 @@ def certify_zero_buffer(query: Query, schema: Schema) -> ZeroBufferPlan | None:
             return None
         if step.test.kind not in (TestKind.TAG, TestKind.STAR) or step.first:
             return None
+        if step.last:
+            return None
         chain.append(step)
         variables.append(expr.var)
         source = expr.var
@@ -495,7 +497,7 @@ def certify_zero_buffer(query: Query, schema: Schema) -> ZeroBufferPlan | None:
         # property: two matches can never nest, on *any* document — no
         # schema fact needed for the inner path.
         for index, step in enumerate(expr.path):
-            if step.axis is not Axis.CHILD or step.first:
+            if step.axis is not Axis.CHILD or step.first or step.last:
                 return None
             last = index == len(expr.path) - 1
             allowed = (
@@ -589,4 +591,13 @@ def apply_trusted_constraints(compiled):
         compiled.projection_tree, constraints.schema
     )
     rewritten = strip_signoffs(compiled.rewritten, pruned_roles)
-    return replace(compiled, projection_tree=pruned_tree, rewritten=rewritten)
+    # The join plan is keyed by loop-node identity; the stripped query is
+    # a fresh AST, so recompute it against the new nodes.
+    from repro.analysis.joinplan import compute_join_plan
+
+    return replace(
+        compiled,
+        projection_tree=pruned_tree,
+        rewritten=rewritten,
+        joinplan=compute_join_plan(rewritten),
+    )

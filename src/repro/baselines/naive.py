@@ -25,7 +25,9 @@ from repro.engine.gcx import RunResult
 from repro.xmlio.serialize import StringSink
 from repro.xmlio.tokens import EndTag, StartTag, Text
 from repro.xmlio.tree import DocumentNode, ElementNode, TextNode, XMLNode, parse_tree
+from repro.engine.relops.aggregates import format_number
 from repro.xquery.ast import (
+    Aggregate,
     And,
     CloseTag,
     Comparison,
@@ -42,6 +44,7 @@ from repro.xquery.ast import (
     Or,
     PathOperand,
     PathOutput,
+    Quantified,
     Query,
     ROOT_VAR,
     Sequence,
@@ -146,14 +149,50 @@ class _Interp:
         elif isinstance(expr, IfThenElse):
             branch = expr.then_branch if self.cond(expr.cond, env) else expr.else_branch
             self.eval(branch, env)
+        elif isinstance(expr, Aggregate):
+            self._aggregate(expr, env)
         else:
             raise TypeError(f"cannot evaluate {expr!r}")
+
+    def _aggregate(self, expr: Aggregate, env: dict[str, XMLNode]) -> None:
+        count = 0
+        total = 0.0
+        numeric_n = 0
+        for node in iter_path(env[expr.var], expr.path):
+            count += 1
+            if expr.func in ("sum", "avg"):
+                try:
+                    value = float(node.string_value())
+                except ValueError:
+                    continue
+                total += value
+                numeric_n += 1
+        if expr.func == "count":
+            self.sink.write(Text(str(count)))
+        elif expr.func == "sum":
+            self.sink.write(Text(format_number(total)))
+        elif numeric_n:  # avg of an empty/non-numeric sequence is no output
+            self.sink.write(Text(format_number(total / numeric_n)))
 
     def cond(self, cond: Condition, env: dict[str, XMLNode]) -> bool:
         if isinstance(cond, TrueCond):
             return True
         if isinstance(cond, Exists):
             return any(True for _ in iter_path(env[cond.var], cond.path))
+        if isinstance(cond, Quantified):
+            some = cond.quantifier == "some"
+            for witness in iter_path(env[cond.source], cond.path):
+                env[cond.var] = witness
+                try:
+                    holds = self.cond(cond.inner, env)
+                finally:
+                    env.pop(cond.var, None)
+                if some:
+                    if holds:
+                        return True
+                elif not holds:
+                    return False
+            return not some
         if isinstance(cond, Comparison):
             left = list(self._values(cond.left, env))
             if not left:
@@ -196,6 +235,13 @@ def iter_path(context: XMLNode, path: Path) -> Iterator[XMLNode]:
         yield context
         return
     step, rest = path[0], path[1:]
+    if step.last:
+        final: XMLNode | None = None
+        for node in iter_step(context, step):
+            final = node
+        if final is not None:
+            yield from iter_path(final, rest)
+        return
     for node in iter_step(context, step):
         yield from iter_path(node, rest)
         if step.first:

@@ -85,6 +85,12 @@ SCHEMA_VERSION = 1
 #: on, at least two golden queries must hold output tokens in the buffer
 #: at least 1.2x less long than the conservative engine — while the
 #: outputs stay byte-identical, which the suite asserts as it measures.
+#: ``join_speedup`` is the streaming-relational acceptance criterion
+#: (docs/JOINS.md): XMark Q8 through the hash build/probe operator must
+#: run at least twice as fast as the same query through the nested-loop
+#: path (``hash_joins=False``) — while the outputs stay byte-identical,
+#: which the suite asserts as it measures.  A same-host ratio of the same
+#: engine binary, so it gates machine-independently.
 FLOORS: dict[str, float] = {
     "tokenizer_speedup": 3.0,
     "tokenizer_bytes_vs_str_speedup": 1.0,
@@ -92,6 +98,7 @@ FLOORS: dict[str, float] = {
     "multiquery_single_scan": 1.0,
     "schema_hwm_reduction": 1.2,
     "tokens_held_reduction": 1.2,
+    "join_speedup": 2.0,
 }
 
 
@@ -347,6 +354,40 @@ def run_quick_suite(
             higher_is_better=False,
             machine_dependent=True,
         )
+
+    # -- hash joins: Q8 via the hash operator vs the nested-loop oracle -
+    # Same query, same document, same host; only the join dispatch
+    # differs, so the ratio is machine-independent and hard-floored.
+    # Byte-identity is asserted while measuring — the hash path must be
+    # a pure performance decision (docs/JOINS.md).
+    join_text = XMARK_QUERIES["Q8"].adapted
+    hash_session = QuerySession(join_text)
+    nested_session = QuerySession(join_text, EngineOptions(hash_joins=False))
+    hash_result = nested_result = None
+
+    def run_hash() -> None:
+        nonlocal hash_result
+        hash_result = hash_session.run(document)
+
+    def run_nested() -> None:
+        nonlocal nested_result
+        nested_result = nested_session.run(document)
+
+    hash_seconds = _best_seconds(run_hash, repeats)
+    nested_seconds = _best_seconds(run_nested, repeats)
+    assert hash_result.output == nested_result.output, (
+        "hash join changed the Q8 output"
+    )
+    assert hash_result.stats.join_indexes_built > 0, (
+        "the join planner failed to dispatch Q8 to the hash operator"
+    )
+    add("join_speedup", nested_seconds / hash_seconds, "x")
+    add(
+        "join_probe_hit_rate",
+        hash_result.stats.join_probe_hits
+        / max(hash_result.stats.join_probes, 1),
+        "hits/probe",
+    )
 
     # -- multi-query: one shared scan vs K sequential warm sessions -----
     # Both the speedup and the single-scan invariant are same-host ratios/

@@ -82,7 +82,7 @@ def run_table1(
                     query.adapted,
                     document,
                     previous=previous,
-                    joins=query.joins,
+                    joins=query.uses_join() and engine_name != "gcx",
                     budget=config.cell_budget_seconds,
                 )
                 measurements.append(cell)
@@ -107,6 +107,9 @@ def _measure_cell(
     doc_bytes = len(document.encode())
     if previous is not None and previous.seconds > 0:
         ratio = doc_bytes / max(previous.doc_bytes, 1)
+        # Join queries extrapolate quadratically — except on the gcx
+        # engine, whose hash-join dispatch makes them O(n+m) (the caller
+        # clears ``joins`` for it), so the linear prediction applies.
         exponent = 2.0 if joins else 1.0
         predicted = previous.seconds * ratio**exponent
         if predicted > budget:

@@ -73,6 +73,10 @@ class BufferTree:
         self._free_nodes: list[BufferNode] = []
         # Pending cancellations keyed by region root node.
         self.cancellations: dict[BufferNode, list[CancelEntry]] = {}
+        # Purge observers (hash-join indexes evict entries for purged
+        # nodes).  Called once per physically deleted node, before the
+        # node is parked on the free list.
+        self._purge_listeners: list = []
 
     def reset(self) -> "BufferTree":
         """Clear all per-run state, keeping the tag symbol table warm.
@@ -89,6 +93,7 @@ class BufferTree:
         self._seq = 0
         self.document = BufferNode(DOC, seq=self._next_seq())
         self.cancellations = {}
+        self._purge_listeners = []
         return self
 
     # ------------------------------------------------------------------
@@ -248,6 +253,8 @@ class BufferTree:
                 cost = model.element_cost()
             self.stats.on_purge(cost)
             self.cancellations.pop(member, None)
+            for listener in self._purge_listeners:
+                listener(member)
             if len(free) < FREE_LIST_CAP:
                 member.parent = None
                 member.prev_sibling = None
@@ -286,6 +293,10 @@ class BufferTree:
     # ------------------------------------------------------------------
     # cancellations
     # ------------------------------------------------------------------
+
+    def add_purge_listener(self, listener) -> None:
+        """Register a callable invoked with each physically purged node."""
+        self._purge_listeners.append(listener)
 
     def register_cancellation(
         self, region: BufferNode, path: Path, role: Role, *, aggregate: bool

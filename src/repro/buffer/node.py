@@ -54,6 +54,8 @@ class BufferNode:
         "roles",
         "aggregate_roles",
         "subtree_roles",
+        "acc",
+        "witnesses",
     )
 
     def __init__(self, kind: int, seq: int, tag_id: int = -1, text: str = "") -> None:
@@ -72,6 +74,20 @@ class BufferNode:
         self.roles = RoleSet()
         self.aggregate_roles = RoleSet()
         self.subtree_roles = 0
+        # Aggregate accumulator states anchored at this node, keyed by
+        # (var, path); None until the first accumulator frame is seeded
+        # (repro.engine.relops.aggregates).
+        self.acc: Optional[dict] = None
+        # First-witness registry for ``[1]`` steps whose context is this
+        # node, keyed by the positional Step and recorded by the projection
+        # lane at the arrival that consumed the witness.  The value is
+        # ``(node, seq)`` — or ``(None, -1)`` when the witness token was
+        # not preserved — so a stale reference (the witness purged and its
+        # object recycled) is detectable by the seq mismatch.  Navigating
+        # the buffer for the first *buffered* match instead can silently
+        # rebind the ``[1]`` to a later sibling once the true witness was
+        # garbage-collected.
+        self.witnesses: Optional[dict] = None
 
     def reinit(self, kind: int, seq: int, tag_id: int = -1, text: str = "") -> None:
         """Reset a recycled node to freshly constructed state.
@@ -96,6 +112,8 @@ class BufferNode:
         self.roles.clear()
         self.aggregate_roles.clear()
         self.subtree_roles = 0
+        self.acc = None
+        self.witnesses = None
 
     # -- structure -------------------------------------------------------
 

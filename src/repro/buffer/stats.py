@@ -97,6 +97,15 @@ class BufferStats:
     #: the document violated the certifying schema (nested matches).  Zero
     #: on conforming documents — and always zero on the buffered path.
     schema_fallbacks: int = 0
+    #: Relational-runtime telemetry (repro.engine.relops).  Counts only —
+    #: accumulator states and join index entries are not charged to
+    #: ``live_bytes``: the hwm tracks *buffered document* residency, and
+    #: the join index stores only references to already-charged nodes.
+    acc_updates: int = 0  # terminal accumulator credits (count/sum/avg)
+    join_indexes_built: int = 0
+    join_keys: int = 0  # (key, node) pairs inserted across all indexes
+    join_probes: int = 0
+    join_probe_hits: int = 0
 
     def on_create(self, cost: int) -> None:
         self.nodes_created += 1
@@ -157,4 +166,12 @@ class BufferStats:
                 else ""
             )
             + (f"; early flushes {self.early_flushes}" if self.early_flushes else "")
+            + (f"; acc updates {self.acc_updates}" if self.acc_updates else "")
+            + (
+                f"; joins {self.join_indexes_built} indexes / "
+                f"{self.join_keys} keys / {self.join_probes} probes / "
+                f"{self.join_probe_hits} hits"
+                if self.join_indexes_built
+                else ""
+            )
         )

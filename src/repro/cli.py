@@ -273,6 +273,16 @@ def _cmd_run(args) -> int:
         return 1
     if args.stats and compiled.constraints is not None:
         print(f"schema: {compiled.constraints.summary()}", file=sys.stderr)
+    if args.stats and args.engine == "gcx":
+        # Compile-time relational telemetry: which loops the join planner
+        # dispatched to the hash operator (run-time probe/accumulator
+        # counters appear in each document's stats summary line).
+        sites = compiled.joinplan.describe()
+        if sites:
+            for line in sites:
+                print(f"join plan: {line}", file=sys.stderr)
+        else:
+            print("join plan: no equi-join loops", file=sys.stderr)
     if args.engine == "gcx" and not args.buffered:
         return _run_streaming(engine, compiled, args)
     for path in args.document:

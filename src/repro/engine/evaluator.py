@@ -33,10 +33,13 @@ from typing import Callable, Iterator
 from repro.analysis.roles import Role
 from repro.buffer.buffer import BufferTree
 from repro.buffer.node import BufferNode, DOC, ELEMENT, TEXT
+from repro.engine.relops.aggregates import accumulable, format_number
+from repro.engine.relops.hashjoin import JoinIndex, canon_key
 from repro.stream.preprojector import StreamPreprojector
 from repro.xmlio.serialize import TokenSink
 from repro.xmlio.tokens import EndTag, StartTag, Text, Token
 from repro.xquery.ast import (
+    Aggregate,
     And,
     CloseTag,
     Comparison,
@@ -53,6 +56,7 @@ from repro.xquery.ast import (
     Or,
     PathOperand,
     PathOutput,
+    Quantified,
     Query,
     ROOT_VAR,
     Sequence,
@@ -89,6 +93,7 @@ class Evaluator:
         eager_leaf_bindings: bool = False,
         earliness_sites: "frozenset[tuple[str, Path]] | None" = None,
         single_match_loops: "frozenset[str] | None" = None,
+        join_plan: "object | None" = None,
         on_event: Callable[[str], None] | None = None,
     ) -> None:
         self.query = query
@@ -108,6 +113,13 @@ class Evaluator:
         # Schema-certified at-most-once loops (trusted mode only): the
         # session passes these exclusively under trust_schema=True.
         self._single_match = single_match_loops or frozenset()
+        # Compile-time join plan (repro.analysis.joinplan): loops it names
+        # dispatch to the hash build/probe path instead of re-evaluating
+        # the equi-condition per binding pair.  Indexes are cached per
+        # (loop, context) and evicted via the buffer's purge listener.
+        self._join_plan = join_plan
+        self._join_indexes: dict[tuple[int, int], JoinIndex] = {}
+        self._join_listener_installed = False
         # Push-based engines (the flux-like baseline) cannot short-circuit
         # within a binding: by the time they may emit, the binding's subtree
         # has streamed through their buffers.  Model this by reading leaf
@@ -196,6 +208,15 @@ class Evaluator:
             if step is None:
                 raise EvaluationError("for-loops must be single-step at runtime")
             eager = id(expr) in self._eager_loops
+            if (
+                self._join_plan is not None
+                and not eager
+                and expr.var not in self._single_match
+            ):
+                site = self._join_plan.site_for(expr)
+                if site is not None:
+                    yield from self._eval_hash_join(expr, site, env)
+                    return
             nodes = self._iter_step(context, step)
             if expr.var in self._single_match:
                 # at-most-once watermark (docs/EARLINESS.md): the schema
@@ -215,11 +236,111 @@ class Evaluator:
             else:
                 yield from self._eval(expr.else_branch, env)
             return
+        if isinstance(expr, Aggregate):
+            yield from self._eval_aggregate(expr, env)
+            return
         if isinstance(expr, SignOff):
             if self.execute_signoffs:
                 self._execute_signoff(env[expr.var], expr.path, expr.role)
             return
         raise EvaluationError(f"cannot evaluate {expr!r}")
+
+    # ------------------------------------------------------------------
+    # relational operators (repro.engine.relops)
+    # ------------------------------------------------------------------
+
+    def _eval_aggregate(self, expr: Aggregate, env: Env) -> Iterator[Token]:
+        """Emit the aggregate's value for the current binding.
+
+        Accumulable paths read the O(1) state the projection lane's
+        :class:`~repro.engine.relops.aggregates.AccumulatorRuntime`
+        maintained on the anchor node — nothing below the anchor was
+        buffered for it.  Positional paths (``[1]``/``[last()]``) navigate
+        their buffered dependency subtree instead.
+        """
+        anchor = env[expr.var]
+        self._ensure_finished(anchor)
+        if accumulable(expr.path):
+            state = anchor.acc.get((expr.var, expr.path)) if anchor.acc else None
+            if state is None:
+                raise EvaluationError(
+                    f"no accumulator state for {expr.func}() on {expr.var}: "
+                    "the run was built without an AccumulatorRuntime"
+                )
+            count, total, numeric_n = state
+        else:
+            count, total, numeric_n = 0, 0.0, 0
+            for node in self._iter_path(anchor, expr.path):
+                count += 1
+                if expr.func != "count":
+                    self._ensure_finished(node)
+                    try:
+                        value = float(node.string_value())
+                    except ValueError:
+                        continue
+                    total += value
+                    numeric_n += 1
+        if expr.func == "count":
+            yield Text(str(count))
+        elif expr.func == "sum":
+            yield Text(format_number(total))
+        elif numeric_n:  # avg of an empty/non-numeric sequence emits nothing
+            yield Text(format_number(total / numeric_n))
+
+    def _eval_hash_join(self, expr: ForLoop, site, env: Env) -> Iterator[Token]:
+        """Probe the loop's equi-join index instead of nested re-testing.
+
+        Byte-identical to the nested loop: probe results come back in
+        document order, the gate condition is true for exactly the
+        returned bindings (``canon_key`` mirrors ``=``), and the gated
+        body — which produces nothing for non-matching bindings — is
+        evaluated per match with its own condition checks intact.
+        """
+        context = env[expr.source]
+        index = self._join_index(expr, site, context)
+        stats = self.buffer.stats
+        keys = set()
+        for node in self._iter_path(env[site.outer_var], site.outer_path):
+            self._ensure_finished(node)
+            keys.add(canon_key(node.string_value()))
+        stats.join_probes += 1
+        matches = index.probe(keys) if keys else []
+        stats.join_probe_hits += len(matches)
+        for node in matches:
+            env[expr.var] = node
+            yield from self._eval(site.body, env)
+        env.pop(expr.var, None)
+
+    def _join_index(self, expr: ForLoop, site, context: BufferNode) -> JoinIndex:
+        cache_key = (id(expr), context.seq)
+        index = self._join_indexes.get(cache_key)
+        if index is not None:
+            return index
+        # Build over the finished context: every binding the nested loop
+        # would ever see is buffered (or already purged/marked — which the
+        # nested loop would skip too).
+        self._ensure_finished(context)
+        index = JoinIndex()
+        stats = self.buffer.stats
+        for node in self._buffered_step(context, expr.path[0]):
+            keys = set()
+            for target in self._iter_path(node, site.inner_path):
+                keys.add(canon_key(target.string_value()))
+            if not keys:
+                # No key values: the equi-condition is false for every
+                # probe, exactly as the nested loop would decide.
+                continue
+            stats.join_keys += index.add(node, keys)
+        stats.join_indexes_built += 1
+        self._join_indexes[cache_key] = index
+        if not self._join_listener_installed:
+            self.buffer.add_purge_listener(self._on_join_purge)
+            self._join_listener_installed = True
+        return index
+
+    def _on_join_purge(self, node: BufferNode) -> None:
+        for index in self._join_indexes.values():
+            index.evict(node.seq)
 
     # ------------------------------------------------------------------
     # conditions
@@ -244,6 +365,20 @@ class Evaluator:
             )
         if isinstance(cond, Not):
             return not self._eval_condition(cond.operand, env)
+        if isinstance(cond, Quantified):
+            some = cond.quantifier == "some"
+            for witness in self._iter_path(env[cond.source], cond.path):
+                env[cond.var] = witness
+                try:
+                    holds = self._eval_condition(cond.inner, env)
+                finally:
+                    env.pop(cond.var, None)
+                if some:
+                    if holds:
+                        return True
+                elif not holds:
+                    return False
+            return not some  # some over nothing: False; every: vacuously True
         raise EvaluationError(f"cannot evaluate condition {cond!r}")
 
     def _eval_comparison(self, cond: Comparison, env: Env) -> bool:
@@ -305,10 +440,68 @@ class Evaluator:
             yield context
             return
         step, rest = path[0], path[1:]
+        if step.last:
+            # [last()]: drain the step (the scan pulls input until the
+            # context is finished), then continue from the final match.
+            final: BufferNode | None = None
+            for node in self._iter_step(context, step):
+                final = node
+            if final is not None:
+                yield from self._iter_path(final, rest)
+            return
+        if step.first:
+            # [1]: the witness is the first match in *document* order, not
+            # the first still-buffered one — navigate through the record
+            # the projection lane pinned at the witness's arrival.
+            witness = self._first_witness(context, step)
+            if witness is not None:
+                yield from self._iter_path(witness, rest)
+            return
         for node in self._iter_step(context, step):
             yield from self._iter_path(node, rest)
-            if step.first:
-                return
+
+    def _first_witness(
+        self, context: BufferNode, step: Step
+    ) -> BufferNode | None:
+        """The [1] witness of ``step`` below ``context``, pulling on demand.
+
+        The projection lane records the witness at the arrival that
+        consumed the step's first-witness transition, so a missing record
+        means no match has streamed yet: keep pulling until it appears or
+        the context finishes without one.  A recorded witness that was
+        dropped or garbage-collected yields nothing — rebinding the [1] to
+        the first still-buffered match would step into a later sibling's
+        subtree and read another binding's data.
+        """
+        while True:
+            witness = self._buffered_witness(context, step)
+            if witness is not None:
+                return witness
+            table = context.witnesses
+            if table is not None and step in table:
+                return None  # witness recorded but dropped or collected
+            if context.finished:
+                return None
+            if not self.preprojector.pull():
+                return None
+
+    def _buffered_witness(
+        self, context: BufferNode, step: Step
+    ) -> BufferNode | None:
+        """The recorded [1] witness, if it is still live in the buffer."""
+        table = context.witnesses
+        rec = table.get(step) if table is not None else None
+        if rec is None:
+            return None
+        node, seq = rec
+        if (
+            node is None
+            or node.seq != seq  # recycled: the witness was purged
+            or node.parent is None
+            or node.marked_deleted
+        ):
+            return None
+        return node
 
     def _iter_step(self, context: BufferNode, step: Step) -> Iterator[BufferNode]:
         if step.axis is Axis.CHILD:
@@ -458,6 +651,10 @@ class Evaluator:
     def _ensure_finished(self, node: BufferNode) -> None:
         while not node.finished:
             if not self.preprojector.pull():
+                # The final pull is the one that marks the document node
+                # finished, so re-check before declaring the input short.
+                if node.finished:
+                    return
                 raise EvaluationError("input exhausted with an unfinished node")
 
     # ------------------------------------------------------------------
@@ -493,9 +690,15 @@ class Evaluator:
         for step in path:
             next_positions: dict[BufferNode, int] = {}
             for node, count in positions.items():
-                targets = self._buffered_step(node, step)
                 if step.first:
-                    targets = itertools.islice(targets, 1)
+                    # The recorded document-order witness, never the first
+                    # buffered match (see _first_witness).
+                    witness = self._buffered_witness(node, step)
+                    targets: Iterator[BufferNode] | list[BufferNode] = (
+                        [] if witness is None else [witness]
+                    )
+                else:
+                    targets = self._buffered_step(node, step)
                 for target in targets:
                     next_positions[target] = next_positions.get(target, 0) + count
             positions = next_positions

@@ -55,6 +55,7 @@ from repro.engine.session import (
     QuerySession,
     RunResult,
     StreamingRun,
+    build_accumulators,
     document_tokens,
     earliness_sites,
     single_match_loops,
@@ -394,6 +395,7 @@ class MultiQuerySession:
                     buffer,
                     aggregate_roles=options.aggregate_roles,
                     matcher=matcher,
+                    accumulators=build_accumulators(session.compiled, buffer),
                 )
                 for session, buffer, matcher in checkouts
             ]
@@ -412,6 +414,9 @@ class MultiQuerySession:
                     single_match_loops=single_match_loops(
                         session.compiled, options
                     ),
+                    join_plan=session.compiled.joinplan
+                    if options.hash_joins
+                    else None,
                 )
                 runs.append((name, StreamingRun(session, buffer, view, evaluator)))
         except BaseException:

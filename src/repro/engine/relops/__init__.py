@@ -1,0 +1,36 @@
+"""Streaming relational operators on top of the GCX buffer.
+
+Two operators widen what the engine can evaluate without abandoning the
+streaming discipline of the paper:
+
+* :mod:`repro.engine.relops.aggregates` — O(1) accumulators that replace
+  the buffered subtrees a naive reading of Definition 2 would keep for
+  ``count``/``sum``/``avg`` calls.  The projection lane feeds them token
+  by token; the evaluator reads one finished state per binding.
+* :mod:`repro.engine.relops.hashjoin` — a value-keyed index over a
+  buffered axis step, turning the O(n·m) nested-loop shape of
+  value-based joins (XMark Q8/Q9) into an O(n+m) build/probe pair.
+  Eviction is driven by the buffer's own garbage collection, so the
+  index never outlives the signoff-managed data it points at.
+
+See docs/JOINS.md for the design discussion.
+"""
+
+from repro.engine.relops.aggregates import (
+    AccSite,
+    AccumulatorRuntime,
+    accumulable,
+    collect_aggregate_sites,
+    format_number,
+)
+from repro.engine.relops.hashjoin import JoinIndex, canon_key
+
+__all__ = [
+    "AccSite",
+    "AccumulatorRuntime",
+    "JoinIndex",
+    "accumulable",
+    "canon_key",
+    "collect_aggregate_sites",
+    "format_number",
+]

@@ -1,0 +1,86 @@
+"""A value-keyed hash index over a buffered axis step.
+
+XMark Q8/Q9 compare every person against every closed auction — the
+rewritten query is a nested loop whose inner iterations all test one
+syntactically identical equi-condition.  The join planner
+(``repro.analysis.joinplan``) detects that shape at compile time; at run
+time the evaluator builds one :class:`JoinIndex` over the inner axis step
+and probes it per outer binding, replacing O(n·m) condition evaluations
+with an O(n+m) build/probe pair.
+
+Correctness hinges on two equivalences:
+
+* :func:`canon_key` mirrors the evaluator's ``=`` comparison exactly:
+  operands that parse as floats compare numerically, everything else
+  compares as strings.  NaN never equals NaN under either scheme (each
+  canonicalization produces a fresh float object, so no dict identity
+  shortcut can bridge ``nan != nan``).
+* The index holds *sequence numbers*, not liveness: the buffer's garbage
+  collector evicts purged nodes through a purge listener, and probes skip
+  nodes marked deleted — exactly the nodes the nested loop's buffered
+  iteration would skip.  Probe results are yielded in document order
+  (ascending ``seq``), so output is byte-identical to the nested loop.
+
+The index is *not* charged to the buffer's byte watermark: it stores only
+references to nodes whose cost is already accounted, and its own footprint
+is keys — reported separately via the ``join_*`` counters on
+:class:`~repro.buffer.stats.BufferStats`.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.node import BufferNode
+
+__all__ = ["JoinIndex", "canon_key"]
+
+
+def canon_key(value: str) -> tuple:
+    """Canonicalize a comparison value the way ``=`` compares it."""
+    try:
+        return ("n", float(value))
+    except ValueError:
+        return ("s", value)
+
+
+class JoinIndex:
+    """Equi-join index: canonical key -> buffered nodes, in document order."""
+
+    __slots__ = ("entries", "buckets")
+
+    def __init__(self) -> None:
+        #: Live indexed nodes by sequence number; the purge listener pops
+        #: entries here, buckets are cleaned lazily at probe time.
+        self.entries: dict[int, BufferNode] = {}
+        self.buckets: dict[tuple, list[int]] = {}
+
+    def add(self, node: BufferNode, keys) -> int:
+        """Index ``node`` under every key in ``keys``; returns #keys."""
+        added = 0
+        self.entries[node.seq] = node
+        buckets = self.buckets
+        for key in keys:
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [node.seq]
+            else:
+                bucket.append(node.seq)
+            added += 1
+        return added
+
+    def evict(self, seq: int) -> None:
+        self.entries.pop(seq, None)
+
+    def probe(self, keys) -> list[BufferNode]:
+        """All live indexed nodes sharing a key, in document order."""
+        entries = self.entries
+        seqs: set[int] = set()
+        for key in keys:
+            bucket = self.buckets.get(key)
+            if bucket:
+                seqs.update(bucket)
+        result = []
+        for seq in sorted(seqs):
+            node = entries.get(seq)
+            if node is not None and not node.marked_deleted:
+                result.append(node)
+        return result

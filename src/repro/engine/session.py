@@ -36,6 +36,10 @@ from repro.analysis.schema_constraints import apply_trusted_constraints
 from repro.buffer.buffer import BufferTree
 from repro.buffer.stats import BufferCostModel, BufferStats
 from repro.engine.evaluator import Evaluator
+from repro.engine.relops.aggregates import (
+    AccumulatorRuntime,
+    collect_aggregate_sites,
+)
 from repro.stream.matcher import StreamMatcher
 from repro.stream.preprojector import StreamPreprojector
 from repro.xmlio.filelexer import tokenize_file
@@ -55,6 +59,7 @@ __all__ = [
     "RunOwner",
     "StreamingRun",
     "QuerySession",
+    "build_accumulators",
     "build_streaming_run",
     "document_tokens",
     "drain_streaming_run",
@@ -192,6 +197,11 @@ class EngineOptions:
     #: Effective only with aggregate roles (the structural certificate) and
     #: not in the eager push-based baseline.
     earliness: bool = True
+    #: Dispatch compile-time detected equi-join loops (docs/JOINS.md) to
+    #: the streaming hash build/probe operator instead of the nested-loop
+    #: evaluation.  Byte-identical output either way — the differential
+    #: suites compare both paths; off restores the O(n*m) oracle.
+    hash_joins: bool = True
     cost_model: BufferCostModel = field(default_factory=BufferCostModel)
 
     def compile_options(self) -> CompileOptions:
@@ -602,6 +612,7 @@ def build_streaming_run(
         buffer,
         aggregate_roles=owner.options.aggregate_roles,
         matcher=matcher,
+        accumulators=build_accumulators(owner.compiled, buffer),
     )
     evaluator = Evaluator(
         owner.compiled.rewritten,
@@ -612,9 +623,26 @@ def build_streaming_run(
         eager_leaf_bindings=owner.options.eager_leaf_bindings,
         earliness_sites=earliness_sites(owner.compiled, owner.options),
         single_match_loops=single_match_loops(owner.compiled, owner.options),
+        join_plan=owner.compiled.joinplan if owner.options.hash_joins else None,
         on_event=on_event,
     )
     return StreamingRun(owner, buffer, preprojector, evaluator)
+
+
+def build_accumulators(
+    compiled: CompiledQuery, buffer: BufferTree
+) -> "AccumulatorRuntime | None":
+    """A fresh per-run accumulator automaton, or ``None`` without aggregates.
+
+    Shared by every place that wires a :class:`ProjectionLane` for a
+    compiled query (single-query runs here, the multi-query engine's
+    per-query lanes): accumulable aggregate sites get their O(1) state fed
+    by the lane's token hooks (:mod:`repro.engine.relops.aggregates`).
+    """
+    sites = collect_aggregate_sites(compiled.rewritten)
+    if not sites:
+        return None
+    return AccumulatorRuntime(sites, buffer)
 
 
 def earliness_sites(

@@ -66,8 +66,14 @@ class ProjectionLane:
         *,
         aggregate_roles: bool = True,
         matcher: StreamMatcher | None = None,
+        accumulators: "object | None" = None,
     ) -> None:
         self.buffer = buffer
+        # Optional aggregate accumulator automaton
+        # (repro.engine.relops.aggregates.AccumulatorRuntime): fed every
+        # event this lane observes, so count/sum/avg states are complete
+        # by the time a binding's subtree is finished.
+        self.accumulators = accumulators
         # A caller may pass a warm matcher (compile-once/run-many sessions
         # do): its lazily built transition table carries over, so repeated
         # documents replay memoized transitions from the first token.
@@ -123,6 +129,8 @@ class ProjectionLane:
             parent_entry,
             lambda attach: self.buffer.new_element(attach, tag),
         )
+        if transition.consumed_first:
+            self._record_witnesses(transition, node)
         frame = self.matcher.frame_for(transition)
         frames.append(frame)
         self._stack.append(
@@ -133,6 +141,8 @@ class ProjectionLane:
                 node if node is not None else parent_entry.attach,
             )
         )
+        if self.accumulators is not None:
+            self.accumulators.on_open(tag, transition.matches, node)
 
     def close(self) -> None:
         """The closing tag of the lane's deepest open element was read."""
@@ -141,6 +151,8 @@ class ProjectionLane:
         frame = self._frames.pop()
         if frame.consumed:
             self._consumed_frames -= 1
+        if self.accumulators is not None:
+            self.accumulators.on_close()
         if entry.buffer_node is not None:
             self.buffer.finish(entry.buffer_node)
 
@@ -163,7 +175,7 @@ class ProjectionLane:
             transition, tag=None, is_text=True
         )
         parent_entry = self._stack[-1]
-        self._maybe_buffer(
+        node = self._maybe_buffer(
             transition,
             normal,
             aggregate,
@@ -173,6 +185,12 @@ class ProjectionLane:
                 token.content if isinstance(token, Text) else token,
             ),
         )
+        if transition.consumed_first:
+            self._record_witnesses(transition, node)
+        if self.accumulators is not None:
+            # The runtime decodes lazily: counting needs no content, only
+            # value credits and open captures materialize the text.
+            self.accumulators.on_text(token)
 
     def finish_stream(self) -> None:
         """The shared input ended: the lane's document node is finished."""
@@ -236,6 +254,30 @@ class ProjectionLane:
             node = node.parent
         return False
 
+    def _record_witnesses(
+        self, transition: Transition, node: BufferNode | None
+    ) -> None:
+        """Pin the arriving token as the ``[1]`` witness of its contexts.
+
+        ``transition.consumed_first`` lists the (stack depth, step node)
+        contexts whose first witness this arrival is.  The evaluator and
+        the signOff machinery must navigate ``[1]`` steps through this
+        record rather than taking the first *buffered* match: once the true
+        witness is garbage-collected, the first buffered match is a later
+        sibling the stream already disqualified, and stepping through it
+        would read (or cancel) role instances that belong to a different
+        binding.
+        """
+        for depth, w in transition.consumed_first:
+            context = self._stack[depth].buffer_node
+            if context is None:
+                continue
+            table = context.witnesses
+            if table is None:
+                table = context.witnesses = {}
+            if w.step not in table:
+                table[w.step] = (node, node.seq if node is not None else -1)
+
     # ------------------------------------------------------------------
     # pending cancellations
     # ------------------------------------------------------------------
@@ -259,6 +301,7 @@ class ProjectionLane:
                 self._stack[i].tag for i in range(depth + 1, len(self._stack))
             ]
             sequence.append(None if is_text else tag)
+            nodes: list[BufferNode | None] | None = None
             for cancel in registry[region]:
                 target = aggregate if cancel.aggregate else normal
                 available = target.get(cancel.role, 0)
@@ -267,6 +310,18 @@ class ProjectionLane:
                 if cancel.path[-1].first:
                     embeddings = self._first_witness_cancellations(
                         cancel, transition, depth
+                    )
+                elif any(step.first for step in cancel.path):
+                    if nodes is None:
+                        nodes = [
+                            self._stack[i].buffer_node
+                            for i in range(depth + 1, len(self._stack))
+                        ]
+                        # The arriving token itself: bound only by the last
+                        # step, which is not positional on this branch.
+                        nodes.append(None)
+                    embeddings = _count_embeddings_first_aware(
+                        cancel.path, sequence, nodes, region, is_text
                     )
                 else:
                     embeddings = _count_embeddings(cancel.path, sequence, is_text)
@@ -313,7 +368,20 @@ class ProjectionLane:
                 sequence: list[str | None] = [
                     self._stack[i].tag for i in range(depth + 1, d + 1)
                 ]
-                total += _count_embeddings(prefix, sequence, False)
+                if any(step.first for step in prefix):
+                    nodes: list[BufferNode | None] = [
+                        self._stack[i].buffer_node
+                        for i in range(depth + 1, d + 1)
+                    ]
+                    total += _count_embeddings_first_aware(
+                        prefix,
+                        sequence,
+                        nodes,
+                        self._stack[depth].buffer_node,
+                        False,
+                    )
+                else:
+                    total += _count_embeddings(prefix, sequence, False)
         return total
 
 
@@ -335,10 +403,15 @@ class StreamPreprojector:
         *,
         aggregate_roles: bool = True,
         matcher: StreamMatcher | None = None,
+        accumulators: "object | None" = None,
     ) -> None:
         self._tokens = tokens
         self._lane = ProjectionLane(
-            tree, buffer, aggregate_roles=aggregate_roles, matcher=matcher
+            tree,
+            buffer,
+            aggregate_roles=aggregate_roles,
+            matcher=matcher,
+            accumulators=accumulators,
         )
 
     @property
@@ -419,6 +492,75 @@ def _count_embeddings(path: Path, sequence: list[str | None], is_text: bool) -> 
             for k in range(j - 1, n_seq):
                 if k == j - 1:
                     # self: binds the same node the previous step bound
+                    total += count(i + 1, j)
+                elif test_ok(step, k):
+                    total += count(i + 1, k + 1)
+        return total
+
+    return count(0, 0)
+
+
+def _count_embeddings_first_aware(
+    path: Path,
+    sequence: list[str | None],
+    nodes: list[BufferNode | None],
+    region_node: BufferNode | None,
+    is_text: bool,
+) -> int:
+    """Like :func:`_count_embeddings`, but ``[1]`` steps are restricted.
+
+    A ``[1]`` step may only bind the element its context recorded as the
+    first witness (``BufferNode.witnesses``).  Counting it as unrestricted
+    and clamping — sound for plain and ``[last()]`` steps, whose role
+    assignment is equally unrestricted — over-counts here, because the
+    clamp pool is shared across bindings: a region whose witness subtree
+    is already closed would eat role instances earned by an inner binding
+    whose chain is still live.  ``nodes[j]`` is the buffer node behind
+    ``sequence[j]`` (None for unpreserved elements and for the arriving
+    token, which only the final step can bind).
+    """
+    n_steps, n_seq = len(path), len(sequence)
+    if n_steps == 0 or n_seq == 0:
+        return 0
+
+    def test_ok(step: Step, index: int) -> bool:
+        label = sequence[index]
+        if label is None:
+            return step.test.matches_text()
+        return step.test.matches_element(label)
+
+    def witness_ok(step: Step, j: int, k: int) -> bool:
+        if not step.first:
+            return True
+        context = region_node if j == 0 else nodes[j - 1]
+        elem = nodes[k]
+        if context is None or elem is None:
+            return False
+        table = context.witnesses
+        if not table:
+            return False
+        rec = table.get(step)
+        return rec is not None and rec[0] is elem and rec[1] == elem.seq
+
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def count(i: int, j: int) -> int:
+        """Embeddings of path[i:] into sequence[j:] (last binds last)."""
+        if i == n_steps:
+            return 1 if j == n_seq else 0
+        step = path[i]
+        total = 0
+        if step.axis is Axis.CHILD:
+            if j < n_seq and test_ok(step, j) and witness_ok(step, j, j):
+                total += count(i + 1, j + 1)
+        elif step.axis is Axis.DESCENDANT:
+            for k in range(j, n_seq):
+                if test_ok(step, k) and witness_ok(step, j, k):
+                    total += count(i + 1, k + 1)
+        else:  # DOS: self or any descendant (never positional)
+            for k in range(j - 1, n_seq):
+                if k == j - 1:
                     total += count(i + 1, j)
                 elif test_ok(step, k):
                     total += count(i + 1, k + 1)

@@ -39,6 +39,8 @@ __all__ = [
     "CloseTag",
     "VarRef",
     "PathOutput",
+    "Aggregate",
+    "AGGREGATE_FUNCS",
     "ForLoop",
     "LetBinding",
     "IfThenElse",
@@ -46,6 +48,7 @@ __all__ = [
     "Condition",
     "TrueCond",
     "Exists",
+    "Quantified",
     "Comparison",
     "PathOperand",
     "LiteralOperand",
@@ -140,6 +143,32 @@ class PathOutput(Expr):
             raise ValueError("PathOutput requires at least one step")
 
 
+AGGREGATE_FUNCS = ("count", "sum", "avg")
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate(Expr):
+    """An aggregate call ``count($x/path)`` / ``sum(...)`` / ``avg(...)``.
+
+    Aggregates are output expressions: they emit one text token carrying
+    the aggregated value of the nodes reachable from ``$x`` via ``path``
+    (embedding multiplicity, like every path evaluation in the fragment).
+    The runtime never buffers the aggregated subtrees — an O(1)
+    accumulator in the projection lane replaces them
+    (:mod:`repro.engine.relops.aggregates`).
+    """
+
+    func: str
+    var: str
+    path: Path
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCS:
+            raise ValueError(f"unsupported aggregate function {self.func!r}")
+        if not self.path:
+            raise ValueError("aggregates require a non-empty path")
+
+
 @dataclass(frozen=True, slots=True)
 class ForLoop(Expr):
     """``for var in source/axis::nu return body``.
@@ -224,6 +253,29 @@ class Exists(Condition):
     def __post_init__(self) -> None:
         if not self.path:
             raise ValueError("exists requires a non-empty path")
+
+
+@dataclass(frozen=True, slots=True)
+class Quantified(Condition):
+    """``some/every $v in $x/path satisfies cond``.
+
+    ``quantifier`` is ``"some"`` or ``"every"``; ``var`` is bound to each
+    node reachable from ``source`` via ``path`` while ``inner`` is tested.
+    Kept as a first-class condition (not lowered to ``exists``) because
+    the witness variable correlates subexpressions of ``inner``.
+    """
+
+    quantifier: str
+    var: str
+    source: str
+    path: Path
+    inner: Condition
+
+    def __post_init__(self) -> None:
+        if self.quantifier not in ("some", "every"):
+            raise ValueError(f"unsupported quantifier {self.quantifier!r}")
+        if not self.path:
+            raise ValueError("quantified conditions require a non-empty path")
 
 
 @dataclass(frozen=True, slots=True)

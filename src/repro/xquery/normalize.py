@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.xquery.ast import (
+    Aggregate,
     And,
     Comparison,
     Condition,
@@ -39,6 +40,7 @@ from repro.xquery.ast import (
     Or,
     PathOperand,
     PathOutput,
+    Quantified,
     Query,
     SignOff,
     Sequence,
@@ -86,7 +88,7 @@ def used_variables(expr: Expr) -> set[str]:
         if isinstance(node, (ForLoop, LetBinding)):
             names.add(node.var)
             names.add(node.source)
-        elif isinstance(node, (VarRef, PathOutput, SignOff)):
+        elif isinstance(node, (VarRef, PathOutput, SignOff, Aggregate)):
             names.add(node.var)
         elif isinstance(node, IfThenElse):
             _visit_condition_vars(node.cond, names)
@@ -105,6 +107,10 @@ def _visit_condition_vars(cond: Condition, names: set[str]) -> None:
         for operand in (cond.left, cond.right):
             if isinstance(operand, PathOperand):
                 names.add(operand.var)
+    elif isinstance(cond, Quantified):
+        names.add(cond.var)
+        names.add(cond.source)
+        _visit_condition_vars(cond.inner, names)
     elif isinstance(cond, (And, Or)):
         _visit_condition_vars(cond.left, names)
         _visit_condition_vars(cond.right, names)
@@ -190,6 +196,13 @@ def _substitute(expr: Expr, var: str, source: str, prefix: Path) -> Expr:
             if isinstance(right, PathOperand) and right.var == var:
                 right = PathOperand(source, prefix + right.path)
             return Comparison(left, cond.op, right)
+        if isinstance(cond, Quantified):
+            new_source = source if cond.source == var else cond.source
+            new_path = (prefix + cond.path) if cond.source == var else cond.path
+            # The quantified variable shadows ``var`` inside the satisfies
+            # clause, so substitution must not descend there.
+            inner = cond.inner if cond.var == var else rewrite_cond(cond.inner)
+            return Quantified(cond.quantifier, cond.var, new_source, new_path, inner)
         if isinstance(cond, And):
             return And(rewrite_cond(cond.left), rewrite_cond(cond.right))
         if isinstance(cond, Or):
@@ -220,6 +233,8 @@ def _substitute(expr: Expr, var: str, source: str, prefix: Path) -> Expr:
             return PathOutput(source, prefix + node.path)
         if isinstance(node, SignOff) and node.var == var:
             return SignOff(source, prefix + node.path, node.role)
+        if isinstance(node, Aggregate) and node.var == var:
+            return Aggregate(node.func, source, prefix + node.path)
         if isinstance(node, IfThenElse):
             return IfThenElse(
                 rewrite_cond(node.cond), node.then_branch, node.else_branch
@@ -270,13 +285,22 @@ def expand_multistep(expr: Expr, fresh: FreshVariables) -> Expr:
             return result
         if isinstance(node, PathOutput) and len(node.path) > 1:
             inner_source = node.var
-            *prefix_steps, last = node.path
+            steps = node.path
             loops = []
-            for step in prefix_steps:
+            # Peel leading steps into loops, stopping at the first
+            # positional predicate: core XQ loops cannot carry [1] or
+            # [last()], so the positional step and everything below it
+            # stay on the output path (the evaluator resolves them over
+            # the buffered matches).
+            index = 0
+            while index < len(steps) - 1 and not (
+                steps[index].first or steps[index].last
+            ):
                 var = fresh.fresh()
-                loops.append((var, inner_source, (step,)))
+                loops.append((var, inner_source, (steps[index],)))
                 inner_source = var
-            result = PathOutput(inner_source, (last,))
+                index += 1
+            result = PathOutput(inner_source, steps[index:])
             for var, source, path in reversed(loops):
                 result = ForLoop(var, source, path, result, None)
             return result
@@ -322,10 +346,17 @@ def validate_core(query: Query) -> None:
                 raise NormalizationError(
                     "for-loops must use single-step paths in core XQ"
                 )
-            if node.path[0].first:
-                raise NormalizationError("for-loops cannot carry [1] predicates")
+            if node.path[0].first or node.path[0].last:
+                raise NormalizationError(
+                    "for-loops cannot carry positional predicates"
+                )
         if isinstance(node, PathOutput) and len(node.path) != 1:
-            raise NormalizationError("output expressions must use single-step paths")
+            # The only multi-step outputs left are positional tails the
+            # multi-step expansion could not lower into loops.
+            if not (node.path[0].first or node.path[0].last):
+                raise NormalizationError(
+                    "output expressions must use single-step paths"
+                )
         return node
 
     map_expr(query.root, check)

@@ -20,6 +20,8 @@ because XQuery mixes XML constructor syntax with expression syntax.
 from __future__ import annotations
 
 from repro.xquery.ast import (
+    AGGREGATE_FUNCS,
+    Aggregate,
     And,
     Comparison,
     Condition,
@@ -35,6 +37,7 @@ from repro.xquery.ast import (
     Or,
     PathOperand,
     PathOutput,
+    Quantified,
     Query,
     REL_OPS,
     SignOff,
@@ -72,6 +75,12 @@ _KEYWORDS = {
     "not",
     "exists",
     "signOff",
+    "count",
+    "sum",
+    "avg",
+    "some",
+    "every",
+    "satisfies",
 }
 
 
@@ -227,6 +236,9 @@ class _Parser:
             return self.parse_if()
         if cur.peek_keyword("signOff"):
             return self.parse_signoff()
+        name = cur.peek_name()
+        if name in AGGREGATE_FUNCS:
+            return self.parse_aggregate()
         raise cur.error("expected an expression")
 
     def parse_parenthesized(self) -> Expr:
@@ -319,6 +331,14 @@ class _Parser:
         else_branch = self.parse_single()
         return IfThenElse(cond, then_branch, else_branch)
 
+    def parse_aggregate(self) -> Expr:
+        cur = self.cursor
+        func = cur.read_name("aggregate function")
+        cur.expect("(")
+        var, path = self.parse_path_expr()
+        cur.expect(")")
+        return Aggregate(func, var, path)
+
     def parse_signoff(self) -> Expr:
         cur = self.cursor
         cur.expect_keyword("signOff")
@@ -407,11 +427,15 @@ class _Parser:
                 raise cur.error("positional predicates are not allowed here")
             cur.pos += 1
             cur.skip_ws()
+            if cur.accept_keyword("last"):
+                cur.expect("()")
+                cur.expect("]")
+                return Step(step.axis, step.test, last=True)
             if cur.accept_keyword("position"):
                 cur.expect("()")
                 cur.expect("=")
             if not cur.accept("1"):
-                raise cur.error("only the predicate [1] is supported")
+                raise cur.error("only the predicates [1] and [last()] are supported")
             cur.expect("]")
             return Step(step.axis, step.test, first=True)
         return step
@@ -457,6 +481,8 @@ class _Parser:
             if parenthesized:
                 cur.expect(")")
             return Exists(var, path)
+        if cur.peek_keyword("some") or cur.peek_keyword("every"):
+            return self.parse_quantified()
         if cur.peek("("):
             # A parenthesized condition.
             cur.expect("(")
@@ -467,6 +493,22 @@ class _Parser:
         op = self.parse_relop()
         right = self.parse_operand()
         return Comparison(left, op, right)
+
+    def parse_quantified(self) -> Condition:
+        """``some/every $v in $x/path satisfies cond``.
+
+        The satisfies clause parses greedily (XQuery's ExprSingle rule):
+        ``some ... satisfies A and B`` quantifies over ``A and B``;
+        parenthesize the whole quantifier to bound it.
+        """
+        cur = self.cursor
+        quantifier = cur.read_name("quantifier")
+        var = cur.read_variable()
+        cur.expect_keyword("in")
+        source, path = self.parse_path_expr()
+        cur.expect_keyword("satisfies")
+        inner = self.parse_condition()
+        return Quantified(quantifier, var, source, path, inner)
 
     def parse_exists_path(self) -> tuple[str, Path]:
         cur = self.cursor

@@ -116,14 +116,20 @@ NODE_TEST = NodeTest(TestKind.NODE)
 
 @dataclass(frozen=True, slots=True)
 class Step:
-    """A location step ``axis::test`` with an optional ``[1]`` predicate."""
+    """A location step ``axis::test`` with an optional positional predicate.
+
+    ``first`` is the paper's ``[1]`` (also written ``[position()=1]``);
+    ``last`` is the ``[last()]`` counterpart added with the fragment
+    widening.  They are mutually exclusive at parse time.
+    """
 
     axis: Axis
     test: NodeTest
     first: bool = False
+    last: bool = False
 
     def __str__(self) -> str:
-        suffix = "[1]" if self.first else ""
+        suffix = "[1]" if self.first else "[last()]" if self.last else ""
         if self.axis is Axis.CHILD:
             return f"{self.test}{suffix}"
         if self.axis is Axis.DESCENDANT:
@@ -131,7 +137,7 @@ class Step:
         return f"dos::{self.test}{suffix}"
 
     def without_first(self) -> "Step":
-        return Step(self.axis, self.test) if self.first else self
+        return Step(self.axis, self.test, last=self.last) if self.first else self
 
 
 Path = tuple[Step, ...]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.xquery.ast import (
+    Aggregate,
     And,
     Comparison,
     Condition,
@@ -25,6 +26,7 @@ from repro.xquery.ast import (
     Or,
     PathOperand,
     PathOutput,
+    Quantified,
     Query,
     ROOT_VAR,
     Sequence,
@@ -136,7 +138,7 @@ def analyze_variables(query: Query) -> QueryVariables:
             _check_condition(expr.cond, scope)
             visit(expr.then_branch, scope)
             visit(expr.else_branch, scope)
-        elif isinstance(expr, (VarRef, PathOutput, SignOff)):
+        elif isinstance(expr, (VarRef, PathOutput, SignOff, Aggregate)):
             _check_use(expr.var, scope)
 
     def _check_use(name: str, scope: tuple[str, ...]) -> None:
@@ -150,6 +152,16 @@ def analyze_variables(query: Query) -> QueryVariables:
             for operand in (cond.left, cond.right):
                 if isinstance(operand, PathOperand):
                     _check_use(operand.var, scope)
+        elif isinstance(cond, Quantified):
+            _check_use(cond.source, scope)
+            # The quantified variable is local to the satisfies clause;
+            # shadowing an in-scope name would make the dependency
+            # analysis's variable references ambiguous, so reject it.
+            if cond.var == ROOT_VAR or cond.var in scope or cond.var in infos:
+                raise ScopeError(
+                    f"quantified variable {cond.var} shadows an in-scope variable"
+                )
+            _check_condition(cond.inner, scope + (cond.var,))
         elif isinstance(cond, (And, Or)):
             _check_condition(cond.left, scope)
             _check_condition(cond.right, scope)

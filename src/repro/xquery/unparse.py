@@ -8,6 +8,7 @@ guaranteed to re-parse to an equal AST (a property test enforces this).
 from __future__ import annotations
 
 from repro.xquery.ast import (
+    Aggregate,
     And,
     CloseTag,
     Comparison,
@@ -25,6 +26,7 @@ from repro.xquery.ast import (
     Or,
     PathOperand,
     PathOutput,
+    Quantified,
     Query,
     SignOff,
     Sequence,
@@ -71,6 +73,8 @@ def _flat(expr: Expr) -> str:
         return expr.var
     if isinstance(expr, PathOutput):
         return _path_of(expr.var, expr.path)
+    if isinstance(expr, Aggregate):
+        return f"{expr.func}({_path_of(expr.var, expr.path)})"
     if isinstance(expr, ForLoop):
         where = f" where {unparse_condition(expr.where)}" if expr.where else ""
         return (
@@ -111,6 +115,14 @@ def unparse_condition(cond: Condition) -> str:
         return f"{_cond_group(cond.left)} or {_cond_group(cond.right)}"
     if isinstance(cond, Not):
         return f"not({unparse_condition(cond.operand)})"
+    if isinstance(cond, Quantified):
+        # Always parenthesized: the satisfies clause parses greedily, so
+        # an unwrapped rendering inside ``and``/``or`` would re-parse with
+        # the conjunct captured by the quantifier.
+        return (
+            f"({cond.quantifier} {cond.var} in {_path_of(cond.source, cond.path)} "
+            f"satisfies {unparse_condition(cond.inner)})"
+        )
     raise TypeError(f"cannot unparse condition {cond!r}")
 
 

@@ -95,3 +95,31 @@ class TestOrderingAndDedup:
         query = pq("<r>{(for $x in /r/a return $x, signOff($root/a, r1))}</r>")
         with pytest.raises(ValueError):
             collect_dependencies(query)
+
+
+class TestWidenedFragment:
+    """Dependency behavior of aggregates, positional steps, quantifiers."""
+
+    def test_accumulable_aggregate_contributes_nothing(self):
+        # The O(1) accumulator replaces the buffered subtree entirely
+        # (docs/JOINS.md), so no dependency — and no roles — are recorded.
+        deps = deps_of("<r>{for $x in /r/i return count($x/a)}</r>")
+        assert deps.get("$x", []) == []
+
+    def test_positional_aggregate_keeps_the_subtree(self):
+        deps = deps_of("<r>{for $x in /r/i return count($x/a[1]/b)}</r>")
+        assert [d.path for d in deps["$x"]] == [
+            (child("a", first=True), child("b"), dos_node())
+        ]
+
+    def test_quantified_witnesses_are_buffered_without_trimming(self):
+        # Every witness may need testing, so the binding path gets no
+        # first-witness trimming, and the inner condition's paths are
+        # rebased onto the binding source.
+        deps = deps_of(
+            "<r>{for $x in /r/i return "
+            "if (some $q in $x/a satisfies exists $q/b) then <t/> else ()}</r>"
+        )
+        paths = sorted(d.path for d in deps["$x"])
+        assert (child("a"),) in paths
+        assert (child("a"), child("b", first=True)) in paths

@@ -1,0 +1,190 @@
+"""Join-planner detection tests: which loops are (not) equi-join sites.
+
+The planner's contract (``repro.analysis.joinplan``) is that dispatching
+a detected site to the hash operator is always sound, so every test here
+is about the *boundary*: the Q8/Q9 shape must be found through the
+early-updates/if-pushdown rewriting, and anything that would change
+semantics under probing — signoffs in the body, mixed gates, non-``=``
+operators, gates on body-bound variables — must be left alone.
+"""
+
+from repro.analysis.compile import compile_query
+
+JOIN_BODY = """
+  for $s in /site return
+  for $pl in $s/people return
+  for $p in $pl/person return
+    {body}
+"""
+
+
+def _plan(body: str):
+    return compile_query(
+        "<out>{" + JOIN_BODY.format(body=body) + "}</out>"
+    ).joinplan
+
+
+INNER = (
+    "for $s2 in /site return "
+    "for $ca in $s2/closed_auctions return "
+    "for $t in $ca/closed_auction return {gated}"
+)
+
+
+class TestDetection:
+    def test_q8_shape_is_detected(self):
+        plan = _plan(
+            INNER.format(
+                gated="if ($t/buyer/person = $p/id) then <sale/> else ()"
+            )
+        )
+        assert len(plan) == 1
+        [site] = plan.sites.values()
+        assert site.var == "$t"
+        assert site.outer_var == "$p"
+
+    def test_q9_output_body_is_detected(self):
+        # Early updates interpose a one-iteration loop around the output
+        # path; detection must recurse through it to find the gate.
+        plan = _plan(
+            INNER.format(
+                gated="if ($t/buyer/person = $p/id) "
+                "then <b>{$t/itemref/item/text()}</b> else ()"
+            )
+        )
+        assert len(plan) == 1
+
+    def test_where_clause_spelling_is_detected(self):
+        # ``where`` normalizes to the gated-if shape before planning.
+        plan = _plan(
+            "for $s2 in /site return "
+            "for $ca in $s2/closed_auctions return "
+            "for $t in $ca/closed_auction "
+            "where $t/buyer/person = $p/id return <sale/>"
+        )
+        assert len(plan) == 1
+
+    def test_multiple_gated_outputs_with_one_gate(self):
+        plan = _plan(
+            INNER.format(
+                gated="(if ($t/buyer/person = $p/id) then <a/> else (), "
+                "if ($t/buyer/person = $p/id) then <b/> else ())"
+            )
+        )
+        assert len(plan) == 1
+
+    def test_site_description_names_both_paths(self):
+        plan = _plan(
+            INNER.format(
+                gated="if ($t/buyer/person = $p/id) then <sale/> else ()"
+            )
+        )
+        [line] = plan.describe()
+        assert "$t/buyer/person" in line and "$p/id" in line
+
+
+class TestBailouts:
+    def test_ungated_output_bails(self):
+        # An unconditional output next to the gated one: probing would
+        # drop it for non-matching bindings.
+        plan = _plan(
+            INNER.format(
+                gated="(<always/>, "
+                "if ($t/buyer/person = $p/id) then <sale/> else ())"
+            )
+        )
+        assert len(plan) == 0
+
+    def test_mixed_gates_bail(self):
+        plan = _plan(
+            INNER.format(
+                gated="(if ($t/buyer/person = $p/id) then <a/> else (), "
+                'if ($t/price = "9") then <b/> else ())'
+            )
+        )
+        assert len(plan) == 0
+
+    def test_non_equality_comparison_bails(self):
+        plan = _plan(
+            INNER.format(
+                gated="if ($t/buyer/person >= $p/id) then <sale/> else ()"
+            )
+        )
+        assert len(plan) == 0
+
+    def test_literal_comparison_bails(self):
+        # One side must be an outer variable, not a constant.
+        plan = _plan(
+            INNER.format(
+                gated='if ($t/buyer/person = "person0") then <sale/> else ()'
+            )
+        )
+        assert len(plan) == 0
+
+    def test_gate_on_body_bound_variable_bails(self):
+        # The gate references a variable bound inside the body of the
+        # ``$t`` loop, so ``$t`` is not a site — but the innermost loop
+        # (``$u`` against the loop-invariant ``$t/buyer/person``) is a
+        # perfectly sound equi-join of its own, and is detected.
+        plan = _plan(
+            INNER.format(
+                gated="for $u in $t/itemref return "
+                "if ($t/buyer/person = $u/item) then <sale/> else ()"
+            )
+        )
+        assert all(site.var != "$t" for site in plan.sites.values())
+        assert [site.var for site in plan.sites.values()] == ["$u"]
+
+    def test_non_else_empty_if_bails(self):
+        plan = _plan(
+            INNER.format(
+                gated="if ($t/buyer/person = $p/id) then <sale/> else <no/>"
+            )
+        )
+        assert len(plan) == 0
+
+    def test_positional_loop_paths_bail(self):
+        # Normalization already rejects positional for-loop steps, so the
+        # planner's own guard is exercised on a hand-built AST (the
+        # public ``compute_join_plan`` takes any core query).
+        from repro.analysis.joinplan import compute_join_plan
+        from repro.xquery.ast import (
+            Comparison,
+            Element,
+            Empty,
+            ForLoop,
+            IfThenElse,
+            PathOperand,
+            Query,
+        )
+        from repro.xquery.paths import Axis, Step, tag_test
+
+        positional = Step(Axis.CHILD, tag_test("a"), first=True)
+        gate = Comparison(
+            PathOperand("$t", (Step(Axis.CHILD, tag_test("k")),)),
+            "=",
+            PathOperand("$p", (Step(Axis.CHILD, tag_test("id")),)),
+        )
+        loop = ForLoop(
+            "$t",
+            "$s",
+            (positional,),
+            IfThenElse(gate, Element("sale", Empty()), Empty()),
+        )
+        assert len(compute_join_plan(Query(loop))) == 0
+
+    def test_rewritten_query_keeps_signoffs_out_of_sites(self):
+        # Compile inserts signoffs around the join loop; the detected
+        # site's body must still contain none (they run on the loop's own
+        # schedule, outside the gated body).
+        from repro.xquery.ast import SignOff, walk
+
+        plan = _plan(
+            INNER.format(
+                gated="if ($t/buyer/person = $p/id) then <sale/> else ()"
+            )
+        )
+        [site] = plan.sites.values()
+        assert not any(
+            isinstance(node, SignOff) for node in walk(site.body)
+        )

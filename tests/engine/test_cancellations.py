@@ -104,3 +104,46 @@ class TestNestedRegions:
         )
         result = GCXEngine().run(query, doc)
         assert result.output == "<out><i><keep>yes</keep></i></out>"
+
+
+class TestMidPathFirstWitness:
+    """``[1]`` steps in non-final path positions (docs/JOINS.md widening).
+
+    Role accounting for these paths must go through the recorded
+    document-order witness: picking the first still-buffered match after
+    the true witness was collected, or counting ``[1]`` embeddings as
+    unrestricted in a pending cancellation, lets an outer binding whose
+    witness subtree is closed steal role instances earned by an inner
+    binding (historically an ``UndefinedRoleRemoval`` crash or a silently
+    dropped output).
+    """
+
+    def test_outer_witness_purged_before_signoff_navigation(self):
+        # b_outer's witness is the empty first <a/>; after its prefix-role
+        # signOff purges it, the r3 signOff must not slide onto b_inner's
+        # witness subtree.
+        query = "<out>{for $v in $root//b return $v//a[1]//a}</out>"
+        doc = "<r><b><a/><b><a><a/></a></b></b></r>"
+        for options in (EngineOptions(), PAPER_BASE):
+            result = GCXEngine(options).run(query, doc)
+            assert result.output == "<out><a/></out>"
+            assert result.stats.role_accounting_balanced()
+
+    def test_closed_witness_region_cancels_nothing(self):
+        # The wildcard loop signs off r, whose witness subtree is closed,
+        # before the inner bindings' chains complete; r's pending
+        # cancellation must not eat the text's dos role.
+        query = "<out>{for $v in $root//* return $v//a[1]/text()}</out>"
+        doc = "<r><b><a/><a><a><a>x</a></a></a></b></r>"
+        for options in (EngineOptions(), PAPER_BASE):
+            result = GCXEngine(options).run(query, doc)
+            assert result.output == "<out>x</out>"
+            assert result.stats.role_accounting_balanced()
+
+    def test_positional_head_with_descendant_tail(self):
+        query = "<out>{for $v in $root//* return $v/a[1]//a}</out>"
+        doc = "<r><a/><a><a><a/></a></a></r>"
+        for options in (EngineOptions(), PAPER_BASE):
+            result = GCXEngine(options).run(query, doc)
+            assert result.output == "<out><a/></out>"
+            assert result.stats.role_accounting_balanced()

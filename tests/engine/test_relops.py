@@ -1,0 +1,186 @@
+"""Unit and differential tests for the streaming relational runtime.
+
+The unit half pins the two operators' contracts in isolation: the
+canonical join key must mirror the ``=`` comparison exactly, the index
+must return probes in document order and honour GC eviction, and the
+aggregate helpers must classify paths and format values the way the
+evaluator does.  The differential half is the acceptance criterion of
+docs/JOINS.md: hash-join output byte-identical to the nested-loop
+oracle on the real XMark join queries, and aggregates answered with
+zero buffered subtree nodes.
+"""
+
+import pytest
+
+from repro.buffer.node import ELEMENT, BufferNode
+from repro.engine import EngineOptions, GCXEngine, QuerySession
+from repro.engine.relops import (
+    JoinIndex,
+    accumulable,
+    canon_key,
+    collect_aggregate_sites,
+    format_number,
+)
+from repro.xmark import XMARK_QUERIES, generate_xmark
+
+
+class TestCanonKey:
+    def test_numeric_values_compare_numerically(self):
+        assert canon_key("09") == canon_key("9.0")
+        assert canon_key("1e2") == canon_key("100")
+
+    def test_non_numeric_values_compare_as_strings(self):
+        assert canon_key("abc") == canon_key("abc")
+        assert canon_key("abc") != canon_key("abd")
+
+    def test_numbers_and_strings_never_cross(self):
+        # "=" tries float() on BOTH operands; a numeric and a non-numeric
+        # value compare as strings, but canon_key only has one value to
+        # look at — so numeric strings must not collide with their own
+        # spelling in the string domain.
+        assert canon_key("9") != canon_key("x9")
+
+    def test_nan_never_equals_nan(self):
+        assert canon_key("nan") != canon_key("nan")
+
+
+def _node(seq: int) -> BufferNode:
+    return BufferNode(ELEMENT, seq, tag_id=1)
+
+
+class TestJoinIndex:
+    def test_probe_returns_document_order(self):
+        index = JoinIndex()
+        for seq in (5, 2, 9):
+            index.add(_node(seq), [canon_key("k")])
+        assert [n.seq for n in index.probe([canon_key("k")])] == [2, 5, 9]
+
+    def test_probe_dedupes_across_keys(self):
+        index = JoinIndex()
+        node = _node(1)
+        index.add(node, [canon_key("a"), canon_key("b")])
+        hits = index.probe([canon_key("a"), canon_key("b")])
+        assert hits == [node]
+
+    def test_evicted_nodes_do_not_probe(self):
+        index = JoinIndex()
+        keep, gone = _node(1), _node(2)
+        index.add(keep, [canon_key("k")])
+        index.add(gone, [canon_key("k")])
+        index.evict(gone.seq)
+        assert index.probe([canon_key("k")]) == [keep]
+
+    def test_marked_deleted_nodes_do_not_probe(self):
+        index = JoinIndex()
+        node = _node(1)
+        index.add(node, [canon_key("k")])
+        node.marked_deleted = True
+        assert index.probe([canon_key("k")]) == []
+
+    def test_miss_is_empty(self):
+        assert JoinIndex().probe([canon_key("k")]) == []
+
+
+class TestAggregateHelpers:
+    def test_format_number(self):
+        assert format_number(3.0) == "3"
+        assert format_number(1.5) == "1.5"
+        assert format_number(-2.0) == "-2"
+
+    def test_accumulable_rejects_positional_paths(self):
+        from repro.xquery import parse_expr
+
+        plain = parse_expr("count($x/a/b)").path
+        positional = parse_expr("count($x/a[1]/b)").path
+        assert accumulable(plain)
+        assert not accumulable(positional)
+
+    def test_collect_sites_dedupes_and_tracks_value_need(self):
+        from repro.analysis.compile import compile_query
+
+        compiled = compile_query(
+            "<out>{(count($root/a), sum($root/a), count($root/b))}</out>"
+        )
+        sites = collect_aggregate_sites(compiled.rewritten)
+        by_path = {site.path: site for site in sites}
+        assert len(sites) == 2  # ($root, a) merged across count+sum
+        a_path = next(p for p in by_path if p[0].test.name == "a")
+        b_path = next(p for p in by_path if p[0].test.name == "b")
+        assert by_path[a_path].needs_values  # sum needs the text
+        assert not by_path[b_path].needs_values  # count alone does not
+
+
+@pytest.fixture(scope="module")
+def xmark_doc():
+    return generate_xmark(0.002, seed=11)
+
+
+class TestHashJoinDifferential:
+    @pytest.mark.parametrize("name", ["Q8", "Q9"])
+    def test_byte_identical_to_nested_loop(self, name, xmark_doc):
+        query = XMARK_QUERIES[name].adapted
+        hashed = QuerySession(query).run(xmark_doc)
+        nested = QuerySession(
+            query, EngineOptions(hash_joins=False)
+        ).run(xmark_doc)
+        assert hashed.output == nested.output
+        assert hashed.stats.join_indexes_built > 0, "dispatch did not happen"
+        assert nested.stats.join_indexes_built == 0
+        assert hashed.stats.join_probes > 0
+
+    def test_numeric_key_equivalence(self):
+        # "09" and "9.0" are distinct strings but equal under "=", so the
+        # hash probe must find them; "x9" must not leak across domains.
+        doc = (
+            "<site><people><person><id>09</id></person>"
+            "<person><id>x9</id></person></people>"
+            "<closed_auctions>"
+            "<closed_auction><buyer><person>9.0</person></buyer></closed_auction>"
+            "<closed_auction><buyer><person>x9</person></buyer></closed_auction>"
+            "</closed_auctions></site>"
+        )
+        query = XMARK_QUERIES["Q8"].adapted
+        hashed = QuerySession(query).run(doc)
+        nested = QuerySession(query, EngineOptions(hash_joins=False)).run(doc)
+        assert hashed.output == nested.output
+        assert hashed.output.count("<sale/>") == 2
+
+    def test_multi_document_session_reuse(self, xmark_doc):
+        # The join index is per-run state; a warm session must rebuild it
+        # per document, not leak nodes across runs.
+        session = QuerySession(XMARK_QUERIES["Q8"].adapted)
+        first = session.run(xmark_doc)
+        second = session.run(xmark_doc)
+        assert first.output == second.output
+        assert second.stats.join_indexes_built == 1
+
+
+class TestAggregateDifferential:
+    def test_xmark_q5_matches_naive(self, xmark_doc):
+        from repro.baselines import NaiveDomEngine
+
+        query = XMARK_QUERIES["Q5"].adapted
+        gcx = GCXEngine().run(query, xmark_doc)
+        naive = NaiveDomEngine().run(query, xmark_doc)
+        assert gcx.output == naive.output
+
+    def test_root_anchored_aggregates_buffer_nothing(self, xmark_doc):
+        for query in (
+            "<out>{count($root//closed_auction)}</out>",
+            "<out>{sum($root//price/text())}</out>",
+            "<out>{avg($root//price)}</out>",
+        ):
+            result = GCXEngine().run(query, xmark_doc)
+            assert result.stats.hwm_bytes == 0, query
+            assert result.stats.hwm_nodes == 0, query
+            assert result.stats.acc_updates > 0, query
+
+    def test_witness_multiplicity(self):
+        # dos-reachable nodes count once per embedding, like _iter_path.
+        from repro.baselines import NaiveDomEngine
+
+        doc = "<r><a><a>1</a></a></r>"
+        query = "<out>{count($root//a)}</out>"
+        gcx = GCXEngine().run(query, doc).output
+        assert gcx == NaiveDomEngine().run(query, doc).output
+        assert gcx == "<out>2</out>"

@@ -133,3 +133,89 @@ def queries(max_depth: int = 3) -> st.SearchStrategy[str]:
     return st.builds(
         lambda body: f"<out>{{{body}}}</out>", _expr(("$root",), max_depth, [0])
     )
+
+
+# ---------------------------------------------------------------------------
+# the widened fragment: aggregates, positional predicates, quantifiers
+# ---------------------------------------------------------------------------
+
+
+def _positional_path(max_plain: int = 1) -> st.SearchStrategy[str]:
+    """A path with exactly one ``[1]``/``[last()]`` positional step."""
+    positional = st.tuples(
+        st.sampled_from(("/", "//")),
+        st.sampled_from(TAGS + ("*",)),
+        st.sampled_from(("[1]", "[last()]")),
+    ).map("".join)
+    plain = st.lists(_step(), min_size=0, max_size=max_plain)
+    return st.tuples(plain, positional, plain).map(
+        lambda p: "".join(p[0]) + p[1] + "".join(p[2])
+    )
+
+
+def _loop_nest(max_loops: int = 2) -> st.SearchStrategy[tuple[str, str]]:
+    """``(prefix, innermost_var)``: 0..N nested for-loops over $root."""
+    return st.lists(_path(), min_size=0, max_size=max_loops).map(
+        lambda paths: (
+            "".join(
+                f"for $w{i + 1} in "
+                f"{'$root' if i == 0 else f'$w{i}'}{path} return "
+                for i, path in enumerate(paths)
+            ),
+            f"$w{len(paths)}" if paths else "$root",
+        )
+    )
+
+
+def aggregate_queries() -> st.SearchStrategy[str]:
+    """``count``/``sum``/``avg`` calls under a random for-loop nest."""
+    return st.tuples(
+        _loop_nest(),
+        st.sampled_from(("count", "sum", "avg")),
+        st.one_of(_path(), _positional_path()),
+        st.sampled_from(("", "/text()")),
+    ).map(
+        lambda p: f"<out>{{{p[0][0]}{p[1]}({p[0][1]}{p[2]}{p[3]})}}</out>"
+    )
+
+
+def positional_queries() -> st.SearchStrategy[str]:
+    """Output paths carrying one positional step, possibly under loops."""
+    return st.tuples(
+        _loop_nest(),
+        _positional_path(),
+        st.sampled_from(("", "/text()")),
+    ).map(lambda p: f"<out>{{{p[0][0]}{p[0][1]}{p[1]}{p[2]}}}</out>")
+
+
+def _satisfies_condition(var: str, depth: int = 1) -> st.SearchStrategy[str]:
+    """A condition over the quantified variable ``var``."""
+    word = st.sampled_from(WORDS)
+    atom = st.one_of(
+        _path().map(lambda p: f"exists {var}{p}"),
+        _path().map(lambda p: f"not(exists {var}{p})"),
+        st.tuples(_path(), word).map(lambda p: f'{var}{p[0]} = "{p[1]}"'),
+        word.map(lambda w: f'{var}/text() = "{w}"'),
+    )
+    if depth <= 0:
+        return atom
+    sub = _satisfies_condition(var, depth - 1)
+    return st.one_of(
+        atom,
+        st.tuples(sub, sub).map(lambda p: f"({p[0]} and {p[1]})"),
+        st.tuples(sub, sub).map(lambda p: f"({p[0]} or {p[1]})"),
+    )
+
+
+def quantified_queries() -> st.SearchStrategy[str]:
+    """``some``/``every … satisfies`` gates on random documents."""
+    return st.tuples(
+        _loop_nest(),
+        st.sampled_from(("some", "every")),
+        _path(),
+        _satisfies_condition("$q"),
+    ).map(
+        lambda p: f"<out>{{{p[0][0]}"
+        f"if ({p[1]} $q in {p[0][1]}{p[2]} satisfies {p[3]}) "
+        f"then <y/> else <n/>}}</out>"
+    )

@@ -1,0 +1,86 @@
+"""Differential properties of the widened fragment (docs/JOINS.md).
+
+Every construct the relational runtime added to the accepted fragment —
+aggregate calls, positional predicates, quantified conditions — is driven
+over random documents and checked byte-for-byte against the naive DOM
+oracle, in every syntactic position the grammar admits (output paths,
+aggregate arguments, condition operands, under random for-loop nests).
+
+The aggregate tests additionally pin the tentpole's memory claim: a
+root-anchored aggregate is answered entirely by the accumulator automaton,
+with *zero* buffered subtree bytes, on every generated document.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import NaiveDomEngine
+from repro.engine import EngineOptions, GCXEngine
+
+from tests.properties.strategies import (
+    aggregate_queries,
+    documents,
+    positional_queries,
+    quantified_queries,
+)
+
+FAST = settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def oracle(query: str, document: str) -> str:
+    return NaiveDomEngine().run(query, document).output
+
+
+class TestAggregates:
+    @FAST
+    @given(query=aggregate_queries(), document=documents())
+    def test_matches_oracle(self, query, document):
+        assert GCXEngine().run(query, document).output == oracle(
+            query, document
+        )
+
+    @FAST
+    @given(document=documents(max_depth=5))
+    def test_root_anchored_aggregates_buffer_nothing(self, document):
+        for fn in ("count", "sum", "avg"):
+            for path in ("$root//a", "$root/r/b", "$root//c/text()"):
+                query = f"<out>{{{fn}({path})}}</out>"
+                result = GCXEngine().run(query, document)
+                assert result.output == oracle(query, document)
+                assert result.stats.hwm_bytes == 0, (fn, path)
+                assert result.stats.hwm_nodes == 0, (fn, path)
+
+
+class TestPositionalPredicates:
+    @FAST
+    @given(query=positional_queries(), document=documents())
+    def test_matches_oracle(self, query, document):
+        assert GCXEngine().run(query, document).output == oracle(
+            query, document
+        )
+
+    @FAST
+    @given(query=positional_queries(), document=documents())
+    def test_paper_base_configuration_matches_oracle(self, query, document):
+        options = EngineOptions(
+            aggregate_roles=False,
+            early_updates=False,
+            eliminate_redundant_roles=False,
+        )
+        assert GCXEngine(options).run(query, document).output == oracle(
+            query, document
+        )
+
+
+class TestQuantifiedConditions:
+    @FAST
+    @given(query=quantified_queries(), document=documents())
+    def test_matches_oracle(self, query, document):
+        assert GCXEngine().run(query, document).output == oracle(
+            query, document
+        )

@@ -64,6 +64,27 @@ class TestRun:
         assert "hwm" in err
         assert "first output" in err
 
+    def test_stats_report_join_plan(self, tmp_path, capsys):
+        query = tmp_path / "q.xq"
+        query.write_text(
+            "<out>{for $p in /r/p return for $t in /r/t return "
+            "if ($t/k = $p/k) then <m/> else ()}</out>"
+        )
+        doc = tmp_path / "d.xml"
+        doc.write_text("<r><p><k>1</k></p><t><k>1</k></t></r>")
+        assert main(["run", str(query), str(doc), "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "join plan: for $t" in err
+        assert "joins 1 indexes" in err
+
+    def test_stats_report_no_join_plan_and_acc_updates(self, files, capsys):
+        query, doc = files
+        query.write_text("<out>{count($root//book)}</out>")
+        assert main(["run", str(query), str(doc), "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "join plan: no equi-join loops" in err
+        assert "acc updates 1" in err
+
 
 class TestAnalyze:
     def test_analyze_shows_tree_and_rewriting(self, tmp_path, capsys):

@@ -26,8 +26,11 @@ class TestAdaptations:
         with pytest.raises(UnsupportedQueryError):
             FluxLikeEngine().compile(XMARK_QUERIES["Q6"].adapted)
 
-    def test_q8_flagged_join(self):
-        assert XMARK_QUERIES["Q8"].joins
+    def test_join_detection_is_plan_derived(self):
+        assert XMARK_QUERIES["Q8"].uses_join()
+        assert XMARK_QUERIES["Q9"].uses_join()
+        for name in ("Q1", "Q5", "Q6", "Q13", "Q15", "Q17", "Q20"):
+            assert not XMARK_QUERIES[name].uses_join(), name
 
     def test_original_texts_recorded(self):
         for query in XMARK_QUERIES.values():

@@ -1,0 +1,177 @@
+"""Parse/normalize/unparse tests for the widened fragment (docs/JOINS.md).
+
+Aggregate calls, positional predicates and quantified conditions each get
+the same treatment the original grammar productions have in
+``test_parser.py``/``test_normalize.py``: exact AST shapes out of the
+parser, the normalization invariants they must respect, and unparse
+round-trips.
+"""
+
+import pytest
+
+from repro.xquery import (
+    NormalizationError,
+    PathOutput,
+    XQSyntaxError,
+    normalize,
+    parse_expr,
+    parse_query,
+    unparse,
+    validate_core,
+)
+from repro.xquery.ast import (
+    Aggregate,
+    Quantified,
+    atomic_conditions,
+    conditions_of,
+    walk,
+)
+from repro.xquery.paths import TEXT_TEST, Axis, Step, child, descendant
+
+
+class TestAggregateParsing:
+    @pytest.mark.parametrize("func", ["count", "sum", "avg"])
+    def test_aggregate_call(self, func):
+        expr = parse_expr(f"{func}($x/a)")
+        assert expr == Aggregate(func, "$x", (child("a"),))
+
+    def test_descendant_and_text_paths(self):
+        expr = parse_expr("sum($x//a/text())")
+        assert isinstance(expr, Aggregate)
+        assert expr.path[0] == descendant("a")
+        assert expr.path[-1].test == TEXT_TEST
+
+    def test_positional_steps_allowed_in_aggregate_paths(self):
+        expr = parse_expr("count($x/a[1]/b)")
+        assert expr.path[0].first and not expr.path[0].last
+
+    def test_aggregate_requires_a_path(self):
+        with pytest.raises(XQSyntaxError):
+            parse_expr("count($x)")
+
+    def test_unknown_aggregate_is_not_special_cased(self):
+        with pytest.raises(XQSyntaxError):
+            parse_expr("max($x/a)")
+
+    def test_unparse_round_trip(self):
+        text = "<out>{count($root/a)}</out>"
+        assert parse_query(unparse(parse_query(text))) == parse_query(text)
+
+
+class TestPositionalParsing:
+    def test_first_predicate(self):
+        expr = parse_expr("$x/a[1]")
+        assert expr == PathOutput(
+            "$x", (Step(Axis.CHILD, child("a").test, first=True),)
+        )
+
+    def test_last_predicate(self):
+        expr = parse_expr("$x//a[last()]")
+        step = expr.path[0]
+        assert step.axis is Axis.DESCENDANT and step.last and not step.first
+
+    def test_position_eq_one_spelling(self):
+        assert parse_expr("$x/a[position()=1]") == parse_expr("$x/a[1]")
+
+    def test_unsupported_predicates_rejected(self):
+        for bad in ("$x/a[2]", "$x/a[last]", "$x/a[position()=2]"):
+            with pytest.raises(XQSyntaxError):
+                parse_expr(bad)
+
+    def test_unparse_round_trip(self):
+        text = "<out>{for $v in $root/a return $v/b[last()]/c/text()}</out>"
+        assert parse_query(unparse(parse_query(text))) == parse_query(text)
+
+
+class TestQuantifiedParsing:
+    def test_some_shape(self):
+        cond = parse_expr(
+            "if (some $q in $x/a satisfies exists $q/b) then <y/> else ()"
+        ).cond
+        assert isinstance(cond, Quantified)
+        assert cond.quantifier == "some"
+        assert cond.var == "$q"
+        assert cond.source == "$x"
+        assert cond.path == (child("a"),)
+
+    def test_every_shape(self):
+        cond = parse_expr(
+            'if (every $q in $x//a satisfies $q/b = "1") then <y/> else ()'
+        ).cond
+        assert cond.quantifier == "every"
+
+    def test_satisfies_clause_is_greedy(self):
+        # XQuery's ExprSingle rule: the quantifier swallows the whole
+        # conjunction, it does not end at the first conjunct.
+        cond = parse_expr(
+            "if (some $q in $x/a satisfies exists $q/b and exists $q/c) "
+            "then <y/> else ()"
+        ).cond
+        assert isinstance(cond, Quantified)
+        assert not isinstance(cond.inner, Quantified)
+
+    def test_unparse_round_trip(self):
+        text = (
+            "<out>{for $v in $root/a return "
+            'if (every $q in $v/b satisfies $q/c = "1") then $v else ()'
+            "}</out>"
+        )
+        assert parse_query(unparse(parse_query(text))) == parse_query(text)
+
+
+class TestNormalization:
+    def test_positional_head_survives_on_output_paths(self):
+        # Multi-step outputs normally expand into nested one-step loops;
+        # the expansion must stop at the positional step, which cannot be
+        # carried by a for-loop.
+        query = normalize(parse_query("<out>{$root/a/b[1]/c}</out>"))
+        validate_core(query)
+        outputs = [
+            node for node in walk(query.root) if isinstance(node, PathOutput)
+        ]
+        positional = [o for o in outputs if any(s.first or s.last for s in o.path)]
+        assert positional, "positional output path was lowered away"
+        assert positional[0].path[0].first
+
+    def test_positional_for_loops_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize(
+                parse_query("<out>{for $v in $root/a[1] return $v}</out>")
+            )
+
+    def test_aggregates_survive_normalization(self):
+        query = normalize(
+            parse_query("<out>{for $v in $root/a return count($v/b)}</out>")
+        )
+        validate_core(query)
+        aggregates = [
+            node for node in walk(query.root) if isinstance(node, Aggregate)
+        ]
+        assert len(aggregates) == 1
+
+    def test_quantified_survives_ifpushdown(self):
+        from repro.analysis.compile import compile_query
+
+        compiled = compile_query(
+            "<out>{for $v in $root/a return "
+            "if (some $q in $v/b satisfies exists $q/c) then $v else ()"
+            "}</out>"
+        )
+        quantified = [
+            cond
+            for cond in _all_conditions(compiled.rewritten.root)
+            if isinstance(cond, Quantified)
+        ]
+        assert quantified, "quantifier lost in the rewriting pipeline"
+
+
+def _all_conditions(root):
+    """Every atomic condition in ``root``, descending into quantifiers."""
+    stack = [cond for expr in walk(root) for cond in conditions_of(expr)]
+    atoms = []
+    while stack:
+        for atom in atomic_conditions(stack.pop()):
+            atoms.append(atom)
+            if isinstance(atom, Quantified):
+                stack.append(atom.inner)
+    return atoms

@@ -39,6 +39,7 @@ REQUIRED_DOCS = [
     "docs/CLI.md",
     "docs/CONCURRENCY.md",
     "docs/EARLINESS.md",
+    "docs/JOINS.md",
     "docs/MULTIQUERY.md",
     "docs/PERFORMANCE.md",
     "docs/SCHEMA.md",
